@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAxis2DefectVisibleInSource(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-server", "metro", "-client", "axis2",
+		"-class", "javax.xml.datatype.XMLGregorianCalendar", "-diags",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if strings.Count(out, "Object local_timezone = null;") != 2 {
+		t.Errorf("duplicate variable should appear twice in source:\n%s", out)
+	}
+	if !strings.Contains(out, "DUP_LOCAL") {
+		t.Errorf("compiler diagnostic missing:\n%s", out)
+	}
+}
+
+func TestDynamicClientRendering(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-server", "wcf", "-client", "suds", "-class", "System.Net.Sockets.SocketError", "-diags",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "class ") || !strings.Contains(out, "def echo(self") {
+		t.Errorf("expected Python artifacts:\n%s", out)
+	}
+}
+
+func TestToolOutputEchoed(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-server", "metro", "-client", "axis1",
+		"-class", "javax.xml.ws.wsaddressing.W3CEndpointReference",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Axis1 reports the error but still writes artifacts.
+	out := buf.String()
+	if !strings.Contains(out, "UNRESOLVABLE_REF") || !strings.Contains(out, "public class") {
+		t.Errorf("expected error plus artifacts:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-class", ""}, &buf); err == nil {
+		t.Error("missing class should fail")
+	}
+	if err := run([]string{"-server", "zzz", "-class", "x.Y"}, &buf); err == nil {
+		t.Error("unknown server should fail")
+	}
+	if err := run([]string{"-client", "zzz", "-class", "x.Y"}, &buf); err == nil {
+		t.Error("unknown client should fail")
+	}
+	if err := run([]string{"-class", "no.such.Class"}, &buf); err == nil {
+		t.Error("unknown class should fail")
+	}
+	// A clean failure (no artifacts) surfaces as an error.
+	if err := run([]string{
+		"-server", "metro", "-client", "c#",
+		"-class", "javax.xml.ws.wsaddressing.W3CEndpointReference",
+	}, &buf); err == nil {
+		t.Error("nil artifacts should be reported")
+	}
+}

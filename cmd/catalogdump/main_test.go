@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wsinterop/internal/typesys"
+)
+
+func TestDumpAndReimport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-lang", "java"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	cat, err := typesys.ImportJSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("reimport: %v", err)
+	}
+	if cat.Len() != typesys.JavaTotal {
+		t.Errorf("reimported %d classes, want %d", cat.Len(), typesys.JavaTotal)
+	}
+}
+
+func TestStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-lang", "csharp", "-stats"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "14082") || !strings.Contains(out, "bindable: 2502") {
+		t.Errorf("stats output wrong:\n%s", out)
+	}
+}
+
+func TestBadLanguage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-lang", "cobol"}, &buf); err == nil {
+		t.Error("unknown language should fail")
+	}
+}

@@ -1,0 +1,167 @@
+// Command interop runs the web service framework interoperability
+// assessment campaign and prints the paper's tables and figures.
+//
+// Usage:
+//
+//	interop [-report fig4|chart|table3|findings|deploy|failures|compare|comm|json|all]
+//	        [-limit N] [-workers N] [-server NAME] [-client NAME]
+//
+// With no flags it runs the full campaign (22 024 services, 79 629
+// tests) and prints every textual report. -report comm additionally
+// runs the communication/execution extension; -report json emits a
+// machine-readable dump of everything.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wsinterop/internal/campaign"
+	"wsinterop/internal/framework"
+	"wsinterop/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "interop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("interop", flag.ContinueOnError)
+	reportKind := fs.String("report", "all",
+		"report to print: fig4, chart, table3, findings, deploy, failures, compare, comm, json, markdown, all")
+	explainClass := fs.String("explain", "",
+		"print the drill-down narrative for one class (combine with -server to restrict)")
+	extended := fs.Bool("extended", false,
+		"widen the setup with the Apache Axis2 server-side model (paper future work)")
+	limit := fs.Int("limit", 0, "cap services per catalog (0 = all)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	serverName := fs.String("server", "", "restrict to one server framework (substring match)")
+	clientName := fs.String("client", "", "restrict to one client framework (substring match)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := campaign.Config{Limit: *limit, Workers: *workers}
+	allServers := framework.Servers()
+	if *extended {
+		allServers = append(allServers, framework.NewAxis2Server())
+		cfg.Servers = allServers
+	}
+	if *serverName != "" {
+		cfg.Servers = nil
+		for _, s := range allServers {
+			if strings.Contains(strings.ToLower(s.Name()), strings.ToLower(*serverName)) {
+				cfg.Servers = append(cfg.Servers, s)
+			}
+		}
+		if len(cfg.Servers) == 0 {
+			return fmt.Errorf("no server framework matches %q", *serverName)
+		}
+	}
+	if *clientName != "" {
+		for _, c := range framework.Clients() {
+			if strings.Contains(strings.ToLower(c.Name()), strings.ToLower(*clientName)) {
+				cfg.Clients = append(cfg.Clients, c)
+			}
+		}
+		if len(cfg.Clients) == 0 {
+			return fmt.Errorf("no client framework matches %q", *clientName)
+		}
+	}
+
+	cfg.KeepFailures = *reportKind == "failures" || *reportKind == "json" || *reportKind == "all"
+
+	runner := campaign.NewRunner(cfg)
+
+	if *explainClass != "" {
+		return explain(out, runner, cfg, *explainClass)
+	}
+	res, err := runner.Run(context.Background())
+	if err != nil {
+		return err
+	}
+
+	var comm *campaign.CommResult
+	if *reportKind == "comm" || *reportKind == "json" || *reportKind == "markdown" {
+		if comm, err = runner.RunCommunication(context.Background()); err != nil {
+			return err
+		}
+	}
+	switch *reportKind {
+	case "json":
+		return report.JSON(out, res, comm)
+	case "markdown":
+		return report.Markdown(out, res, comm)
+	}
+
+	sections := []struct {
+		name  string
+		title string
+		write func() error
+	}{
+		{"deploy", "Service description generation (Preparation + Step 1)", func() error { return report.Deploy(out, res) }},
+		{"fig4", "Fig. 4 — per-server step overview", func() error { return report.Fig4(out, res) }},
+		{"chart", "Fig. 4 — bar chart", func() error { return report.Fig4Chart(out, res) }},
+		{"table3", "Table III — client × server issue matrix", func() error { return report.TableIII(out, res) }},
+		{"failures", "Failure index (Table III footnotes)", func() error { return report.Failures(out, res, 12) }},
+		{"findings", "Main findings (§IV)", func() error { return report.Findings(out, res) }},
+		{"maturity", "Client tool maturity (§IV.A)", func() error { return report.Maturity(out, res) }},
+		{"compare", "Paper vs measured", func() error {
+			return report.WriteComparisons(out, report.Comparisons(res))
+		}},
+		{"comm", "Communication & Execution extension (steps 4–5)", func() error {
+			return report.Communication(out, comm)
+		}},
+	}
+	printed := false
+	for _, s := range sections {
+		if *reportKind != "all" && *reportKind != s.name {
+			continue
+		}
+		if s.name == "comm" && comm == nil {
+			continue // the extension runs only when requested explicitly
+		}
+		printed = true
+		fmt.Fprintf(out, "== %s ==\n", s.title)
+		if err := s.write(); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if !printed {
+		return fmt.Errorf("unknown report %q", *reportKind)
+	}
+	return nil
+}
+
+// explain prints the §IV.B-style drill-down for one class on every
+// configured (or matching) server framework.
+func explain(out io.Writer, runner *campaign.Runner, cfg campaign.Config, class string) error {
+	servers := cfg.Servers
+	if servers == nil {
+		servers = framework.Servers()
+	}
+	found := false
+	for _, s := range servers {
+		e, err := runner.Explain(s.Name(), class)
+		if err != nil {
+			continue // class not in this server's catalog
+		}
+		found = true
+		if err := report.Explain(out, e); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	if !found {
+		return fmt.Errorf("class %q is not in any configured catalog", class)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunScaledAllReports(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-limit", "120", "-report", "all"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Fig. 4", "Table III", "Main findings", "Paper vs measured",
+		"Failure index", "bar chart",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing section %q", want)
+		}
+	}
+}
+
+func TestRunSingleReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-limit", "100", "-report", "findings"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "tests executed") {
+		t.Errorf("findings missing:\n%s", out)
+	}
+	if strings.Contains(out, "Table III") {
+		t.Error("single report should not print other sections")
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-limit", "60", "-report", "json"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"totalTests"`, `"matrix"`, `"communication"`, `"paperComparison"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}
+
+func TestRunCommReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-limit", "60", "-report", "comm"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "no-operations") {
+		t.Errorf("communication report missing:\n%s", buf.String())
+	}
+}
+
+func TestRunServerClientFilters(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-limit", "60", "-server", "metro", "-client", "axis1", "-report", "table3"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Apache Axis1") || strings.Contains(out, "gSOAP") {
+		t.Errorf("filtering broken:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-report", "nope", "-limit", "10"}, &buf); err == nil {
+		t.Error("unknown report should fail")
+	}
+	if err := run([]string{"-server", "zzz"}, &buf); err == nil {
+		t.Error("unknown server should fail")
+	}
+	if err := run([]string{"-client", "zzz"}, &buf); err == nil {
+		t.Error("unknown client should fail")
+	}
+	if err := run([]string{"-bogusflag"}, &buf); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

@@ -1,0 +1,95 @@
+// Command wsdldiff structurally compares the WSDL two server
+// frameworks publish for the same class — the root-cause-analysis
+// view behind the study's emitter-variant findings (e.g. why Axis2's
+// W3CEndpointReference emission interoperates while Metro's and
+// JBossWS's do not).
+//
+// Usage:
+//
+//	wsdldiff -a metro -b jbossws -class FQCN
+//	wsdldiff -a fileA.wsdl -b fileB.wsdl         # compare two files
+//
+// Exit status is 1 when the descriptions differ.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wsinterop/internal/framework"
+	"wsinterop/internal/services"
+	"wsinterop/internal/typesys"
+	"wsinterop/internal/wsdl"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsdldiff:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("wsdldiff", flag.ContinueOnError)
+	sideA := fs.String("a", "metro", "server framework name or .wsdl file path")
+	sideB := fs.String("b", "jbossws", "server framework name or .wsdl file path")
+	className := fs.String("class", "", "class to publish when a side names a server framework")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	docA, err := load(*sideA, *className)
+	if err != nil {
+		return 2, fmt.Errorf("side A: %w", err)
+	}
+	docB, err := load(*sideB, *className)
+	if err != nil {
+		return 2, fmt.Errorf("side B: %w", err)
+	}
+
+	deltas := wsdl.Diff(docA, docB)
+	if len(deltas) == 0 {
+		fmt.Fprintln(out, "descriptions are structurally equivalent")
+		return 0, nil
+	}
+	for _, d := range deltas {
+		fmt.Fprintln(out, d)
+	}
+	return 1, nil
+}
+
+// load resolves a side: a .wsdl file path, or a server framework name
+// plus the class to publish.
+func load(side, className string) (*wsdl.Definitions, error) {
+	if strings.HasSuffix(side, ".wsdl") {
+		data, err := os.ReadFile(side)
+		if err != nil {
+			return nil, err
+		}
+		return wsdl.Unmarshal(data)
+	}
+	servers := append(framework.Servers(), framework.NewAxis2Server())
+	for _, s := range servers {
+		if !strings.Contains(strings.ToLower(s.Name()), strings.ToLower(side)) {
+			continue
+		}
+		if className == "" {
+			return nil, fmt.Errorf("missing -class for server framework %q", side)
+		}
+		cat := typesys.JavaCatalog()
+		if s.Language() == typesys.CSharp {
+			cat = typesys.CSharpCatalog()
+		}
+		cls, ok := cat.Lookup(className)
+		if !ok {
+			return nil, fmt.Errorf("class %q is not in the %s catalog", className, s.Language())
+		}
+		return s.Publish(services.ForClass(cls))
+	}
+	return nil, fmt.Errorf("unknown server framework %q", side)
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wsinterop/internal/wsdl"
+)
+
+func TestEmitterVariantDiff(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run([]string{"-a", "metro", "-b", "jbossws",
+		"-class", "javax.xml.ws.wsaddressing.W3CEndpointReference"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (differences)", code)
+	}
+	if !strings.Contains(buf.String(), "2005/08/addressing") {
+		t.Errorf("expected the import delta:\n%s", buf.String())
+	}
+}
+
+func TestSameEmitterEquivalent(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run([]string{"-a", "metro", "-b", "metro",
+		"-class", "javax.xml.datatype.XMLGregorianCalendar"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 || !strings.Contains(buf.String(), "equivalent") {
+		t.Errorf("identical emissions should be equivalent: code=%d\n%s", code, buf.String())
+	}
+}
+
+func TestFileComparison(t *testing.T) {
+	dir := t.TempDir()
+	fileA := filepath.Join(dir, "a.wsdl")
+	var bufA bytes.Buffer
+	// Reuse the generator path to produce a file, then compare file vs
+	// live emission.
+	if _, err := run([]string{"-a", "wcf", "-b", "wcf", "-class", "System.Data.DataTable"}, &bufA); err != nil {
+		t.Fatal(err)
+	}
+	// Produce the document bytes via wsdlgen-equivalent path.
+	doc, err := load("wcf", "System.Data.DataTable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := wsdl.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(fileA, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	code, err := run([]string{"-a", fileA, "-b", "wcf", "-class", "System.Data.DataTable"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Errorf("file vs live emission should be equivalent:\n%s", buf.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run([]string{"-a", "nope", "-b", "metro", "-class", "x.Y"}, &buf); err == nil {
+		t.Error("unknown framework should fail")
+	}
+	if _, err := run([]string{"-a", "metro", "-b", "jbossws"}, &buf); err == nil {
+		t.Error("missing -class should fail")
+	}
+	if _, err := run([]string{"-a", "/does/not/exist.wsdl", "-b", "metro", "-class", "x.Y"}, &buf); err == nil {
+		t.Error("unreadable file should fail")
+	}
+}

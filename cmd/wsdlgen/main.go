@@ -1,0 +1,91 @@
+// Command wsdlgen prints the WSDL a server framework publishes for a
+// given native class — the Service Description Generation step in
+// isolation.
+//
+// Usage:
+//
+//	wsdlgen -server metro|jbossws|wcf -class FQCN
+//	wsdlgen -list [-server ...]        # list deployable classes
+//
+// Example:
+//
+//	wsdlgen -server wcf -class System.Data.DataTable
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wsinterop/internal/framework"
+	"wsinterop/internal/services"
+	"wsinterop/internal/typesys"
+	"wsinterop/internal/wsdl"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wsdlgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wsdlgen", flag.ContinueOnError)
+	serverName := fs.String("server", "metro", "server framework: metro, jbossws or wcf")
+	className := fs.String("class", "", "fully qualified class name")
+	list := fs.Bool("list", false, "list deployable classes for the server instead")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	server, err := pickServer(*serverName)
+	if err != nil {
+		return err
+	}
+	cat := catalogFor(server)
+
+	if *list {
+		for i := range cat.Classes {
+			if _, err := server.Publish(services.ForClass(&cat.Classes[i])); err == nil {
+				fmt.Fprintln(out, cat.Classes[i].Name)
+			}
+		}
+		return nil
+	}
+	if *className == "" {
+		return fmt.Errorf("missing -class (try -list to see deployable classes)")
+	}
+	cls, ok := cat.Lookup(*className)
+	if !ok {
+		return fmt.Errorf("class %q is not in the %s catalog", *className, server.Language())
+	}
+	doc, err := server.Publish(services.ForClass(cls))
+	if err != nil {
+		return err
+	}
+	raw, err := wsdl.Marshal(doc)
+	if err != nil {
+		return err
+	}
+	_, err = out.Write(raw)
+	return err
+}
+
+func pickServer(name string) (framework.ServerFramework, error) {
+	for _, s := range framework.Servers() {
+		if strings.Contains(strings.ToLower(s.Name()), strings.ToLower(name)) {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown server framework %q (metro, jbossws, wcf)", name)
+}
+
+func catalogFor(server framework.ServerFramework) *typesys.Catalog {
+	if server.Language() == typesys.Java {
+		return typesys.JavaCatalog()
+	}
+	return typesys.CSharpCatalog()
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEmitWSDL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-server", "wcf", "-class", "System.Data.DataTable"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"wsdl:definitions", "DataTable", "soap:address"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WSDL missing %q", want)
+		}
+	}
+}
+
+func TestListDeployable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-server", "jbossws", "-list"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	lines := strings.Count(strings.TrimSpace(buf.String()), "\n") + 1
+	if lines != 2248 {
+		t.Errorf("JBossWS deployable list has %d entries, want 2248", lines)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-server", "nope", "-class", "x"}, &buf); err == nil {
+		t.Error("unknown server should fail")
+	}
+	if err := run([]string{"-server", "metro", "-class", "no.such.Class"}, &buf); err == nil {
+		t.Error("unknown class should fail")
+	}
+	if err := run([]string{"-server", "metro"}, &buf); err == nil {
+		t.Error("missing -class should fail")
+	}
+	if err := run([]string{"-server", "metro", "-class", "java.util.concurrent.Future"}, &buf); err == nil {
+		t.Error("refused deployment should surface as an error")
+	}
+}

@@ -1,0 +1,83 @@
+// Command wsicheck runs the WS-I Basic Profile-style compliance
+// checker over a WSDL document.
+//
+// Usage:
+//
+//	wsicheck [-official] file.wsdl
+//	wsicheck -assertions
+//
+// The -official flag disables the extended assertions so the tool
+// behaves like the official WS-I checker (which, as the paper shows,
+// passes zero-operation WSDLs). The exit status is 1 when the
+// document fails the profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wsinterop/internal/wsdl"
+	"wsinterop/internal/wsi"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsicheck:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("wsicheck", flag.ContinueOnError)
+	official := fs.Bool("official", false, "disable extended assertions (official tool behaviour)")
+	listAssertions := fs.Bool("assertions", false, "list implemented assertions and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+
+	if *listAssertions {
+		for _, a := range wsi.AllAssertions() {
+			kind := "profile"
+			if a.Extended {
+				kind = "extended"
+			}
+			fmt.Fprintf(out, "%-8s %-9s %s\n", a.ID, kind, a.Description)
+		}
+		return 0, nil
+	}
+
+	if fs.NArg() != 1 {
+		return 2, fmt.Errorf("usage: wsicheck [-official] file.wsdl")
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	doc, err := wsdl.Unmarshal(data)
+	if err != nil {
+		return 2, err
+	}
+
+	var opts []wsi.Option
+	if *official {
+		opts = append(opts, wsi.WithoutExtended())
+	}
+	rep := wsi.NewChecker(opts...).Check(doc)
+	for _, v := range rep.Violations {
+		fmt.Fprintln(out, v)
+	}
+	if rep.Compliant() && len(rep.Violations) == 0 {
+		fmt.Fprintln(out, "PASS: document is WS-I compliant")
+		return 0, nil
+	}
+	if rep.Compliant() {
+		fmt.Fprintln(out, "PASS with extended findings: document is WS-I compliant but likely unusable")
+		return 0, nil
+	}
+	fmt.Fprintln(out, "FAIL: document violates the profile")
+	return 1, nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"wsinterop/internal/framework"
+	"wsinterop/internal/services"
+	"wsinterop/internal/typesys"
+	"wsinterop/internal/wsdl"
+)
+
+func writeWSDL(t *testing.T, server framework.ServerFramework, class string) string {
+	t.Helper()
+	cat := typesys.JavaCatalog()
+	if server.Language() == typesys.CSharp {
+		cat = typesys.CSharpCatalog()
+	}
+	cls, ok := cat.Lookup(class)
+	if !ok {
+		t.Fatalf("class %q missing", class)
+	}
+	doc, err := server.Publish(services.ForClass(cls))
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	raw, err := wsdl.Marshal(doc)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	path := filepath.Join(t.TempDir(), "svc.wsdl")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompliantDocumentPasses(t *testing.T) {
+	path := writeWSDL(t, framework.NewMetroServer(), typesys.JavaXMLGregorianCalendar)
+	var buf bytes.Buffer
+	code, err := run([]string{path}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Errorf("expected PASS:\n%s", buf.String())
+	}
+}
+
+func TestNonCompliantDocumentFails(t *testing.T) {
+	path := writeWSDL(t, framework.NewMetroServer(), typesys.JavaSimpleDateFormat)
+	var buf bytes.Buffer
+	code, err := run([]string{path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(buf.String(), "R2112") {
+		t.Errorf("expected R2112 finding:\n%s", buf.String())
+	}
+}
+
+func TestZeroOperationOfficialVsExtended(t *testing.T) {
+	path := writeWSDL(t, framework.NewJBossWSServer(), typesys.JavaResponse)
+
+	var ext bytes.Buffer
+	code, err := run([]string{path}, &ext)
+	if err != nil || code != 0 {
+		t.Fatalf("extended: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(ext.String(), "EXT4001") {
+		t.Errorf("extended mode should flag EXT4001:\n%s", ext.String())
+	}
+
+	var off bytes.Buffer
+	code, err = run([]string{"-official", path}, &off)
+	if err != nil || code != 0 {
+		t.Fatalf("official: code=%d err=%v", code, err)
+	}
+	if strings.Contains(off.String(), "EXT4001") {
+		t.Errorf("official mode must not flag EXT4001:\n%s", off.String())
+	}
+}
+
+func TestAssertionListing(t *testing.T) {
+	var buf bytes.Buffer
+	code, err := run([]string{"-assertions"}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	for _, want := range []string{"R2001", "R2706", "EXT4001", "extended"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("assertion listing missing %q", want)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if code, err := run(nil, &buf); err == nil || code != 2 {
+		t.Error("missing file argument should be a usage error")
+	}
+	if code, err := run([]string{"/no/such/file.wsdl"}, &buf); err == nil || code != 2 {
+		t.Error("unreadable file should be an error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.wsdl")
+	if err := os.WriteFile(bad, []byte("not xml"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, err := run([]string{bad}, &buf); err == nil || code != 2 {
+		t.Error("malformed document should be an error")
+	}
+}

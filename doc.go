@@ -1,0 +1,12 @@
+// Package wsinterop reproduces "Understanding Interoperability Issues
+// of Web Service Frameworks" (Elia, Laranjeiro, Vieira — DSN 2014): a
+// large experimental campaign testing whether the client-side and
+// server-side subsystems of popular SOAP web service frameworks can
+// actually inter-operate.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); cmd/interop runs the campaign and regenerates the
+// paper's tables and figures, and bench_test.go in this directory
+// holds the benchmark harness — one benchmark per table and figure
+// plus the ablations called out in DESIGN.md §6.
+package wsinterop

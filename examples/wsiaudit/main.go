@@ -1,0 +1,84 @@
+// Wsiaudit: the Service Description Generation step as a WS-I audit.
+// Every class of both catalogs is deployed on every server framework;
+// published WSDLs are checked against the profile (plus the extended
+// zero-operation assertion) and the audit prints the per-assertion
+// violation census — the data behind the paper's finding that servers
+// happily publish non-compliant descriptions.
+//
+// Run with:
+//
+//	go run ./examples/wsiaudit
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"wsinterop/internal/framework"
+	"wsinterop/internal/services"
+	"wsinterop/internal/typesys"
+	"wsinterop/internal/wsi"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	checker := wsi.NewChecker()
+	for _, server := range framework.Servers() {
+		cat := typesys.JavaCatalog()
+		if server.Language() == typesys.CSharp {
+			cat = typesys.CSharpCatalog()
+		}
+
+		published, flagged, nonCompliant := 0, 0, 0
+		byAssertion := make(map[string]int, 8)
+		var flaggedClasses []string
+
+		for i := range cat.Classes {
+			doc, err := server.Publish(services.ForClass(&cat.Classes[i]))
+			if err != nil {
+				continue // not deployable: filtered at this step
+			}
+			published++
+			rep := checker.Check(doc)
+			if len(rep.Violations) == 0 {
+				continue
+			}
+			flagged++
+			if !rep.Compliant() {
+				nonCompliant++
+			}
+			if len(flaggedClasses) < 6 {
+				flaggedClasses = append(flaggedClasses, cat.Classes[i].Name)
+			}
+			seen := make(map[string]bool, len(rep.Violations))
+			for _, v := range rep.Violations {
+				if !seen[v.Assertion.ID] {
+					seen[v.Assertion.ID] = true
+					byAssertion[v.Assertion.ID]++
+				}
+			}
+		}
+
+		fmt.Printf("%s (%s): %d/%d published, %d flagged (%d fail the official profile)\n",
+			server.Name(), server.Server(), published, cat.Len(), flagged, nonCompliant)
+		ids := make([]string, 0, len(byAssertion))
+		for id := range byAssertion {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("  %-8s violated by %d service(s)\n", id, byAssertion[id])
+		}
+		for _, c := range flaggedClasses {
+			fmt.Printf("  e.g. %s\n", c)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module wsinterop
+
+go 1.22

@@ -1,0 +1,468 @@
+// Package artifact models client-side artifacts — the code that
+// framework tooling generates from a WSDL so an application can invoke
+// the remote service — together with a name-resolution compiler that
+// verifies them the way javac, csc, vbc, jsc or g++ would.
+//
+// The model is language-neutral: a generated artifact is a set of code
+// units containing classes, fields, methods, parameters, locals and
+// call references. The compiler performs the checks whose failures the
+// study observed in the wild: duplicate identifiers, case-insensitive
+// member collisions (Visual Basic), unresolved symbol references
+// (Axis1's misnamed fault-wrapper attribute), missing functions (the
+// JScript generator omitting accessors), and compiler capacity limits
+// (the JScript "131 INTERNAL COMPILER CRASH").
+//
+// Errors therefore emerge from artifact *structure*, not from a lookup
+// table: a generator with a naming bug produces a structurally
+// defective unit, and this compiler finds the defect.
+package artifact
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TargetLanguage identifies the language an artifact set is written
+// in; it selects compiler semantics such as case sensitivity.
+type TargetLanguage int
+
+// Artifact target languages of the study's client frameworks.
+const (
+	LangJava TargetLanguage = iota + 1
+	LangCSharp
+	LangVB
+	LangJScript
+	LangCPP
+	LangPHP
+	LangPython
+)
+
+// String implements fmt.Stringer.
+func (l TargetLanguage) String() string {
+	switch l {
+	case LangJava:
+		return "Java"
+	case LangCSharp:
+		return "C#"
+	case LangVB:
+		return "VB.NET"
+	case LangJScript:
+		return "JScript.NET"
+	case LangCPP:
+		return "C++"
+	case LangPHP:
+		return "PHP"
+	case LangPython:
+		return "Python"
+	default:
+		return fmt.Sprintf("TargetLanguage(%d)", int(l))
+	}
+}
+
+// Compiled reports whether artifacts in this language go through a
+// compilation step. PHP and Python artifacts are instantiated
+// dynamically instead (§III.B of the paper).
+func (l TargetLanguage) Compiled() bool {
+	return l != LangPHP && l != LangPython
+}
+
+// CaseInsensitive reports whether identifiers collide ignoring case.
+func (l TargetLanguage) CaseInsensitive() bool { return l == LangVB }
+
+// Field is one member variable of a generated class.
+type Field struct {
+	Name string
+	// Type is the referenced type name; empty for built-in scalars.
+	Type string
+}
+
+// Param is one parameter of a generated method.
+type Param struct {
+	Name string
+	Type string
+}
+
+// Method is one generated method (or free function).
+type Method struct {
+	Name   string
+	Params []Param
+	// Locals are the local variable names the generated body declares.
+	Locals []string
+	// Calls lists names of functions/methods the body references;
+	// unresolved calls are compile errors.
+	Calls []string
+	// FieldRefs lists member names the body reads or writes;
+	// unresolved member references are compile errors.
+	FieldRefs []string
+	Return    string
+}
+
+// Class is one generated type.
+type Class struct {
+	Name    string
+	Fields  []Field
+	Methods []Method
+	// NestingDepth records how deeply this type was nested in the
+	// schema it was generated from; compilers with capacity limits
+	// crash beyond their limit.
+	NestingDepth int
+	// UsesRawCollections marks bodies using unparameterized
+	// collections — the source of javac's "unchecked or unsafe
+	// operations" warning that Axis1/Axis2 artifacts always carry.
+	UsesRawCollections bool
+}
+
+// Unit is a compilation unit: everything one generator run emitted.
+type Unit struct {
+	Language TargetLanguage
+	// Name identifies the unit (usually the service name).
+	Name    string
+	Classes []Class
+	// ExternalTypes lists type names the unit may reference without
+	// declaring (the generator's runtime library).
+	ExternalTypes []string
+}
+
+// PortClass returns the generated service port/proxy class: by
+// convention the first class of the unit, which is where generators
+// place the invocable operations. Returns nil for an empty unit.
+func (u *Unit) PortClass() *Class {
+	if len(u.Classes) == 0 {
+		return nil
+	}
+	return &u.Classes[0]
+}
+
+// MethodCount returns the total number of methods across the unit.
+func (u *Unit) MethodCount() int {
+	n := 0
+	for i := range u.Classes {
+		n += len(u.Classes[i].Methods)
+	}
+	return n
+}
+
+// Severity grades a compiler diagnostic.
+type Severity int
+
+// Diagnostic severities. SeverityFatal models a crash of the
+// compilation tool itself.
+const (
+	SeverityWarning Severity = iota + 1
+	SeverityError
+	SeverityFatal
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SeverityWarning:
+		return "warning"
+	case SeverityError:
+		return "error"
+	case SeverityFatal:
+		return "fatal"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Diagnostic is one compiler finding.
+type Diagnostic struct {
+	Severity Severity
+	// Code is a stable machine-readable identifier, e.g. "DUP_LOCAL".
+	Code    string
+	Message string
+	// Where locates the finding (class or class.method).
+	Where string
+}
+
+// String renders the diagnostic in compiler-output style.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s] %s", d.Where, d.Severity, d.Code, d.Message)
+}
+
+// Diagnostic codes produced by the compiler.
+const (
+	CodeDupClass       = "DUP_CLASS"
+	CodeDupMethod      = "DUP_METHOD"
+	CodeDupField       = "DUP_FIELD"
+	CodeDupParam       = "DUP_PARAM"
+	CodeDupLocal       = "DUP_LOCAL"
+	CodeMemberClash    = "MEMBER_CLASH"
+	CodeUnresolvedType = "UNRESOLVED_TYPE"
+	CodeUnresolvedFunc = "UNRESOLVED_FUNC"
+	CodeUnresolvedRef  = "UNRESOLVED_MEMBER"
+	CodeUnchecked      = "UNCHECKED_OPS"
+	CodeCompilerCrash  = "COMPILER_CRASH"
+)
+
+// Compiler verifies artifact units. The zero value is unusable; use
+// NewCompiler, which derives semantics from the target language.
+type Compiler struct {
+	lang TargetLanguage
+	// maxNesting is the tool's type-nesting capacity; 0 means
+	// unlimited. The JScript compiler of the study crashed beyond its
+	// limit.
+	maxNesting int
+}
+
+// Option customizes a Compiler.
+type Option func(*Compiler)
+
+// WithMaxNesting sets the compiler's type-nesting capacity limit.
+func WithMaxNesting(n int) Option {
+	return func(c *Compiler) { c.maxNesting = n }
+}
+
+// NewCompiler creates a compiler for the given artifact language.
+func NewCompiler(lang TargetLanguage, opts ...Option) *Compiler {
+	c := &Compiler{lang: lang}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Compile verifies a unit and returns every diagnostic found. The
+// unit is accepted (usable) if no diagnostic has severity error or
+// fatal.
+func (c *Compiler) Compile(u *Unit) []Diagnostic {
+	var diags []Diagnostic
+
+	// A tool crash aborts everything else, exactly as the study's
+	// "131 INTERNAL COMPILER CRASH" did.
+	if c.maxNesting > 0 {
+		for i := range u.Classes {
+			if u.Classes[i].NestingDepth > c.maxNesting {
+				return []Diagnostic{{
+					Severity: SeverityFatal,
+					Code:     CodeCompilerCrash,
+					Message: fmt.Sprintf("131 INTERNAL COMPILER CRASH: type nesting depth %d exceeds tool capacity %d",
+						u.Classes[i].NestingDepth, c.maxNesting),
+					Where: u.Classes[i].Name,
+				}}
+			}
+		}
+	}
+
+	types := c.symbolTable(u)
+
+	classNames := make(map[string]string, len(u.Classes))
+	for i := range u.Classes {
+		cls := &u.Classes[i]
+		key := c.fold(cls.Name)
+		if prev, dup := classNames[key]; dup {
+			diags = append(diags, Diagnostic{
+				Severity: SeverityError,
+				Code:     CodeDupClass,
+				Message:  fmt.Sprintf("type %q already declared as %q", cls.Name, prev),
+				Where:    cls.Name,
+			})
+			continue
+		}
+		classNames[key] = cls.Name
+		diags = append(diags, c.compileClass(u, cls, types)...)
+	}
+	return diags
+}
+
+// Errors filters diagnostics with severity error or fatal.
+func Errors(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Severity >= SeverityError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Warnings filters diagnostics with severity warning.
+func Warnings(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Severity == SeverityWarning {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (c *Compiler) fold(s string) string {
+	if c.lang.CaseInsensitive() {
+		return strings.ToLower(s)
+	}
+	return s
+}
+
+func (c *Compiler) symbolTable(u *Unit) map[string]bool {
+	types := make(map[string]bool, len(u.Classes)+len(u.ExternalTypes))
+	for i := range u.Classes {
+		types[c.fold(u.Classes[i].Name)] = true
+	}
+	for _, t := range u.ExternalTypes {
+		types[c.fold(t)] = true
+	}
+	return types
+}
+
+func (c *Compiler) compileClass(u *Unit, cls *Class, types map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	where := cls.Name
+
+	if cls.UsesRawCollections {
+		diags = append(diags, Diagnostic{
+			Severity: SeverityWarning,
+			Code:     CodeUnchecked,
+			Message:  "uses unchecked or unsafe operations",
+			Where:    where,
+		})
+	}
+
+	// Member tables. Fields and methods share a namespace in
+	// case-insensitive languages.
+	fields := make(map[string]bool, len(cls.Fields))
+	for _, f := range cls.Fields {
+		key := c.fold(f.Name)
+		if fields[key] {
+			diags = append(diags, Diagnostic{
+				Severity: SeverityError,
+				Code:     CodeDupField,
+				Message:  fmt.Sprintf("duplicate member %q", f.Name),
+				Where:    where,
+			})
+			continue
+		}
+		fields[key] = true
+		if f.Type != "" && !types[c.fold(f.Type)] {
+			diags = append(diags, Diagnostic{
+				Severity: SeverityError,
+				Code:     CodeUnresolvedType,
+				Message:  fmt.Sprintf("member %q references undeclared type %q", f.Name, f.Type),
+				Where:    where,
+			})
+		}
+	}
+
+	methods := make(map[string]bool, len(cls.Methods))
+	allMethods := make(map[string]bool, len(cls.Methods))
+	for i := range cls.Methods {
+		allMethods[c.fold(cls.Methods[i].Name)] = true
+	}
+
+	for i := range cls.Methods {
+		m := &cls.Methods[i]
+		mWhere := where + "." + m.Name
+		key := c.fold(m.Name)
+		if methods[key] {
+			diags = append(diags, Diagnostic{
+				Severity: SeverityError,
+				Code:     CodeDupMethod,
+				Message:  fmt.Sprintf("duplicate method %q", m.Name),
+				Where:    where,
+			})
+			continue
+		}
+		methods[key] = true
+
+		if c.lang.CaseInsensitive() && fields[key] {
+			diags = append(diags, Diagnostic{
+				Severity: SeverityError,
+				Code:     CodeMemberClash,
+				Message:  fmt.Sprintf("method %q clashes with member of the same name", m.Name),
+				Where:    where,
+			})
+		}
+
+		scope := make(map[string]bool, len(m.Params)+len(m.Locals))
+		for _, p := range m.Params {
+			pk := c.fold(p.Name)
+			if scope[pk] {
+				diags = append(diags, Diagnostic{
+					Severity: SeverityError,
+					Code:     CodeDupParam,
+					Message:  fmt.Sprintf("duplicate parameter %q", p.Name),
+					Where:    mWhere,
+				})
+				continue
+			}
+			scope[pk] = true
+			if c.lang.CaseInsensitive() && pk == key {
+				diags = append(diags, Diagnostic{
+					Severity: SeverityError,
+					Code:     CodeMemberClash,
+					Message:  fmt.Sprintf("parameter %q collides with method name %q", p.Name, m.Name),
+					Where:    mWhere,
+				})
+			}
+			if p.Type != "" && !types[c.fold(p.Type)] {
+				diags = append(diags, Diagnostic{
+					Severity: SeverityError,
+					Code:     CodeUnresolvedType,
+					Message:  fmt.Sprintf("parameter %q references undeclared type %q", p.Name, p.Type),
+					Where:    mWhere,
+				})
+			}
+		}
+		for _, l := range m.Locals {
+			lk := c.fold(l)
+			if scope[lk] {
+				diags = append(diags, Diagnostic{
+					Severity: SeverityError,
+					Code:     CodeDupLocal,
+					Message:  fmt.Sprintf("duplicate variable %q", l),
+					Where:    mWhere,
+				})
+				continue
+			}
+			scope[lk] = true
+		}
+		if m.Return != "" && !types[c.fold(m.Return)] {
+			diags = append(diags, Diagnostic{
+				Severity: SeverityError,
+				Code:     CodeUnresolvedType,
+				Message:  fmt.Sprintf("return type %q is undeclared", m.Return),
+				Where:    mWhere,
+			})
+		}
+		for _, call := range m.Calls {
+			if !allMethods[c.fold(call)] {
+				diags = append(diags, Diagnostic{
+					Severity: SeverityError,
+					Code:     CodeUnresolvedFunc,
+					Message:  fmt.Sprintf("call to undefined function %q", call),
+					Where:    mWhere,
+				})
+			}
+		}
+		for _, ref := range m.FieldRefs {
+			if !fields[c.fold(ref)] {
+				diags = append(diags, Diagnostic{
+					Severity: SeverityError,
+					Code:     CodeUnresolvedRef,
+					Message:  fmt.Sprintf("reference to undefined member %q", ref),
+					Where:    mWhere,
+				})
+			}
+		}
+	}
+	return diags
+}
+
+// Instantiate models the dynamic-instantiation check used for PHP and
+// Python artifacts: the client object must be constructible. A client
+// object without invocable methods still instantiates (the dynamic
+// toolkits report that condition during generation, not here), so the
+// only failure mode is the absence of a client object altogether.
+func Instantiate(u *Unit) []Diagnostic {
+	if u.PortClass() == nil {
+		return []Diagnostic{{
+			Severity: SeverityError,
+			Code:     CodeUnresolvedType,
+			Message:  "no client object was generated",
+			Where:    u.Name,
+		}}
+	}
+	return nil
+}

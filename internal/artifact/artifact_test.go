@@ -1,0 +1,345 @@
+package artifact
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func cleanUnit() *Unit {
+	return &Unit{
+		Language: LangJava,
+		Name:     "EchoService",
+		Classes: []Class{
+			{
+				Name: "EchoServicePort",
+				Methods: []Method{{
+					Name:   "echo",
+					Params: []Param{{Name: "input", Type: "Payload"}},
+					Return: "Payload",
+				}},
+			},
+			{
+				Name: "Payload",
+				Fields: []Field{
+					{Name: "value"},
+					{Name: "child", Type: "Part"},
+				},
+			},
+			{Name: "Part", Fields: []Field{{Name: "id"}}},
+		},
+	}
+}
+
+func codes(diags []Diagnostic) map[string]int {
+	m := make(map[string]int, len(diags))
+	for _, d := range diags {
+		m[d.Code]++
+	}
+	return m
+}
+
+func TestCompileCleanUnit(t *testing.T) {
+	diags := NewCompiler(LangJava).Compile(cleanUnit())
+	if len(diags) != 0 {
+		t.Errorf("clean unit produced diagnostics: %v", diags)
+	}
+}
+
+func TestDuplicateClass(t *testing.T) {
+	u := cleanUnit()
+	u.Classes = append(u.Classes, Class{Name: "Payload"})
+	diags := NewCompiler(LangJava).Compile(u)
+	if codes(diags)[CodeDupClass] != 1 {
+		t.Errorf("expected DUP_CLASS, got %v", diags)
+	}
+}
+
+func TestDuplicateClassCaseInsensitive(t *testing.T) {
+	u := cleanUnit()
+	u.Classes = append(u.Classes, Class{Name: "payload"})
+	if codes(NewCompiler(LangJava).Compile(u))[CodeDupClass] != 0 {
+		t.Error("Java must treat payload/Payload as distinct")
+	}
+	u.Language = LangVB
+	if codes(NewCompiler(LangVB).Compile(u))[CodeDupClass] != 1 {
+		t.Error("VB must collapse payload/Payload")
+	}
+}
+
+func TestDuplicateField(t *testing.T) {
+	u := cleanUnit()
+	u.Classes[1].Fields = append(u.Classes[1].Fields, Field{Name: "value"})
+	diags := NewCompiler(LangJava).Compile(u)
+	if codes(diags)[CodeDupField] != 1 {
+		t.Errorf("expected DUP_FIELD, got %v", diags)
+	}
+}
+
+func TestCaseCollidingFieldsPerLanguage(t *testing.T) {
+	u := cleanUnit()
+	u.Classes[1].Fields = []Field{{Name: "timezone"}, {Name: "timeZone"}}
+	if diags := NewCompiler(LangJava).Compile(u); len(diags) != 0 {
+		t.Errorf("Java: case-distinct fields must compile, got %v", diags)
+	}
+	if codes(NewCompiler(LangVB).Compile(u))[CodeDupField] != 1 {
+		t.Error("VB: case-colliding fields must be an error")
+	}
+}
+
+func TestUnresolvedFieldType(t *testing.T) {
+	u := cleanUnit()
+	u.Classes[1].Fields[1].Type = "Missing"
+	diags := NewCompiler(LangJava).Compile(u)
+	if codes(diags)[CodeUnresolvedType] != 1 {
+		t.Errorf("expected UNRESOLVED_TYPE, got %v", diags)
+	}
+}
+
+func TestExternalTypesResolve(t *testing.T) {
+	u := cleanUnit()
+	u.Classes[1].Fields[1].Type = "RuntimeThing"
+	u.ExternalTypes = []string{"RuntimeThing"}
+	if diags := NewCompiler(LangJava).Compile(u); len(diags) != 0 {
+		t.Errorf("external type should resolve, got %v", diags)
+	}
+}
+
+func TestDuplicateParam(t *testing.T) {
+	u := cleanUnit()
+	m := &u.Classes[0].Methods[0]
+	m.Params = append(m.Params, Param{Name: "input"})
+	diags := NewCompiler(LangJava).Compile(u)
+	if codes(diags)[CodeDupParam] != 1 {
+		t.Errorf("expected DUP_PARAM, got %v", diags)
+	}
+}
+
+func TestDuplicateLocal(t *testing.T) {
+	u := cleanUnit()
+	u.Classes[1].Methods = []Method{{
+		Name:   "parsePayload",
+		Locals: []string{"local_timezone", "local_timezone"},
+	}}
+	diags := NewCompiler(LangJava).Compile(u)
+	if codes(diags)[CodeDupLocal] != 1 {
+		t.Errorf("expected DUP_LOCAL, got %v", diags)
+	}
+}
+
+func TestLocalCollidesWithParam(t *testing.T) {
+	u := cleanUnit()
+	m := &u.Classes[0].Methods[0]
+	m.Locals = []string{"input"}
+	diags := NewCompiler(LangJava).Compile(u)
+	if codes(diags)[CodeDupLocal] != 1 {
+		t.Errorf("locals share scope with params; got %v", diags)
+	}
+}
+
+func TestVBMethodParamCollision(t *testing.T) {
+	u := cleanUnit()
+	u.Classes[0].Methods[0].Params[0].Name = "Echo"
+	if len(Errors(NewCompiler(LangJava).Compile(u))) != 0 {
+		t.Error("Java: method/param name sharing is legal")
+	}
+	diags := NewCompiler(LangVB).Compile(u)
+	if codes(diags)[CodeMemberClash] == 0 {
+		t.Errorf("VB: parameter named like the method must clash, got %v", diags)
+	}
+}
+
+func TestVBMethodFieldCollision(t *testing.T) {
+	u := cleanUnit()
+	u.Classes[1].Methods = []Method{{Name: "Value"}}
+	diags := NewCompiler(LangVB).Compile(u)
+	if codes(diags)[CodeMemberClash] == 0 {
+		t.Errorf("VB: method named like a member must clash, got %v", diags)
+	}
+	if len(Errors(NewCompiler(LangCSharp).Compile(u))) != 0 {
+		t.Error("C#: Value method vs value field is legal")
+	}
+}
+
+func TestUnresolvedCall(t *testing.T) {
+	u := cleanUnit()
+	u.Classes[1].Methods = []Method{
+		{Name: "marshal", Calls: []string{"get_value", "get_missing"}},
+		{Name: "get_value"},
+	}
+	diags := NewCompiler(LangJScript).Compile(u)
+	if codes(diags)[CodeUnresolvedFunc] != 1 {
+		t.Errorf("expected one UNRESOLVED_FUNC, got %v", diags)
+	}
+}
+
+func TestUnresolvedMemberRef(t *testing.T) {
+	u := cleanUnit()
+	u.Classes[1].Methods = []Method{{
+		Name:      "getFaultInfo",
+		FieldRefs: []string{"payloadException"},
+	}}
+	diags := NewCompiler(LangJava).Compile(u)
+	if codes(diags)[CodeUnresolvedRef] != 1 {
+		t.Errorf("expected UNRESOLVED_MEMBER, got %v", diags)
+	}
+}
+
+func TestUncheckedWarning(t *testing.T) {
+	u := cleanUnit()
+	for i := range u.Classes {
+		u.Classes[i].UsesRawCollections = true
+	}
+	diags := NewCompiler(LangJava).Compile(u)
+	warnings := Warnings(diags)
+	if len(warnings) != len(u.Classes) {
+		t.Errorf("expected one warning per class, got %v", diags)
+	}
+	if len(Errors(diags)) != 0 {
+		t.Errorf("warnings must not be errors: %v", diags)
+	}
+	for _, w := range warnings {
+		if w.Code != CodeUnchecked || !strings.Contains(w.Message, "unchecked or unsafe operations") {
+			t.Errorf("unexpected warning %v", w)
+		}
+	}
+}
+
+func TestCompilerCrash(t *testing.T) {
+	u := cleanUnit()
+	u.Classes[0].NestingDepth = 4
+	diags := NewCompiler(LangJScript, WithMaxNesting(3)).Compile(u)
+	if len(diags) != 1 || diags[0].Severity != SeverityFatal {
+		t.Fatalf("expected a single fatal crash, got %v", diags)
+	}
+	if !strings.Contains(diags[0].Message, "131 INTERNAL COMPILER CRASH") {
+		t.Errorf("crash message %q lacks the signature", diags[0].Message)
+	}
+	// No capacity limit → no crash.
+	if diags := NewCompiler(LangCSharp).Compile(u); len(diags) != 0 {
+		t.Errorf("unlimited compiler crashed: %v", diags)
+	}
+}
+
+func TestCrashSuppressesOtherDiagnostics(t *testing.T) {
+	u := cleanUnit()
+	u.Classes[0].NestingDepth = 10
+	u.Classes[1].Fields = append(u.Classes[1].Fields, Field{Name: "value"}) // would be DUP_FIELD
+	diags := NewCompiler(LangJScript, WithMaxNesting(3)).Compile(u)
+	if len(diags) != 1 || diags[0].Code != CodeCompilerCrash {
+		t.Errorf("a crash must abort compilation, got %v", diags)
+	}
+}
+
+func TestUnresolvedReturnType(t *testing.T) {
+	u := cleanUnit()
+	u.Classes[0].Methods[0].Return = "Gone"
+	diags := NewCompiler(LangJava).Compile(u)
+	if codes(diags)[CodeUnresolvedType] != 1 {
+		t.Errorf("expected UNRESOLVED_TYPE for return, got %v", diags)
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	u := cleanUnit()
+	if diags := Instantiate(u); len(diags) != 0 {
+		t.Errorf("clean unit should instantiate, got %v", diags)
+	}
+	empty := &Unit{Language: LangPHP, Name: "X"}
+	diags := Instantiate(empty)
+	if len(Errors(diags)) != 1 {
+		t.Errorf("missing port class must fail instantiation, got %v", diags)
+	}
+	// A methodless client object still instantiates.
+	noMethods := &Unit{Language: LangPython, Name: "Y", Classes: []Class{{Name: "YClient"}}}
+	if diags := Instantiate(noMethods); len(diags) != 0 {
+		t.Errorf("methodless client should instantiate, got %v", diags)
+	}
+}
+
+func TestLanguageProperties(t *testing.T) {
+	for _, l := range []TargetLanguage{LangJava, LangCSharp, LangVB, LangJScript, LangCPP} {
+		if !l.Compiled() {
+			t.Errorf("%s should be compiled", l)
+		}
+	}
+	for _, l := range []TargetLanguage{LangPHP, LangPython} {
+		if l.Compiled() {
+			t.Errorf("%s should not be compiled", l)
+		}
+	}
+	if LangJava.CaseInsensitive() || !LangVB.CaseInsensitive() {
+		t.Error("only VB is case-insensitive")
+	}
+}
+
+func TestUnitHelpers(t *testing.T) {
+	u := cleanUnit()
+	if u.PortClass() == nil || u.PortClass().Name != "EchoServicePort" {
+		t.Error("PortClass should return the first class")
+	}
+	if got := u.MethodCount(); got != 1 {
+		t.Errorf("MethodCount = %d, want 1", got)
+	}
+	if (&Unit{}).PortClass() != nil {
+		t.Error("empty unit has no port class")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Severity: SeverityError, Code: CodeDupLocal, Message: "duplicate variable", Where: "C.m"}
+	s := d.String()
+	for _, want := range []string{"C.m", "error", "DUP_LOCAL", "duplicate variable"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diagnostic string %q missing %q", s, want)
+		}
+	}
+}
+
+// TestCompileDeterministic verifies compilation yields identical
+// diagnostics for identical units regardless of how often it runs.
+func TestCompileDeterministic(t *testing.T) {
+	u := cleanUnit()
+	u.Classes[1].Fields = append(u.Classes[1].Fields, Field{Name: "value"}, Field{Name: "x", Type: "Nope"})
+	c := NewCompiler(LangJava)
+	first := c.Compile(u)
+	for i := 0; i < 10; i++ {
+		again := c.Compile(u)
+		if len(again) != len(first) {
+			t.Fatalf("run %d: %d diagnostics vs %d", i, len(again), len(first))
+		}
+		for j := range again {
+			if again[j] != first[j] {
+				t.Fatalf("run %d: diagnostic %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestScopeCollisionProperty: for any pair of names, a method with
+// both as parameters errors iff they fold to the same identifier.
+func TestScopeCollisionProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if a == "" || b == "" {
+			return true
+		}
+		u := &Unit{
+			Language: LangVB,
+			Name:     "P",
+			Classes: []Class{{
+				Name: "C",
+				Methods: []Method{{
+					Name:   "m",
+					Params: []Param{{Name: a}, {Name: b}},
+				}},
+			}},
+		}
+		diags := NewCompiler(LangVB).Compile(u)
+		collides := strings.ToLower(a) == strings.ToLower(b)
+		hasDup := codes(diags)[CodeDupParam] > 0
+		return collides == hasDup
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,244 @@
+package artifact
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders artifact code models as source text in each
+// client language. The study's authors inspected the code their tools
+// generated to diagnose failures (misnamed wrapper attributes,
+// duplicate variables, colliding members); Render makes the modelled
+// artifacts inspectable the same way, and the cmd/artifactgen tool
+// exposes it on the command line.
+//
+// The renderers are deliberately faithful to each ecosystem's idiom —
+// JavaBeans accessors, C# auto-properties, VB.NET Function blocks,
+// JScript functions, gSOAP-style C++ structs, PHP magic classes and
+// Python attribute classes — so a developer can see exactly the
+// defect the compiler reports (e.g. Axis2's duplicate "local_…"
+// variables appear verbatim in the Java output).
+
+// Render produces source text for the unit in its target language.
+func Render(u *Unit) string {
+	var b strings.Builder
+	switch u.Language {
+	case LangJava:
+		renderJava(&b, u)
+	case LangCSharp:
+		renderCSharp(&b, u)
+	case LangVB:
+		renderVB(&b, u)
+	case LangJScript:
+		renderJScript(&b, u)
+	case LangCPP:
+		renderCPP(&b, u)
+	case LangPHP:
+		renderPHP(&b, u)
+	case LangPython:
+		renderPython(&b, u)
+	default:
+		fmt.Fprintf(&b, "// unsupported artifact language %v\n", u.Language)
+	}
+	return b.String()
+}
+
+func typeName(t, fallback string) string {
+	if t == "" {
+		return fallback
+	}
+	return t
+}
+
+func renderJava(b *strings.Builder, u *Unit) {
+	fmt.Fprintf(b, "// Generated client artifacts for %s\n", u.Name)
+	for i := range u.Classes {
+		c := &u.Classes[i]
+		if c.UsesRawCollections {
+			fmt.Fprintf(b, "@SuppressWarnings({}) // uses raw collections: javac will warn\n")
+		}
+		fmt.Fprintf(b, "public class %s {\n", c.Name)
+		for _, f := range c.Fields {
+			fmt.Fprintf(b, "    private %s %s;\n", typeName(f.Type, "String"), f.Name)
+		}
+		for j := range c.Methods {
+			m := &c.Methods[j]
+			fmt.Fprintf(b, "    public %s %s(%s) {\n",
+				typeName(m.Return, "void"), m.Name, javaParams(m.Params))
+			for _, l := range m.Locals {
+				fmt.Fprintf(b, "        Object %s = null;\n", l)
+			}
+			for _, ref := range m.FieldRefs {
+				fmt.Fprintf(b, "        use(this.%s);\n", ref)
+			}
+			for _, call := range m.Calls {
+				fmt.Fprintf(b, "        %s();\n", call)
+			}
+			if m.Return != "" {
+				fmt.Fprintf(b, "        return null;\n")
+			}
+			fmt.Fprintf(b, "    }\n")
+		}
+		fmt.Fprintf(b, "}\n\n")
+	}
+}
+
+func javaParams(params []Param) string {
+	parts := make([]string, 0, len(params))
+	for _, p := range params {
+		parts = append(parts, typeName(p.Type, "String")+" "+p.Name)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func renderCSharp(b *strings.Builder, u *Unit) {
+	fmt.Fprintf(b, "// Generated client artifacts for %s\n", u.Name)
+	fmt.Fprintf(b, "namespace %s {\n", u.Name)
+	for i := range u.Classes {
+		c := &u.Classes[i]
+		fmt.Fprintf(b, "  public class %s {\n", c.Name)
+		for _, f := range c.Fields {
+			fmt.Fprintf(b, "    public %s %s { get; set; }\n", typeName(f.Type, "string"), f.Name)
+		}
+		for j := range c.Methods {
+			m := &c.Methods[j]
+			fmt.Fprintf(b, "    public %s %s(%s) { return default; }\n",
+				typeName(m.Return, "void"), m.Name, csParams(m.Params))
+		}
+		fmt.Fprintf(b, "  }\n")
+	}
+	fmt.Fprintf(b, "}\n")
+}
+
+func csParams(params []Param) string {
+	parts := make([]string, 0, len(params))
+	for _, p := range params {
+		parts = append(parts, typeName(p.Type, "string")+" "+p.Name)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func renderVB(b *strings.Builder, u *Unit) {
+	fmt.Fprintf(b, "' Generated client artifacts for %s\n", u.Name)
+	for i := range u.Classes {
+		c := &u.Classes[i]
+		fmt.Fprintf(b, "Public Class %s\n", c.Name)
+		for _, f := range c.Fields {
+			fmt.Fprintf(b, "    Public %s As %s\n", f.Name, typeName(f.Type, "String"))
+		}
+		for j := range c.Methods {
+			m := &c.Methods[j]
+			params := make([]string, 0, len(m.Params))
+			for _, p := range m.Params {
+				params = append(params, "ByVal "+p.Name+" As "+typeName(p.Type, "String"))
+			}
+			fmt.Fprintf(b, "    Public Function %s(%s) As %s\n",
+				m.Name, strings.Join(params, ", "), typeName(m.Return, "Object"))
+			fmt.Fprintf(b, "        Return Nothing\n    End Function\n")
+		}
+		fmt.Fprintf(b, "End Class\n\n")
+	}
+}
+
+func renderJScript(b *strings.Builder, u *Unit) {
+	fmt.Fprintf(b, "// Generated client artifacts for %s\n", u.Name)
+	for i := range u.Classes {
+		c := &u.Classes[i]
+		fmt.Fprintf(b, "class %s {\n", c.Name)
+		for _, f := range c.Fields {
+			fmt.Fprintf(b, "  var %s;\n", f.Name)
+		}
+		fmt.Fprintf(b, "}\n")
+		for j := range c.Methods {
+			m := &c.Methods[j]
+			params := make([]string, 0, len(m.Params))
+			for _, p := range m.Params {
+				params = append(params, p.Name)
+			}
+			fmt.Fprintf(b, "function %s(%s) {\n", m.Name, strings.Join(params, ", "))
+			for _, call := range m.Calls {
+				fmt.Fprintf(b, "  %s();\n", call)
+			}
+			for _, ref := range m.FieldRefs {
+				fmt.Fprintf(b, "  return this.%s;\n", ref)
+			}
+			fmt.Fprintf(b, "}\n")
+		}
+		b.WriteByte('\n')
+	}
+}
+
+func renderCPP(b *strings.Builder, u *Unit) {
+	fmt.Fprintf(b, "// Generated client artifacts for %s (soapcpp2 style)\n", u.Name)
+	for i := range u.Classes {
+		c := &u.Classes[i]
+		fmt.Fprintf(b, "class %s {\npublic:\n", sanitizeCPP(c.Name))
+		for _, f := range c.Fields {
+			fmt.Fprintf(b, "    %s %s;\n", typeName(sanitizeCPP(f.Type), "std::string"), f.Name)
+		}
+		for j := range c.Methods {
+			m := &c.Methods[j]
+			params := make([]string, 0, len(m.Params))
+			for _, p := range m.Params {
+				params = append(params, typeName(sanitizeCPP(p.Type), "std::string")+" "+p.Name)
+			}
+			fmt.Fprintf(b, "    %s %s(%s);\n",
+				typeName(sanitizeCPP(m.Return), "void"), m.Name, strings.Join(params, ", "))
+		}
+		fmt.Fprintf(b, "};\n\n")
+	}
+}
+
+func sanitizeCPP(name string) string {
+	return strings.NewReplacer(".", "_", "-", "_").Replace(name)
+}
+
+func renderPHP(b *strings.Builder, u *Unit) {
+	fmt.Fprintf(b, "<?php\n// Generated client artifacts for %s\n", u.Name)
+	for i := range u.Classes {
+		c := &u.Classes[i]
+		fmt.Fprintf(b, "class %s {\n", c.Name)
+		for _, f := range c.Fields {
+			fmt.Fprintf(b, "    public $%s;\n", f.Name)
+		}
+		for j := range c.Methods {
+			m := &c.Methods[j]
+			params := make([]string, 0, len(m.Params))
+			for _, p := range m.Params {
+				params = append(params, "$"+p.Name)
+			}
+			fmt.Fprintf(b, "    public function %s(%s) { return null; }\n",
+				m.Name, strings.Join(params, ", "))
+		}
+		fmt.Fprintf(b, "}\n")
+	}
+}
+
+func renderPython(b *strings.Builder, u *Unit) {
+	fmt.Fprintf(b, "# Generated client artifacts for %s\n", u.Name)
+	for i := range u.Classes {
+		c := &u.Classes[i]
+		fmt.Fprintf(b, "class %s:\n", c.Name)
+		if len(c.Fields)+len(c.Methods) == 0 {
+			fmt.Fprintf(b, "    pass\n\n")
+			continue
+		}
+		if len(c.Fields) > 0 {
+			fmt.Fprintf(b, "    def __init__(self):\n")
+			for _, f := range c.Fields {
+				fmt.Fprintf(b, "        self.%s = None\n", f.Name)
+			}
+		}
+		for j := range c.Methods {
+			m := &c.Methods[j]
+			params := make([]string, 0, len(m.Params)+1)
+			params = append(params, "self")
+			for _, p := range m.Params {
+				params = append(params, p.Name)
+			}
+			fmt.Fprintf(b, "    def %s(%s):\n        return None\n",
+				m.Name, strings.Join(params, ", "))
+		}
+		b.WriteByte('\n')
+	}
+}

@@ -1,0 +1,111 @@
+package artifact
+
+import (
+	"strings"
+	"testing"
+)
+
+func renderUnit(lang TargetLanguage) *Unit {
+	u := cleanUnit()
+	u.Language = lang
+	return u
+}
+
+func TestRenderJava(t *testing.T) {
+	u := renderUnit(LangJava)
+	u.Classes[1].UsesRawCollections = true
+	u.Classes[1].Methods = []Method{{
+		Name:      "getFaultInfo",
+		Locals:    []string{"local_x", "local_x"},
+		FieldRefs: []string{"payload"},
+		Calls:     []string{"helper"},
+	}}
+	src := Render(u)
+	for _, want := range []string{
+		"public class EchoServicePort", "public class Payload",
+		"private String value", "Payload echo(Payload input)",
+		"Object local_x = null;", "use(this.payload);", "helper();",
+		"raw collections",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("Java rendering missing %q:\n%s", want, src)
+		}
+	}
+	// The duplicate local appears twice — the defect is visible.
+	if strings.Count(src, "Object local_x = null;") != 2 {
+		t.Error("duplicate local should be rendered twice")
+	}
+}
+
+func TestRenderCSharp(t *testing.T) {
+	src := Render(renderUnit(LangCSharp))
+	for _, want := range []string{"namespace EchoService", "public class Payload", "{ get; set; }"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("C# rendering missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestRenderVB(t *testing.T) {
+	src := Render(renderUnit(LangVB))
+	for _, want := range []string{"Public Class Payload", "Public Function echo", "ByVal input As Payload", "End Class"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("VB rendering missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestRenderJScript(t *testing.T) {
+	u := renderUnit(LangJScript)
+	u.Classes[1].Methods = []Method{
+		{Name: "marshal", Calls: []string{"get_value", "get_function"}},
+		{Name: "get_value", FieldRefs: []string{"value"}},
+	}
+	src := Render(u)
+	if !strings.Contains(src, "function marshal()") || !strings.Contains(src, "get_function();") {
+		t.Errorf("JScript rendering should show the dangling call:\n%s", src)
+	}
+	if strings.Contains(src, "function get_function(") {
+		t.Error("the omitted accessor must not be rendered — that is the bug")
+	}
+}
+
+func TestRenderCPP(t *testing.T) {
+	src := Render(renderUnit(LangCPP))
+	for _, want := range []string{"class EchoServicePort", "public:", "std::string value;", "Payload echo(Payload input);"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("C++ rendering missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestRenderPHP(t *testing.T) {
+	src := Render(renderUnit(LangPHP))
+	for _, want := range []string{"<?php", "class Payload", "public $value;", "public function echo($input)"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("PHP rendering missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestRenderPython(t *testing.T) {
+	u := renderUnit(LangPython)
+	u.Classes = append(u.Classes, Class{Name: "Empty"})
+	src := Render(u)
+	for _, want := range []string{"class Payload:", "self.value = None", "def echo(self, input):", "class Empty:", "pass"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("Python rendering missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestRenderAllLanguagesNonEmpty(t *testing.T) {
+	for _, lang := range []TargetLanguage{LangJava, LangCSharp, LangVB, LangJScript, LangCPP, LangPHP, LangPython} {
+		if src := Render(renderUnit(lang)); len(src) == 0 {
+			t.Errorf("%s rendering is empty", lang)
+		}
+	}
+	if src := Render(&Unit{Language: TargetLanguage(99)}); !strings.Contains(src, "unsupported") {
+		t.Error("unknown language should render a marker")
+	}
+}

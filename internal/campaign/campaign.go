@@ -1,0 +1,565 @@
+// Package campaign implements the paper's interoperability assessment
+// approach — the primary contribution of the reproduction.
+//
+// The approach has two phases (§III):
+//
+//	Preparation Phase
+//	  a) select server frameworks     b) select client frameworks
+//	  c) create test services (one echo service per native class)
+//
+//	Testing Phase
+//	  a) service description generation  (+ WS-I compliance check)
+//	  b) client artifact generation
+//	  c) client artifact compilation / instantiation
+//	  d) results classification, interleaved with a–c
+//
+// The campaign runner executes every (published service × client
+// framework) combination — 7 239 × 11 = 79 629 tests at full scale —
+// classifying each step's outcome into errors (no usable output) and
+// warnings (output produced, but the tool reported an issue). Errors
+// are disruptive: a step that fails stops the pipeline for that test.
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"wsinterop/internal/artifact"
+	"wsinterop/internal/framework"
+	"wsinterop/internal/services"
+	"wsinterop/internal/typesys"
+	"wsinterop/internal/wsdl"
+	"wsinterop/internal/wsi"
+)
+
+// Step identifies one of the three tested inter-operation steps.
+type Step int
+
+// Testing Phase steps.
+const (
+	StepDescription Step = iota + 1
+	StepGeneration
+	StepCompilation
+)
+
+// String implements fmt.Stringer.
+func (s Step) String() string {
+	switch s {
+	case StepDescription:
+		return "service description generation"
+	case StepGeneration:
+		return "client artifact generation"
+	case StepCompilation:
+		return "client artifact compilation"
+	default:
+		return fmt.Sprintf("Step(%d)", int(s))
+	}
+}
+
+// Outcome classifies one step of one test: whether the tool reported
+// at least one warning and whether it reported at least one error.
+// The paper counts tests-with-warnings and tests-with-errors, not
+// individual messages.
+type Outcome struct {
+	Warning bool
+	Error   bool
+}
+
+// merge folds tool issues into the outcome.
+func (o *Outcome) mergeIssues(issues []framework.Issue) {
+	for _, i := range issues {
+		switch {
+		case i.Severity >= artifact.SeverityError:
+			o.Error = true
+		case i.Severity == artifact.SeverityWarning:
+			o.Warning = true
+		}
+	}
+}
+
+func (o *Outcome) mergeDiagnostics(diags []artifact.Diagnostic) {
+	for _, d := range diags {
+		switch {
+		case d.Severity >= artifact.SeverityError:
+			o.Error = true
+		case d.Severity == artifact.SeverityWarning:
+			o.Warning = true
+		}
+	}
+}
+
+// PublishedService is one service that survived the description step:
+// its WSDL exists and is ready for client-side testing.
+type PublishedService struct {
+	Server string
+	// Class is the parameter class's fully qualified name.
+	Class string
+	// Doc is the serialized WSDL as clients will consume it.
+	Doc []byte
+	// Flagged reports whether the compliance check raised any finding
+	// (profile violation or extended finding) — the paper's
+	// description-step "warning".
+	Flagged bool
+	// Compliant reports WS-I (official profile) compliance.
+	Compliant bool
+}
+
+// TestResult is the classified outcome of one (service × client)
+// test.
+type TestResult struct {
+	Server  string
+	Client  string
+	Class   string
+	Gen     Outcome
+	Compile Outcome
+	// CompileRan reports whether the third step executed (it is
+	// skipped when generation produced no artifacts).
+	CompileRan bool
+}
+
+// ErrorAnywhere reports whether any executed step errored.
+func (t *TestResult) ErrorAnywhere() bool { return t.Gen.Error || t.Compile.Error }
+
+// Cell aggregates the (client × server) combination for Table III.
+type Cell struct {
+	Tests           int
+	GenWarnings     int
+	GenErrors       int
+	CompileWarnings int
+	CompileErrors   int
+}
+
+// ClientSummary aggregates one client framework across every server —
+// the data behind the paper's §IV.A maturity discussion.
+type ClientSummary struct {
+	Tests           int
+	GenWarnings     int
+	GenErrors       int
+	CompileWarnings int
+	CompileErrors   int
+	// ErrorsOnFlagged counts errored tests whose service had been
+	// flagged by the description-step compliance check;
+	// ErrorsOnClean counts errored tests against unflagged services.
+	// The paper observes that mature tools "fail almost only in
+	// presence of non WS-I compliant WSDL documents".
+	ErrorsOnFlagged int
+	ErrorsOnClean   int
+}
+
+// Mature reports the paper's §IV.A maturity criterion for compiled
+// artifact generators: the tool never produces code that later fails
+// or warns at compilation, so all its failures are clean, immediate
+// generation errors.
+func (c *ClientSummary) Mature() bool {
+	return c.CompileErrors == 0 && c.CompileWarnings == 0
+}
+
+// ServerSummary aggregates one server framework's column of Fig. 4.
+type ServerSummary struct {
+	Created  int
+	Deployed int
+	// DescriptionWarnings counts published services flagged by the
+	// compliance check; DescriptionErrors is always zero by
+	// construction (undeployable services are excluded, following the
+	// paper's optimistic assumption).
+	DescriptionWarnings int
+	DescriptionErrors   int
+	Tests               int
+	GenWarnings         int
+	GenErrors           int
+	CompileWarnings     int
+	CompileErrors       int
+}
+
+// Result is the complete campaign outcome.
+type Result struct {
+	// Servers maps server framework name to its Fig. 4 column.
+	Servers map[string]*ServerSummary
+	// Clients maps client framework name to its cross-server summary.
+	Clients map[string]*ClientSummary
+	// Matrix maps client name → server name → Table III cell.
+	Matrix map[string]map[string]*Cell
+	// ServerOrder and ClientOrder preserve the study's presentation
+	// order for reporting.
+	ServerOrder []string
+	ClientOrder []string
+
+	// TotalServices, TotalPublished and TotalTests are the campaign
+	// scale numbers (22 024 / 7 239 / 79 629 at full scale).
+	TotalServices  int
+	TotalPublished int
+	TotalTests     int
+
+	// SameFrameworkErrors counts tests where the client and server
+	// subsystems belong to the same framework and an error occurred
+	// (307 in the study).
+	SameFrameworkErrors int
+	// InteropErrors counts error situations across the generation and
+	// compilation steps.
+	InteropErrors int
+
+	// FlaggedServices counts services flagged at the description step
+	// (86); FlaggedCleanServices counts those that nevertheless passed
+	// every client test without errors (4).
+	FlaggedServices      int
+	FlaggedCleanServices int
+	// UnflaggedFailingServices counts services the compliance check
+	// passed without findings that nevertheless errored in at least
+	// one client — the paper's "among those that pass, some still
+	// present interoperability issues" observation.
+	UnflaggedFailingServices int
+
+	// Failures retains every test that errored, in deterministic
+	// (service, client) order, when Config.KeepFailures is set. It is
+	// the data behind the Table III footnotes (1 588 entries at full
+	// scale).
+	Failures []TestResult
+}
+
+// Config parameterizes a campaign run.
+type Config struct {
+	// Servers and Clients select the frameworks under test; nil means
+	// the full sets of the study.
+	Servers []framework.ServerFramework
+	Clients []framework.ClientFramework
+	// CatalogFor overrides catalog selection per language; nil uses
+	// the full study catalogs.
+	CatalogFor func(lang typesys.Language) *typesys.Catalog
+	// Limit caps the number of classes per catalog (0 = all); used by
+	// examples and benchmarks for scaled-down runs.
+	Limit int
+	// Workers bounds the worker pool; 0 uses GOMAXPROCS.
+	Workers int
+	// KeepFailures retains per-test detail for every errored test in
+	// Result.Failures (the Table III footnote data).
+	KeepFailures bool
+	// Variant selects the service interface complexity (the paper's
+	// future-work extension); zero means services.VariantSimple.
+	Variant services.Variant
+	// Style selects the SOAP binding style the default servers emit
+	// (document/literal when empty); ignored when Servers is set.
+	Style wsdl.Style
+	// Progress, when non-nil, receives coarse progress notifications
+	// from the classification loop: the current stage (server name)
+	// and services classified so far out of the stage total. Called
+	// from a single goroutine.
+	Progress func(stage string, done, total int)
+	// Checker overrides the compliance checker; nil uses the default
+	// (extended assertions enabled).
+	Checker *wsi.Checker
+}
+
+// Runner executes campaigns.
+type Runner struct {
+	cfg     Config
+	servers []framework.ServerFramework
+	clients []framework.ClientFramework
+	checker *wsi.Checker
+	// sameFramework maps client name → server name of the same
+	// framework, for the same-framework failure statistic.
+	sameFramework map[string]string
+}
+
+// NewRunner builds a runner from the configuration.
+func NewRunner(cfg Config) *Runner {
+	r := &Runner{cfg: cfg, servers: cfg.Servers, clients: cfg.Clients, checker: cfg.Checker}
+	if r.servers == nil {
+		var opts []framework.ServerOption
+		if cfg.Style != "" {
+			opts = append(opts, framework.WithBindingStyle(cfg.Style))
+		}
+		r.servers = framework.ServersWithOptions(opts...)
+	}
+	if r.clients == nil {
+		r.clients = framework.Clients()
+	}
+	if r.checker == nil {
+		r.checker = wsi.NewChecker()
+	}
+	r.sameFramework = map[string]string{
+		"Metro":             "Metro",
+		"JBossWS CXF":       "JBossWS CXF",
+		".NET C#":           "WCF .NET",
+		".NET Visual Basic": "WCF .NET",
+		".NET JScript":      "WCF .NET",
+	}
+	return r
+}
+
+// catalog selects the class catalog for a language.
+func (r *Runner) catalog(lang typesys.Language) *typesys.Catalog {
+	if r.cfg.CatalogFor != nil {
+		return r.cfg.CatalogFor(lang)
+	}
+	switch lang {
+	case typesys.Java:
+		return typesys.JavaCatalog()
+	case typesys.CSharp:
+		return typesys.CSharpCatalog()
+	default:
+		return nil
+	}
+}
+
+// Publish runs the service description generation step for one server
+// framework over its catalog, returning the published services and
+// the created-service count.
+func (r *Runner) Publish(ctx context.Context, server framework.ServerFramework) ([]PublishedService, int, error) {
+	cat := r.catalog(server.Language())
+	if cat == nil {
+		return nil, 0, fmt.Errorf("campaign: no catalog for language %s", server.Language())
+	}
+	variant := r.cfg.Variant
+	if variant == 0 {
+		variant = services.VariantSimple
+	}
+	defs := services.GenerateVariant(cat, variant)
+	if r.cfg.Limit > 0 && len(defs) > r.cfg.Limit {
+		defs = defs[:r.cfg.Limit]
+	}
+
+	type slot struct {
+		ok  bool
+		svc PublishedService
+		err error
+	}
+	slots := make([]slot, len(defs))
+
+	workers := r.workers()
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				slots[i] = r.publishOne(server, defs[i])
+			}
+		}()
+	}
+feed:
+	for i := range defs {
+		select {
+		case <-ctx.Done():
+			break feed
+		case ch <- i:
+		}
+	}
+	close(ch)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+
+	published := make([]PublishedService, 0, len(defs))
+	for i := range slots {
+		if slots[i].err != nil {
+			return nil, 0, slots[i].err
+		}
+		if slots[i].ok {
+			published = append(published, slots[i].svc)
+		}
+	}
+	return published, len(defs), nil
+}
+
+func (r *Runner) publishOne(server framework.ServerFramework, def services.Definition) (s struct {
+	ok  bool
+	svc PublishedService
+	err error
+}) {
+	doc, err := server.Publish(def)
+	if err != nil {
+		// Not deployable: excluded from further testing (the paper's
+		// optimistic assumption at the description step).
+		return s
+	}
+	raw, err := wsdl.Marshal(doc)
+	if err != nil {
+		s.err = fmt.Errorf("marshal WSDL for %s on %s: %w", def.Parameter.Name, server.Name(), err)
+		return s
+	}
+	report := r.checker.Check(doc)
+	s.ok = true
+	s.svc = PublishedService{
+		Server:    server.Name(),
+		Class:     def.Parameter.Name,
+		Doc:       raw,
+		Flagged:   len(report.Violations) > 0,
+		Compliant: report.Compliant(),
+	}
+	return s
+}
+
+func (r *Runner) workers() int {
+	if r.cfg.Workers > 0 {
+		return r.cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunTest executes steps 2–3 for one published service against one
+// client framework.
+func RunTest(client framework.ClientFramework, svc PublishedService) TestResult {
+	t := TestResult{Server: svc.Server, Client: client.Name(), Class: svc.Class}
+	gen := client.Generate(svc.Doc)
+	t.Gen.mergeIssues(gen.Issues)
+	if gen.Unit == nil {
+		return t
+	}
+	t.CompileRan = true
+	t.Compile.mergeDiagnostics(client.Verify(gen.Unit))
+	return t
+}
+
+// Run executes the full campaign.
+func (r *Runner) Run(ctx context.Context) (*Result, error) {
+	res := newResult(r)
+
+	for _, server := range r.servers {
+		published, created, err := r.Publish(ctx, server)
+		if err != nil {
+			return nil, fmt.Errorf("publish on %s: %w", server.Name(), err)
+		}
+		sum := res.Servers[server.Name()]
+		sum.Created = created
+		sum.Deployed = len(published)
+		res.TotalServices += created
+		res.TotalPublished += len(published)
+		for i := range published {
+			if published[i].Flagged {
+				sum.DescriptionWarnings++
+				res.FlaggedServices++
+			}
+		}
+		if err := r.runClients(ctx, published, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func newResult(r *Runner) *Result {
+	res := &Result{
+		Servers: make(map[string]*ServerSummary, len(r.servers)),
+		Clients: make(map[string]*ClientSummary, len(r.clients)),
+		Matrix:  make(map[string]map[string]*Cell, len(r.clients)),
+	}
+	for _, s := range r.servers {
+		res.Servers[s.Name()] = &ServerSummary{}
+		res.ServerOrder = append(res.ServerOrder, s.Name())
+	}
+	for _, c := range r.clients {
+		row := make(map[string]*Cell, len(r.servers))
+		for _, s := range r.servers {
+			row[s.Name()] = &Cell{}
+		}
+		res.Matrix[c.Name()] = row
+		res.Clients[c.Name()] = &ClientSummary{}
+		res.ClientOrder = append(res.ClientOrder, c.Name())
+	}
+	return res
+}
+
+// runClients fans the published services of one server out over every
+// client framework using a bounded worker pool, then folds the
+// classified outcomes into the aggregate result.
+func (r *Runner) runClients(ctx context.Context, published []PublishedService, res *Result) error {
+	type job struct{ svc, cli int }
+	jobs := make(chan job)
+	results := make([]TestResult, len(published)*len(r.clients))
+
+	var wg sync.WaitGroup
+	for w := 0; w < r.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results[j.svc*len(r.clients)+j.cli] = RunTest(r.clients[j.cli], published[j.svc])
+			}
+		}()
+	}
+feed:
+	for si := range published {
+		for ci := range r.clients {
+			select {
+			case <-ctx.Done():
+				break feed
+			case jobs <- job{svc: si, cli: ci}:
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Classification: fold each test into the Fig. 4 and Table III
+	// aggregates, plus the headline statistics.
+	for si := range published {
+		if r.cfg.Progress != nil {
+			r.cfg.Progress(published[si].Server, si+1, len(published))
+		}
+		svc := &published[si]
+		cleanEverywhere := true
+		for ci := range r.clients {
+			t := &results[si*len(r.clients)+ci]
+			cell := res.Matrix[t.Client][t.Server]
+			sum := res.Servers[t.Server]
+			cli := res.Clients[t.Client]
+
+			cell.Tests++
+			sum.Tests++
+			cli.Tests++
+			res.TotalTests++
+			if t.Gen.Warning {
+				cell.GenWarnings++
+				sum.GenWarnings++
+				cli.GenWarnings++
+			}
+			if t.Gen.Error {
+				cell.GenErrors++
+				sum.GenErrors++
+				cli.GenErrors++
+				res.InteropErrors++
+			}
+			if t.CompileRan {
+				if t.Compile.Warning {
+					cell.CompileWarnings++
+					sum.CompileWarnings++
+					cli.CompileWarnings++
+				}
+				if t.Compile.Error {
+					cell.CompileErrors++
+					sum.CompileErrors++
+					cli.CompileErrors++
+					res.InteropErrors++
+				}
+			}
+			if t.ErrorAnywhere() {
+				cleanEverywhere = false
+				if svc.Flagged {
+					cli.ErrorsOnFlagged++
+				} else {
+					cli.ErrorsOnClean++
+				}
+				if r.sameFramework[t.Client] == t.Server {
+					res.SameFrameworkErrors++
+				}
+				if r.cfg.KeepFailures {
+					res.Failures = append(res.Failures, *t)
+				}
+			}
+		}
+		if svc.Flagged && cleanEverywhere {
+			res.FlaggedCleanServices++
+		}
+		if !svc.Flagged && !cleanEverywhere {
+			res.UnflaggedFailingServices++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package framework
+
+import (
+	"fmt"
+
+	"wsinterop/internal/services"
+	"wsinterop/internal/typesys"
+	"wsinterop/internal/wsdl"
+	"wsinterop/internal/xsd"
+)
+
+// This file implements a fourth server-side subsystem — Apache Axis2
+// 1.6.2 as a *service host* — the paper's announced future work of
+// widening the server-side setup. Axis2 is the only framework of the
+// study whose server side was not exercised; the model below follows
+// its documented behaviour:
+//
+//   - like JBossWS, it cannot map vendor-annotated beans (no JAXB
+//     vendor extensions in ADB binding);
+//   - like Metro, it refuses async-handle classes outright rather
+//     than publishing unusable descriptions;
+//   - uniquely, its ADB data binding cannot handle throwable-shaped
+//     graphs with self-referential cause chains, so exception/error
+//     classes are not deployable either — a server-side counterpart
+//     of the Axis1/Axis2 client-side fault-handling weaknesses;
+//   - its emitter produces the same document/literal shape as the
+//     other Java frameworks, with empty soapAction values, and
+//     declares imports with schemaLocation (unlike JBossWS).
+//
+// The model is additive: it does not participate in the paper's
+// default three-server campaign (framework.Servers()) and is selected
+// explicitly via NewAxis2Server for extension experiments.
+
+// NewAxis2Server creates the Apache Axis2 1.6.2 server-side model
+// (extension; not part of the study's server set).
+func NewAxis2Server(opts ...ServerOption) ServerFramework {
+	o := applyServerOptions(opts)
+	return &axis2Server{style: o.style}
+}
+
+type axis2Server struct {
+	style wsdl.Style
+}
+
+var _ ServerFramework = (*axis2Server)(nil)
+
+// Name implements ServerFramework.
+func (s *axis2Server) Name() string { return "Apache Axis2 (server)" }
+
+// Server implements ServerFramework.
+func (s *axis2Server) Server() string { return "Apache Tomcat 7.0" }
+
+// Language implements ServerFramework.
+func (s *axis2Server) Language() typesys.Language { return typesys.Java }
+
+// Publish implements ServerFramework.
+func (s *axis2Server) Publish(def services.Definition) (*wsdl.Definitions, error) {
+	cls := def.Parameter
+	switch {
+	case cls.Kind == typesys.KindBeanVendor:
+		return nil, &NotDeployableError{
+			Framework: s.Name(), Class: cls.Name,
+			Reason: "ADB binding does not support vendor binding annotations",
+		}
+	case cls.Kind == typesys.KindAsyncHandle:
+		return nil, &NotDeployableError{
+			Framework: s.Name(), Class: cls.Name,
+			Reason: ErrRefused.Error(),
+		}
+	case cls.Kind != typesys.KindBean:
+		return nil, &NotDeployableError{
+			Framework: s.Name(), Class: cls.Name,
+			Reason: fmt.Sprintf("kind %s cannot be bound by ADB", cls.Kind),
+		}
+	case cls.Hints.Has(typesys.HintThrowable):
+		return nil, &NotDeployableError{
+			Framework: s.Name(), Class: cls.Name,
+			Reason: "ADB cannot serialize self-referential throwable graphs",
+		}
+	}
+
+	tns := typesys.NamespaceFor(typesys.Java, cls.Package)
+	sch := &xsd.Schema{TargetNamespace: tns, ElementFormDefault: "qualified"}
+	paramType := s.emitClassType(sch, cls)
+	doc := buildDefinitions(def, tns, sch, s.style, paramType)
+	for i := range doc.Bindings {
+		for j := range doc.Bindings[i].Operations {
+			doc.Bindings[i].Operations[j].SOAPAction = ""
+		}
+	}
+	return doc, nil
+}
+
+// emitClassType maps the class like the other Java emitters but with
+// Axis2's own conventions: imports carry a schemaLocation, and the
+// vendor facet family is "adb-format".
+func (s *axis2Server) emitClassType(sch *xsd.Schema, cls *typesys.Class) xsd.QName {
+	ct := xsd.ComplexType{Name: cls.Simple}
+	for _, f := range cls.Fields {
+		switch {
+		case f.Kind == typesys.FieldRef && cls.Hints.Has(typesys.HintUnresolvedAddressingRef):
+			// Axis2 declares a located import — the reference resolves,
+			// so this emission variant is actually interoperable.
+			ct.Sequence = append(ct.Sequence, xsd.Element{
+				Ref:    xsd.QName{Space: addressingNamespace, Local: "EndpointReference"},
+				Occurs: xsd.Optional,
+			})
+			ensureLocatedImport(sch, addressingNamespace,
+				"http://www.w3.org/2006/03/addressing/ws-addr.xsd")
+		case f.Kind == typesys.FieldRef:
+			ct.Sequence = append(ct.Sequence, xsd.Element{
+				Name:   f.Name,
+				Type:   xsd.QName{Space: sch.TargetNamespace, Local: f.Ref},
+				Occurs: xsd.Optional,
+			})
+			ensureStubType(sch, f.Ref)
+		default:
+			ct.Sequence = append(ct.Sequence, xsd.Element{
+				Name:   f.Name,
+				Type:   fieldSimpleType(f.Kind),
+				Occurs: xsd.Optional,
+			})
+		}
+	}
+	if cls.Hints.Has(typesys.HintVendorFacet) {
+		stName := cls.Simple + "Pattern"
+		sch.SimpleTypes = append(sch.SimpleTypes, xsd.SimpleType{
+			Name: stName,
+			Base: xsd.TypeString,
+			Facets: []xsd.Facet{
+				{Name: "adb-format", Value: "yyyy-MM-dd'T'HH:mm:ss"},
+			},
+		})
+		ct.Sequence = append(ct.Sequence, xsd.Element{
+			Name:   "formatPattern",
+			Type:   xsd.QName{Space: sch.TargetNamespace, Local: stName},
+			Occurs: xsd.Optional,
+		})
+	}
+	sch.ComplexTypes = append(sch.ComplexTypes, ct)
+	return xsd.QName{Space: sch.TargetNamespace, Local: ct.Name}
+}
+
+// ensureLocatedImport declares an import with a schemaLocation (the
+// Axis2 emission style; contrast ensureImport).
+func ensureLocatedImport(sch *xsd.Schema, ns, location string) {
+	for _, imp := range sch.Imports {
+		if imp.Namespace == ns {
+			return
+		}
+	}
+	sch.Imports = append(sch.Imports, xsd.Import{Namespace: ns, SchemaLocation: location})
+}

@@ -1,0 +1,87 @@
+package framework
+
+import (
+	"errors"
+	"testing"
+
+	"wsinterop/internal/services"
+	"wsinterop/internal/typesys"
+	"wsinterop/internal/wsdl"
+	"wsinterop/internal/wsi"
+)
+
+func TestAxis2ServerDeployability(t *testing.T) {
+	s := NewAxis2Server()
+	cat := typesys.JavaCatalog()
+	published := 0
+	for i := range cat.Classes {
+		if _, err := s.Publish(services.ForClass(&cat.Classes[i])); err == nil {
+			published++
+		} else {
+			var nd *NotDeployableError
+			if !errors.As(err, &nd) {
+				t.Fatalf("unexpected error type: %v", err)
+			}
+		}
+	}
+	// Bean classes minus the 412 throwables: stricter than both study
+	// servers — the extension's headline observation.
+	want := typesys.JavaBeanBoth - typesys.JavaThrowablesBoth
+	if published != want {
+		t.Errorf("Axis2 server published %d, want %d", published, want)
+	}
+}
+
+func TestAxis2ServerRefusesAsyncAndThrowables(t *testing.T) {
+	s := NewAxis2Server()
+	for _, name := range []string{typesys.JavaFuture, typesys.JavaResponse} {
+		cls, _ := typesys.JavaCatalog().Lookup(name)
+		if _, err := s.Publish(services.ForClass(cls)); err == nil {
+			t.Errorf("%s should be refused", name)
+		}
+	}
+	throwable := typesys.JavaCatalog().WithHint(typesys.HintThrowable)[0]
+	if _, err := s.Publish(services.ForClass(throwable)); err == nil {
+		t.Error("throwable classes should not be deployable on the Axis2 server")
+	}
+}
+
+func TestAxis2ServerAddressingRefResolves(t *testing.T) {
+	// Axis2 declares a located import: its W3CEndpointReference WSDL
+	// is the only interoperable emission variant of that class.
+	doc := mustPublish(t, NewAxis2Server(), typesys.JavaW3CEndpointReference)
+	unresolved, err := doc.Types.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unresolved) != 0 {
+		t.Errorf("Axis2 variant should resolve, got %v", unresolved)
+	}
+	rep := wsi.NewChecker().Check(doc)
+	if !rep.Compliant() {
+		t.Errorf("Axis2 variant should be WS-I compliant, got %v", rep.Violations)
+	}
+	// Clients that fail on the Metro/JBossWS variants succeed here.
+	raw, err := wsdl.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range Clients() {
+		if o := runClient(c, raw); o.genErr {
+			t.Errorf("%s errored on the resolvable Axis2 variant", c.Name())
+		}
+	}
+}
+
+func TestAxis2ServerVendorFacetStillBreaksDotNet(t *testing.T) {
+	doc := publishRaw(t, NewAxis2Server(), typesys.JavaSimpleDateFormat)
+	for _, name := range []string{".NET C#", ".NET Visual Basic", ".NET JScript"} {
+		if !runClient(clientByName(t, name), doc).genErr {
+			t.Errorf("%s should fail on the adb-format facet", name)
+		}
+	}
+	// gSOAP only chokes on the jaxb-format variant.
+	if runClient(clientByName(t, "gSOAP"), doc).genErr {
+		t.Error("gSOAP should tolerate the adb-format variant")
+	}
+}

@@ -1,0 +1,57 @@
+package framework
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wsinterop/internal/typesys"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden WSDL files")
+
+// TestGoldenWSDLs pins the exact serialized form of the narrative
+// services' descriptions. Emission is a wire contract for every
+// downstream consumer (clients re-parse the bytes), so accidental
+// format drift must be caught; regenerate deliberately with
+// `go test ./internal/framework -run TestGoldenWSDLs -update`.
+func TestGoldenWSDLs(t *testing.T) {
+	cases := []struct {
+		file   string
+		server ServerFramework
+		class  string
+	}{
+		{"metro_w3cendpointreference.wsdl", NewMetroServer(), typesys.JavaW3CEndpointReference},
+		{"jbossws_w3cendpointreference.wsdl", NewJBossWSServer(), typesys.JavaW3CEndpointReference},
+		{"metro_simpledateformat.wsdl", NewMetroServer(), typesys.JavaSimpleDateFormat},
+		{"jbossws_response_zeroop.wsdl", NewJBossWSServer(), typesys.JavaResponse},
+		{"wcf_datatable.wsdl", NewWCFServer(), typesys.CSharpDataTable},
+		{"wcf_socketerror.wsdl", NewWCFServer(), typesys.CSharpSocketError},
+		{"axis2_w3cendpointreference.wsdl", NewAxis2Server(), typesys.JavaW3CEndpointReference},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			got := publishRaw(t, tc.server, tc.class)
+			path := filepath.Join("testdata", tc.file)
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("emission drift for %s; rerun with -update if intentional\n got:\n%s\nwant:\n%s",
+					tc.file, got, want)
+			}
+		})
+	}
+}

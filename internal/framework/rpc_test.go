@@ -1,0 +1,128 @@
+package framework
+
+import (
+	"testing"
+
+	"wsinterop/internal/services"
+	"wsinterop/internal/typesys"
+	"wsinterop/internal/wsdl"
+	"wsinterop/internal/wsi"
+)
+
+// mustPublishStyled publishes a class on a server created with
+// options.
+func mustPublishStyled(t *testing.T, mk func(...ServerOption) ServerFramework,
+	className string, opts ...ServerOption) *wsdl.Definitions {
+	t.Helper()
+	s := mk(opts...)
+	return mustPublish(t, s, className)
+}
+
+func TestRPCEmissionShape(t *testing.T) {
+	doc := mustPublishStyled(t, NewMetroServer, typesys.JavaXMLGregorianCalendar,
+		WithBindingStyle(wsdl.StyleRPC))
+	if doc.Bindings[0].Style != wsdl.StyleRPC {
+		t.Fatalf("style = %q", doc.Bindings[0].Style)
+	}
+	if ns := doc.Bindings[0].Operations[0].BodyNamespace; ns == "" {
+		t.Error("rpc binding must declare the soapbind:body namespace (R2717)")
+	}
+	for _, m := range doc.Messages {
+		for _, p := range m.Parts {
+			if !p.Element.IsZero() {
+				t.Errorf("rpc part %q references an element", p.Name)
+			}
+			if p.Type.IsZero() {
+				t.Errorf("rpc part %q lacks a type reference", p.Name)
+			}
+		}
+	}
+	// No wrapper elements in the schema under rpc.
+	if n := len(doc.Types.Schemas[0].Elements); n != 0 {
+		t.Errorf("rpc schema declares %d global elements, want 0", n)
+	}
+}
+
+func TestRPCDocumentsAreCompliant(t *testing.T) {
+	for _, mk := range []func(...ServerOption) ServerFramework{NewMetroServer, NewJBossWSServer} {
+		doc := mustPublishStyled(t, mk, typesys.JavaXMLGregorianCalendar,
+			WithBindingStyle(wsdl.StyleRPC))
+		rep := wsi.NewChecker().Check(doc)
+		if len(rep.Violations) != 0 {
+			t.Errorf("%s rpc document has findings: %v", doc.Name, rep.Violations)
+		}
+	}
+	doc := mustPublishStyled(t, NewWCFServer, typesys.CSharpSocketError,
+		WithBindingStyle(wsdl.StyleRPC))
+	if rep := wsi.NewChecker().Check(doc); len(rep.Violations) != 0 {
+		t.Errorf("WCF rpc document has findings: %v", rep.Violations)
+	}
+}
+
+func TestRPCClientsMatchDocumentBehaviour(t *testing.T) {
+	// The error picture is class-driven: each narrative service must
+	// behave identically whichever binding style the server emits.
+	cases := []struct {
+		mk    func(...ServerOption) ServerFramework
+		class string
+	}{
+		{NewMetroServer, typesys.JavaW3CEndpointReference},
+		{NewMetroServer, typesys.JavaSimpleDateFormat},
+		{NewMetroServer, typesys.JavaXMLGregorianCalendar},
+		{NewMetroServer, typesys.JavaVBCollisionClass},
+		{NewWCFServer, typesys.CSharpSocketError},
+		{NewWCFServer, typesys.CSharpDataTable},
+	}
+	for _, tc := range cases {
+		docStyle := mustPublishStyled(t, tc.mk, tc.class)
+		rpcStyle := mustPublishStyled(t, tc.mk, tc.class, WithBindingStyle(wsdl.StyleRPC))
+		rawDoc, err := wsdl.Marshal(docStyle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawRPC, err := wsdl.Marshal(rpcStyle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, client := range Clients() {
+			a := runClient(client, rawDoc)
+			b := runClient(client, rawRPC)
+			if a.genErr != b.genErr || a.compErr != b.compErr {
+				t.Errorf("%s on %s: document %+v vs rpc %+v", client.Name(), tc.class, a, b)
+			}
+		}
+	}
+}
+
+func TestRPCBodyNamespaceRoundTrip(t *testing.T) {
+	doc := mustPublishStyled(t, NewWCFServer, typesys.CSharpDataSet,
+		WithBindingStyle(wsdl.StyleRPC))
+	raw, err := wsdl.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wsdl.Unmarshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := doc.Bindings[0].Operations[0].BodyNamespace
+	if got.Bindings[0].Operations[0].BodyNamespace != want {
+		t.Errorf("BodyNamespace lost in round trip: %q", got.Bindings[0].Operations[0].BodyNamespace)
+	}
+	if got.Bindings[0].Style != wsdl.StyleRPC {
+		t.Errorf("style lost in round trip: %q", got.Bindings[0].Style)
+	}
+}
+
+func TestRPCMultiParamVariant(t *testing.T) {
+	cls, _ := typesys.JavaCatalog().Lookup(typesys.JavaXMLGregorianCalendar)
+	def := services.ForClassVariant(cls, services.VariantMultiParam)
+	s := NewMetroServer(WithBindingStyle(wsdl.StyleRPC))
+	doc, err := s.Publish(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(doc.Messages[0].Parts); n != 3 {
+		t.Errorf("rpc multi-param request has %d parts, want 3", n)
+	}
+}

@@ -1,0 +1,564 @@
+package framework
+
+import (
+	"fmt"
+
+	"wsinterop/internal/services"
+	"wsinterop/internal/typesys"
+	"wsinterop/internal/wsdl"
+	"wsinterop/internal/xsd"
+)
+
+// This file implements the three server-side framework subsystems.
+// All three follow the same overall emission pipeline — map the
+// parameter class to schema types, wrap the echo operation in
+// document/literal request/response elements, bind over SOAP/HTTP —
+// and differ in the documented quirks of the real products:
+//
+//   - Metro refuses to deploy async-handle classes but maps
+//     vendor-annotated beans; its dangling WS-Addressing reference
+//     carries no import at all, and its vendor facet is "jaxb-format".
+//   - JBossWS CXF publishes zero-operation WSDLs for async-handle
+//     classes (the paper's "unusable but WS-I-compliant" finding),
+//     declares imports without schemaLocation, and uses "cxf-format".
+//   - WCF emits the classic DataSet schema: an element reference to
+//     xs:schema plus xml:lang attributes, wildcard content models,
+//     deep inline nesting, and tempuri-rooted non-empty soapActions.
+
+// WS-Addressing namespace used by the dangling reference services.
+const addressingNamespace = "http://www.w3.org/2005/08/addressing"
+
+// ServerOption customizes a server framework model.
+type ServerOption func(*serverOptions)
+
+type serverOptions struct {
+	style wsdl.Style
+}
+
+// WithBindingStyle selects the SOAP binding style the emitter
+// publishes (document/literal by default; rpc/literal is the
+// complexity extension's second emission mode).
+func WithBindingStyle(style wsdl.Style) ServerOption {
+	return func(o *serverOptions) { o.style = style }
+}
+
+func applyServerOptions(opts []ServerOption) serverOptions {
+	o := serverOptions{style: wsdl.StyleDocument}
+	for _, apply := range opts {
+		apply(&o)
+	}
+	return o
+}
+
+// javaServer holds what the two Java emitters share.
+type javaServer struct {
+	name    string
+	server  string
+	variant emitterVariant
+	style   wsdl.Style
+}
+
+type emitterVariant int
+
+const (
+	variantMetro emitterVariant = iota + 1
+	variantJBossWS
+)
+
+// NewMetroServer creates the Oracle Metro 2.3 / GlassFish 4 model.
+func NewMetroServer(opts ...ServerOption) ServerFramework {
+	o := applyServerOptions(opts)
+	return &javaServer{name: "Metro", server: "GlassFish 4.0", variant: variantMetro, style: o.style}
+}
+
+// NewJBossWSServer creates the JBossWS CXF 4.2.3 / JBoss AS 7.2 model.
+func NewJBossWSServer(opts ...ServerOption) ServerFramework {
+	o := applyServerOptions(opts)
+	return &javaServer{name: "JBossWS CXF", server: "JBoss AS 7.2", variant: variantJBossWS, style: o.style}
+}
+
+var _ ServerFramework = (*javaServer)(nil)
+
+// Name implements ServerFramework.
+func (s *javaServer) Name() string { return s.name }
+
+// Server implements ServerFramework.
+func (s *javaServer) Server() string { return s.server }
+
+// Language implements ServerFramework.
+func (s *javaServer) Language() typesys.Language { return typesys.Java }
+
+// Publish implements ServerFramework.
+func (s *javaServer) Publish(def services.Definition) (*wsdl.Definitions, error) {
+	cls := def.Parameter
+	switch cls.Kind {
+	case typesys.KindBean:
+		// Bindable by both Java frameworks.
+	case typesys.KindBeanVendor:
+		if s.variant == variantJBossWS {
+			return nil, &NotDeployableError{
+				Framework: s.name, Class: cls.Name,
+				Reason: "type requires vendor-specific binding annotations",
+			}
+		}
+	case typesys.KindAsyncHandle:
+		if s.variant == variantMetro {
+			// Metro signals the problem by refusing deployment — the
+			// behaviour the paper calls "more adequate" (§IV.A).
+			return nil, &NotDeployableError{
+				Framework: s.name, Class: cls.Name,
+				Reason: ErrRefused.Error(),
+			}
+		}
+		return s.publishZeroOperation(def), nil
+	default:
+		return nil, &NotDeployableError{
+			Framework: s.name, Class: cls.Name,
+			Reason: fmt.Sprintf("kind %s cannot be bound to an XSD type", cls.Kind),
+		}
+	}
+	return s.publishEcho(def), nil
+}
+
+// publishEcho builds the regular single-operation document.
+func (s *javaServer) publishEcho(def services.Definition) *wsdl.Definitions {
+	cls := def.Parameter
+	tns := typesys.NamespaceFor(typesys.Java, cls.Package)
+	sch := &xsd.Schema{TargetNamespace: tns, ElementFormDefault: "qualified"}
+
+	paramType := s.emitClassType(sch, cls)
+	doc := buildDefinitions(def, tns, sch, s.style, paramType)
+	// Java frameworks emit empty soapAction values.
+	for i := range doc.Bindings {
+		for j := range doc.Bindings[i].Operations {
+			doc.Bindings[i].Operations[j].SOAPAction = ""
+		}
+	}
+	return doc
+}
+
+// publishZeroOperation builds the async-handle document: a port type
+// with no operations, which passes the official WS-I check but is
+// unusable (paper §IV.B.1).
+func (s *javaServer) publishZeroOperation(def services.Definition) *wsdl.Definitions {
+	cls := def.Parameter
+	tns := typesys.NamespaceFor(typesys.Java, cls.Package)
+	doc := &wsdl.Definitions{
+		Name:            def.Name,
+		TargetNamespace: tns,
+		PortTypes:       []wsdl.PortType{{Name: def.Name + "PortType"}},
+		Bindings: []wsdl.Binding{{
+			Name:      def.Name + "Binding",
+			PortType:  def.Name + "PortType",
+			Transport: wsdl.NamespaceSOAPHTTP,
+			Style:     wsdl.StyleDocument,
+		}},
+		Services: []wsdl.Service{{
+			Name: def.Name,
+			Ports: []wsdl.Port{{
+				Name:     def.Name + "Port",
+				Binding:  def.Name + "Binding",
+				Location: endpointFor(def, s.server),
+			}},
+		}},
+	}
+	if cls.Hints.Has(typesys.HintEmptyTypes) {
+		doc.Types = xsd.NewSchemaSet()
+		return doc
+	}
+	sch := &xsd.Schema{TargetNamespace: tns, ElementFormDefault: "qualified"}
+	s.emitClassType(sch, cls)
+	doc.Types = xsd.NewSchemaSet(sch)
+	return doc
+}
+
+// emitClassType maps a Java class to a complex type in the schema and
+// returns its QName. The structural hints of the class materialize
+// here.
+func (s *javaServer) emitClassType(sch *xsd.Schema, cls *typesys.Class) xsd.QName {
+	ct := xsd.ComplexType{Name: cls.Simple}
+	for _, f := range cls.Fields {
+		switch {
+		case f.Kind == typesys.FieldRef && cls.Hints.Has(typesys.HintUnresolvedAddressingRef):
+			// The dangling WS-Addressing reference. Metro emits no
+			// import at all; JBossWS declares the import but omits the
+			// schemaLocation. Both leave the reference unresolvable.
+			ct.Sequence = append(ct.Sequence, xsd.Element{
+				Ref:    xsd.QName{Space: addressingNamespace, Local: "EndpointReference"},
+				Occurs: xsd.Optional,
+			})
+			if s.variant == variantJBossWS {
+				ensureImport(sch, addressingNamespace)
+			}
+		case f.Kind == typesys.FieldRef:
+			ct.Sequence = append(ct.Sequence, xsd.Element{
+				Name:   f.Name,
+				Type:   xsd.QName{Space: sch.TargetNamespace, Local: f.Ref},
+				Occurs: xsd.Optional,
+			})
+			ensureStubType(sch, f.Ref)
+		default:
+			ct.Sequence = append(ct.Sequence, xsd.Element{
+				Name:   f.Name,
+				Type:   fieldSimpleType(f.Kind),
+				Occurs: xsd.Optional,
+			})
+		}
+	}
+	if cls.Hints.Has(typesys.HintVendorFacet) {
+		facet := "jaxb-format"
+		if s.variant == variantJBossWS {
+			facet = "cxf-format"
+		}
+		stName := cls.Simple + "Pattern"
+		sch.SimpleTypes = append(sch.SimpleTypes, xsd.SimpleType{
+			Name: stName,
+			Base: xsd.TypeString,
+			Facets: []xsd.Facet{
+				{Name: facet, Value: "yyyy-MM-dd'T'HH:mm:ss"},
+			},
+		})
+		ct.Sequence = append(ct.Sequence, xsd.Element{
+			Name:   "formatPattern",
+			Type:   xsd.QName{Space: sch.TargetNamespace, Local: stName},
+			Occurs: xsd.Optional,
+		})
+	}
+	sch.ComplexTypes = append(sch.ComplexTypes, ct)
+	return xsd.QName{Space: sch.TargetNamespace, Local: ct.Name}
+}
+
+// NewWCFServer creates the WCF .NET 4.0 / IIS 8.0 Express model.
+func NewWCFServer(opts ...ServerOption) ServerFramework {
+	o := applyServerOptions(opts)
+	return &wcfServer{style: o.style}
+}
+
+type wcfServer struct {
+	style wsdl.Style
+}
+
+var _ ServerFramework = (*wcfServer)(nil)
+
+// Name implements ServerFramework.
+func (s *wcfServer) Name() string { return "WCF .NET" }
+
+// Server implements ServerFramework.
+func (s *wcfServer) Server() string { return "IIS 8.0 Express" }
+
+// Language implements ServerFramework.
+func (s *wcfServer) Language() typesys.Language { return typesys.CSharp }
+
+// Publish implements ServerFramework.
+func (s *wcfServer) Publish(def services.Definition) (*wsdl.Definitions, error) {
+	cls := def.Parameter
+	if !cls.Kind.Bindable() || cls.Kind == typesys.KindAsyncHandle {
+		return nil, &NotDeployableError{
+			Framework: s.Name(), Class: cls.Name,
+			Reason: fmt.Sprintf("kind %s cannot be serialized by DataContractSerializer", cls.Kind),
+		}
+	}
+	tns := typesys.NamespaceFor(typesys.CSharp, cls.Package)
+	sch := &xsd.Schema{TargetNamespace: tns, ElementFormDefault: "qualified"}
+	paramType := s.emitClassType(sch, cls)
+	doc := buildDefinitions(def, tns, sch, s.style, paramType)
+	// .NET emits absolute soapAction URIs.
+	for i := range doc.Bindings {
+		for j := range doc.Bindings[i].Operations {
+			doc.Bindings[i].Operations[j].SOAPAction = tns + def.OperationName
+		}
+	}
+	return doc, nil
+}
+
+// emitClassType maps a C# class to schema structure, materializing
+// the DataSet-style defects.
+func (s *wcfServer) emitClassType(sch *xsd.Schema, cls *typesys.Class) xsd.QName {
+	ct := xsd.ComplexType{Name: cls.Simple}
+
+	switch {
+	case cls.Hints.Has(typesys.HintWildcard):
+		// DataTable family: wildcard-only content model, plus the
+		// class's own properties mapped into a companion type so the
+		// case-colliding members survive into artifacts.
+		ct.Any = append(ct.Any, xsd.AnyParticle{
+			Namespace:       "##any",
+			ProcessContents: "lax",
+			Occurs:          xsd.Unbounded,
+		})
+		if len(cls.Fields) > 0 {
+			rows := xsd.ComplexType{Name: cls.Simple + "Row"}
+			for _, f := range cls.Fields {
+				rows.Sequence = append(rows.Sequence, xsd.Element{
+					Name: f.Name, Type: fieldSimpleType(f.Kind), Occurs: xsd.Optional,
+				})
+			}
+			sch.ComplexTypes = append(sch.ComplexTypes, rows)
+		}
+	case cls.Hints.Has(typesys.HintSchemaRefHard):
+		s.emitSchemaRef(sch, &ct, cls)
+	default:
+		for _, f := range cls.Fields {
+			el := xsd.Element{Name: f.Name, Occurs: xsd.Optional}
+			if f.Kind == typesys.FieldRef {
+				el.Type = xsd.QName{Space: sch.TargetNamespace, Local: f.Ref}
+				ensureStubType(sch, f.Ref)
+			} else {
+				el.Type = fieldSimpleType(f.Kind)
+			}
+			ct.Sequence = append(ct.Sequence, el)
+		}
+	}
+
+	if cls.Hints.Has(typesys.HintDeepNesting) {
+		ct.Sequence = append(ct.Sequence, deeplyNestedElement(4))
+	}
+	if cls.Hints.Has(typesys.HintLangAttr) {
+		langRef := xsd.Attribute{Ref: xsd.QName{Space: xsd.NamespaceXML, Local: "lang"}}
+		ct.Attributes = append(ct.Attributes, langRef)
+		if cls.Hints.Has(typesys.HintDoubleLang) {
+			ct.Attributes = append(ct.Attributes, langRef)
+		}
+	}
+
+	sch.ComplexTypes = append(sch.ComplexTypes, ct)
+	return xsd.QName{Space: sch.TargetNamespace, Local: ct.Name}
+}
+
+// emitSchemaRef materializes the classic WCF DataSet construct: an
+// element reference to xs:schema, in the structural variant the class
+// hints select.
+func (s *wcfServer) emitSchemaRef(sch *xsd.Schema, ct *xsd.ComplexType, cls *typesys.Class) {
+	ref := xsd.Element{
+		Ref:    xsd.QName{Space: xsd.NamespaceXSD, Local: "schema"},
+		Occurs: xsd.Once,
+	}
+	switch {
+	case cls.Hints.Has(typesys.HintSchemaRefUnbounded):
+		ref.Occurs = xsd.Unbounded
+	case cls.Hints.Has(typesys.HintOptionalRef):
+		ref.Occurs = xsd.Optional
+	}
+	if cls.Hints.Has(typesys.HintNillableRef) {
+		ref.Nillable = true
+	}
+
+	switch {
+	case cls.Hints.Has(typesys.HintSchemaRefNested):
+		// Nested variant: the reference hides inside an inline type.
+		ct.Sequence = append(ct.Sequence, xsd.Element{
+			Name: "payload",
+			Inline: &xsd.ComplexType{
+				Sequence: []xsd.Element{ref},
+			},
+			Occurs: xsd.Optional,
+		})
+	case cls.Hints.Has(typesys.HintSchemaRefWithAny):
+		ct.Sequence = append(ct.Sequence, ref)
+		ct.Any = append(ct.Any, xsd.AnyParticle{
+			Namespace: "##any", ProcessContents: "lax", Occurs: xsd.Once,
+		})
+	default:
+		ct.Sequence = append(ct.Sequence, ref)
+	}
+}
+
+// ---------------------------------------------------------------
+// Shared emission helpers.
+// ---------------------------------------------------------------
+
+// fieldSimpleType maps a field kind to its XSD built-in type.
+func fieldSimpleType(k typesys.FieldKind) xsd.QName {
+	switch k {
+	case typesys.FieldString:
+		return xsd.TypeString
+	case typesys.FieldInt:
+		return xsd.TypeInt
+	case typesys.FieldLong:
+		return xsd.TypeLong
+	case typesys.FieldBool:
+		return xsd.TypeBoolean
+	case typesys.FieldDouble:
+		return xsd.TypeDouble
+	case typesys.FieldDateTime:
+		return xsd.TypeDateTime
+	case typesys.FieldBytes:
+		return xsd.TypeBase64Binary
+	default:
+		return xsd.TypeAnyType
+	}
+}
+
+// ensureStubType declares a minimal companion complex type so plain
+// intra-namespace references resolve.
+func ensureStubType(sch *xsd.Schema, name string) {
+	for i := range sch.ComplexTypes {
+		if sch.ComplexTypes[i].Name == name {
+			return
+		}
+	}
+	sch.ComplexTypes = append(sch.ComplexTypes, xsd.ComplexType{
+		Name: name,
+		Sequence: []xsd.Element{
+			{Name: "detail", Type: xsd.TypeString, Occurs: xsd.Optional},
+		},
+	})
+}
+
+// ensureImport declares an import for the namespace without a
+// schemaLocation (the JBossWS emission style).
+func ensureImport(sch *xsd.Schema, ns string) {
+	for _, imp := range sch.Imports {
+		if imp.Namespace == ns {
+			return
+		}
+	}
+	sch.Imports = append(sch.Imports, xsd.Import{Namespace: ns})
+}
+
+// addEchoWrappers adds the document/literal wrapped request/response
+// elements for the echo operation, shaped by the service's interface
+// variant (the paper's future-work complexity extension).
+func addEchoWrappers(sch *xsd.Schema, def services.Definition, paramType xsd.QName) {
+	opName := def.OperationName
+	var in, out []xsd.Element
+	switch def.Variant {
+	case services.VariantMultiParam:
+		in = []xsd.Element{
+			{Name: "input", Type: paramType, Occurs: xsd.Once},
+			{Name: "options", Type: xsd.TypeString, Occurs: xsd.Optional},
+			{Name: "count", Type: xsd.TypeInt, Occurs: xsd.Optional},
+		}
+		out = []xsd.Element{{Name: "return", Type: paramType, Occurs: xsd.Once}}
+	case services.VariantNested:
+		envelope := func(inner string) *xsd.ComplexType {
+			return &xsd.ComplexType{
+				Sequence: []xsd.Element{{
+					Name: "envelope",
+					Inline: &xsd.ComplexType{
+						Sequence: []xsd.Element{
+							{Name: inner, Type: paramType, Occurs: xsd.Once},
+						},
+					},
+					Occurs: xsd.Once,
+				}},
+			}
+		}
+		sch.Elements = append(sch.Elements,
+			xsd.Element{Name: opName, Inline: envelope("input")},
+			xsd.Element{Name: opName + "Response", Inline: envelope("return")},
+		)
+		return
+	case services.VariantCollection:
+		in = []xsd.Element{{Name: "input", Type: paramType, Occurs: xsd.Unbounded}}
+		out = []xsd.Element{{Name: "return", Type: paramType, Occurs: xsd.Unbounded}}
+	default: // VariantSimple and the zero value
+		in = []xsd.Element{{Name: "input", Type: paramType, Occurs: xsd.Once}}
+		out = []xsd.Element{{Name: "return", Type: paramType, Occurs: xsd.Once}}
+	}
+	sch.Elements = append(sch.Elements,
+		xsd.Element{Name: opName, Inline: &xsd.ComplexType{Sequence: in}},
+		xsd.Element{Name: opName + "Response", Inline: &xsd.ComplexType{Sequence: out}},
+	)
+}
+
+// deeplyNestedElement builds an element whose inline types nest to
+// the requested depth.
+func deeplyNestedElement(depth int) xsd.Element {
+	el := xsd.Element{
+		Name:   fmt.Sprintf("level%d", depth),
+		Type:   xsd.TypeString,
+		Occurs: xsd.Optional,
+	}
+	for d := depth - 1; d >= 1; d-- {
+		el = xsd.Element{
+			Name:   fmt.Sprintf("level%d", d),
+			Inline: &xsd.ComplexType{Sequence: []xsd.Element{el}},
+			Occurs: xsd.Optional,
+		}
+	}
+	return el
+}
+
+// endpointFor derives the published endpoint address.
+func endpointFor(def services.Definition, server string) string {
+	return "http://localhost:8080/" + xsd.SanitizeNCName(def.Name)
+}
+
+// buildDefinitions assembles the document for a single-operation echo
+// service over the prepared schema, in the requested binding style.
+//
+// Document/literal (the study's shape) wraps the operation in request
+// and response elements; rpc/literal references the parameter type
+// directly from typed message parts and declares the soapbind:body
+// namespace WS-I requires (R2717). The nested and collection interface
+// variants have no rpc equivalent and fall back to the simple shape,
+// exactly as the original frameworks degrade them.
+func buildDefinitions(def services.Definition, tns string, sch *xsd.Schema, style wsdl.Style, paramType xsd.QName) *wsdl.Definitions {
+	op := def.OperationName
+	portType := def.Name + "PortType"
+	binding := def.Name + "Binding"
+
+	var messages []wsdl.Message
+	bodyNamespace := ""
+	if style == wsdl.StyleRPC {
+		bodyNamespace = tns
+		in := []wsdl.Part{{Name: "input", Type: paramType}}
+		if def.Variant == services.VariantMultiParam {
+			in = append(in,
+				wsdl.Part{Name: "options", Type: xsd.TypeString},
+				wsdl.Part{Name: "count", Type: xsd.TypeInt},
+			)
+		}
+		messages = []wsdl.Message{
+			{Name: op + "Request", Parts: in},
+			{Name: op + "Response", Parts: []wsdl.Part{{Name: "return", Type: paramType}}},
+		}
+	} else {
+		style = wsdl.StyleDocument
+		addEchoWrappers(sch, def, paramType)
+		messages = []wsdl.Message{
+			{Name: op + "Request", Parts: []wsdl.Part{
+				{Name: "parameters", Element: xsd.QName{Space: tns, Local: op}},
+			}},
+			{Name: op + "Response", Parts: []wsdl.Part{
+				{Name: "parameters", Element: xsd.QName{Space: tns, Local: op + "Response"}},
+			}},
+		}
+	}
+
+	return &wsdl.Definitions{
+		Name:            def.Name,
+		TargetNamespace: tns,
+		Types:           xsd.NewSchemaSet(sch),
+		Messages:        messages,
+		PortTypes: []wsdl.PortType{{
+			Name: portType,
+			Operations: []wsdl.Operation{{
+				Name:   op,
+				Input:  wsdl.IORef{Message: op + "Request"},
+				Output: wsdl.IORef{Message: op + "Response"},
+			}},
+		}},
+		Bindings: []wsdl.Binding{{
+			Name:      binding,
+			PortType:  portType,
+			Transport: wsdl.NamespaceSOAPHTTP,
+			Style:     style,
+			Operations: []wsdl.BindingOperation{{
+				Name:          op,
+				InputUse:      wsdl.UseLiteral,
+				OutputUse:     wsdl.UseLiteral,
+				BodyNamespace: bodyNamespace,
+			}},
+		}},
+		Services: []wsdl.Service{{
+			Name: def.Name,
+			Ports: []wsdl.Port{{
+				Name:     def.Name + "Port",
+				Binding:  binding,
+				Location: endpointFor(def, ""),
+			}},
+		}},
+	}
+}

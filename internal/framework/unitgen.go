@@ -1,0 +1,256 @@
+package framework
+
+import (
+	"strconv"
+	"strings"
+
+	"wsinterop/internal/artifact"
+	"wsinterop/internal/xsd"
+)
+
+// unitBuilder configures the shared artifact generation machinery
+// with the code-generation style — and bugs — of one client tool.
+// Every quirk is expressed as a structural transformation of the
+// generated code; the artifact compiler then finds (or does not find)
+// the resulting defects.
+type unitBuilder struct {
+	lang     artifact.TargetLanguage
+	stemSfx  string // port class suffix, e.g. "Stub", "Proxy"
+	unitName string
+
+	// rawCollections marks every generated class as using raw
+	// collections (Axis1/Axis2 → javac unchecked-operations warnings).
+	rawCollections bool
+	// lowerLocals makes deserializer bodies declare one local per
+	// element named "local_" + lower-cased element name (Axis2). Two
+	// elements differing only by case collapse into a duplicate local.
+	lowerLocals bool
+	// throwableWrapperBug makes fault-wrapper accessors reference a
+	// member named after the *type* instead of the element (Axis1);
+	// the member does not exist, so compilation fails.
+	throwableWrapperBug bool
+	// accessorCalls emits per-field accessor functions plus call sites
+	// (the JScript artifact style).
+	accessorCalls bool
+	// omitReservedAccessors drops accessor definitions for fields
+	// whose names are reserved words — while keeping the call sites
+	// (the JScript generator bug behind 100 compile errors).
+	omitReservedAccessors bool
+	// flattenParams names the port method's parameter after the first
+	// property of the parameter bean instead of a fixed name (the
+	// Visual Basic style behind the method/parameter collisions).
+	flattenParams bool
+	// renameCaseCollisions renames members that collide
+	// case-insensitively by appending a numeric suffix, the way
+	// wsdl.exe does for VB.
+	renameCaseCollisions bool
+}
+
+// jscriptReservedWords is the identifier set the JScript generator
+// mishandles.
+var jscriptReservedWords = map[string]bool{
+	"function": true, "var": true, "in": true, "with": true,
+	"typeof": true, "instanceof": true, "delete": true,
+}
+
+// build generates the artifact unit for an analyzed document.
+func (b unitBuilder) build(f *docFeatures) *artifact.Unit {
+	u := &artifact.Unit{Language: b.lang, Name: b.unitName}
+
+	throwables := make(map[string]bool, len(f.throwableTypes))
+	for _, t := range f.throwableTypes {
+		throwables[t] = true
+	}
+
+	// Simple types map to scalars in every generator; references to
+	// them must not surface as class references in the artifacts.
+	scalars := make(map[string]bool)
+	if f.def.Types != nil {
+		for _, sch := range f.def.Types.Schemas {
+			for i := range sch.SimpleTypes {
+				scalars[sch.SimpleTypes[i].Name] = true
+			}
+		}
+	}
+
+	// Bean classes from every named complex type.
+	if f.def.Types != nil {
+		for _, sch := range f.def.Types.Schemas {
+			for i := range sch.ComplexTypes {
+				ct := &sch.ComplexTypes[i]
+				if ct.Name == "" {
+					continue
+				}
+				u.Classes = append(u.Classes, b.beanClass(ct, throwables[ct.Name], scalars))
+			}
+		}
+	}
+
+	// The port class goes first (Unit.PortClass convention).
+	port := artifact.Class{
+		Name:               b.unitName + b.stemSfx,
+		NestingDepth:       f.maxNesting,
+		UsesRawCollections: b.rawCollections,
+	}
+	for _, pt := range f.def.PortTypes {
+		for _, op := range pt.Operations {
+			port.Methods = append(port.Methods, b.portMethod(f, op.Name))
+		}
+	}
+	u.Classes = append([]artifact.Class{port}, u.Classes...)
+	return u
+}
+
+// portMethod generates one invocable proxy method.
+func (b unitBuilder) portMethod(f *docFeatures, opName string) artifact.Method {
+	paramType, firstField := operationParameter(f, opName)
+	paramName := "input"
+	if b.flattenParams && firstField != "" {
+		paramName = firstField
+	}
+	m := artifact.Method{
+		Name:   opName,
+		Params: []artifact.Param{{Name: paramName, Type: paramType}},
+		Return: paramType,
+	}
+	return m
+}
+
+// beanClass generates one data class, applying the configured
+// code-generation style. scalars lists simple-type names that map to
+// built-in scalars rather than generated classes.
+func (b unitBuilder) beanClass(ct *xsd.ComplexType, throwable bool, scalars map[string]bool) artifact.Class {
+	cls := artifact.Class{
+		Name:               ct.Name,
+		UsesRawCollections: b.rawCollections,
+	}
+
+	seen := make(map[string]bool, len(ct.Sequence))
+	var fieldNames []string
+	for i := range ct.Sequence {
+		el := &ct.Sequence[i]
+		name := el.Name
+		if name == "" {
+			// Reference particle: the tools that reach this point map
+			// it to an opaque payload member.
+			name = "payload" + lowerFirst(el.Ref.Local)
+		}
+		if b.renameCaseCollisions {
+			base := name
+			for n := 2; seen[strings.ToLower(name)]; n++ {
+				name = base + "_" + strconv.Itoa(n)
+			}
+		}
+		seen[strings.ToLower(name)] = true
+
+		typeName := ""
+		if el.Inline == nil && !el.Type.IsZero() && !xsd.IsBuiltin(el.Type) && !scalars[el.Type.Local] {
+			typeName = el.Type.Local
+		}
+		cls.Fields = append(cls.Fields, artifact.Field{Name: name, Type: typeName})
+		fieldNames = append(fieldNames, name)
+	}
+
+	if b.lowerLocals && len(fieldNames) > 0 {
+		locals := make([]string, 0, len(fieldNames))
+		for _, fn := range fieldNames {
+			locals = append(locals, "local_"+strings.ToLower(fn))
+		}
+		cls.Methods = append(cls.Methods, artifact.Method{
+			Name:   "parse" + ct.Name,
+			Locals: locals,
+		})
+	}
+
+	if b.accessorCalls {
+		var calls []string
+		for _, fn := range fieldNames {
+			accessor := "get_" + fn
+			calls = append(calls, accessor)
+			if b.omitReservedAccessors && jscriptReservedWords[fn] {
+				continue // the bug: call emitted, definition skipped
+			}
+			cls.Methods = append(cls.Methods, artifact.Method{
+				Name:      accessor,
+				FieldRefs: []string{fn},
+			})
+		}
+		cls.Methods = append(cls.Methods, artifact.Method{
+			Name:  "marshal" + ct.Name,
+			Calls: calls,
+		})
+	}
+
+	if throwable && b.throwableWrapperBug {
+		// Axis1 names the wrapper attribute after the element but the
+		// generated accessor references a member named after the type:
+		// an unresolved member reference.
+		cls.Methods = append(cls.Methods, artifact.Method{
+			Name:      "getFaultInfo",
+			FieldRefs: []string{lowerFirst(ct.Name)},
+		})
+	}
+	return cls
+}
+
+// operationParameter resolves the bean type name and its first
+// property for the wrapped input element of an operation.
+func operationParameter(f *docFeatures, opName string) (typeName, firstField string) {
+	if f.def.Types == nil {
+		return "", ""
+	}
+	for _, pt := range f.def.PortTypes {
+		for _, op := range pt.Operations {
+			if op.Name != opName || op.Input.Message == "" {
+				continue
+			}
+			m := f.def.Message(op.Input.Message)
+			if m == nil || len(m.Parts) == 0 {
+				continue
+			}
+			// rpc-literal: the part references the type directly.
+			if m.Parts[0].Element.IsZero() && !m.Parts[0].Type.IsZero() {
+				q := m.Parts[0].Type
+				if xsd.IsBuiltin(q) {
+					return "", ""
+				}
+				if ct, ok := f.def.Types.ComplexType(q); ok {
+					if len(ct.Sequence) > 0 {
+						return ct.Name, ct.Sequence[0].Name
+					}
+					return ct.Name, ""
+				}
+				return q.Local, ""
+			}
+			el, ok := f.def.Types.Element(m.Parts[0].Element)
+			if !ok || el.Inline == nil || len(el.Inline.Sequence) == 0 {
+				continue
+			}
+			wrapped := el.Inline.Sequence[0]
+			// Descend through anonymous envelope nesting (the
+			// complexity-variant wrappers) to the first typed leaf.
+			for wrapped.Type.IsZero() && wrapped.Inline != nil && len(wrapped.Inline.Sequence) > 0 {
+				wrapped = wrapped.Inline.Sequence[0]
+			}
+			if wrapped.Type.IsZero() || xsd.IsBuiltin(wrapped.Type) {
+				return "", ""
+			}
+			ct, ok := f.def.Types.ComplexType(wrapped.Type)
+			if !ok {
+				return wrapped.Type.Local, ""
+			}
+			if len(ct.Sequence) > 0 {
+				return ct.Name, ct.Sequence[0].Name
+			}
+			return ct.Name, ""
+		}
+	}
+	return "", ""
+}
+
+func lowerFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"wsinterop/internal/campaign"
+)
+
+// Fig4Chart renders the Fig. 4 overview as horizontal bars, mirroring
+// the paper's bar-chart presentation. Bars use a logarithmic-feeling
+// square-root scale because the series span four orders of magnitude
+// (2 vs 5 004) — exactly the problem the original figure has.
+func Fig4Chart(w io.Writer, res *campaign.Result) error {
+	series := []struct {
+		name string
+		get  func(*campaign.ServerSummary) int
+	}{
+		{"description warnings", func(s *campaign.ServerSummary) int { return s.DescriptionWarnings }},
+		{"description errors", func(s *campaign.ServerSummary) int { return s.DescriptionErrors }},
+		{"generation warnings", func(s *campaign.ServerSummary) int { return s.GenWarnings }},
+		{"generation errors", func(s *campaign.ServerSummary) int { return s.GenErrors }},
+		{"compilation warnings", func(s *campaign.ServerSummary) int { return s.CompileWarnings }},
+		{"compilation errors", func(s *campaign.ServerSummary) int { return s.CompileErrors }},
+	}
+
+	maxVal := 1
+	for _, server := range res.ServerOrder {
+		for _, sr := range series {
+			if v := sr.get(res.Servers[server]); v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	const width = 48
+	scale := func(v int) int {
+		if v <= 0 {
+			return 0
+		}
+		n := int(float64(width) * math.Sqrt(float64(v)) / math.Sqrt(float64(maxVal)))
+		if n == 0 {
+			n = 1
+		}
+		return n
+	}
+
+	for _, server := range res.ServerOrder {
+		if _, err := fmt.Fprintf(w, "%s\n", server); err != nil {
+			return err
+		}
+		for _, sr := range series {
+			v := sr.get(res.Servers[server])
+			bar := strings.Repeat("#", scale(v))
+			if _, err := fmt.Fprintf(w, "  %-22s %6d %s\n", sr.name, v, bar); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"wsinterop/internal/artifact"
+	"wsinterop/internal/campaign"
+)
+
+// Explain renders a drill-down narrative (campaign.Explanation) in
+// the style of the paper's §IV.B technical examples.
+func Explain(w io.Writer, e *campaign.Explanation) error {
+	if _, err := fmt.Fprintf(w, "%s on %s\n", e.Class, e.Server); err != nil {
+		return err
+	}
+	if !e.Deployed {
+		_, err := fmt.Fprintf(w, "  not deployed: %s\n", e.DeployError)
+		return err
+	}
+	fmt.Fprintf(w, "  WSDL published (%d bytes)\n", len(e.Document))
+	if len(e.Compliance) == 0 {
+		fmt.Fprintln(w, "  WS-I: compliant, no findings")
+	}
+	for _, v := range e.Compliance {
+		fmt.Fprintf(w, "  WS-I: %s\n", v)
+	}
+	for i := range e.Clients {
+		c := &e.Clients[i]
+		status := "ok"
+		if c.Failed() {
+			status = "FAILED"
+		}
+		fmt.Fprintf(w, "  %-18s (%s): %s\n", c.Client, c.Tool, status)
+		for _, issue := range c.GenerationIssues {
+			fmt.Fprintf(w, "    generation: %s\n", issue)
+		}
+		if !c.ArtifactsProduced {
+			fmt.Fprintln(w, "    no artifacts; verification skipped")
+			continue
+		}
+		errs, warns := artifact.Errors(c.Diagnostics), artifact.Warnings(c.Diagnostics)
+		for _, d := range errs {
+			fmt.Fprintf(w, "    verification: %s\n", d)
+		}
+		if len(warns) > 0 {
+			fmt.Fprintf(w, "    verification: %d warning(s), e.g. %s\n", len(warns), warns[0])
+		}
+	}
+	return nil
+}

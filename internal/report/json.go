@@ -1,0 +1,110 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+
+	"wsinterop/internal/campaign"
+)
+
+// jsonResult is the machine-readable export shape. It is a distinct
+// struct (rather than marshaling campaign.Result directly) so the
+// wire contract is explicit and stable under internal refactors.
+type jsonResult struct {
+	TotalServices       int                    `json:"totalServices"`
+	TotalPublished      int                    `json:"totalPublished"`
+	TotalTests          int                    `json:"totalTests"`
+	InteropErrors       int                    `json:"interopErrors"`
+	SameFramework       int                    `json:"sameFrameworkErrors"`
+	FlaggedServices     int                    `json:"flaggedServices"`
+	FlaggedClean        int                    `json:"flaggedCleanServices"`
+	Servers             []jsonServer           `json:"servers"`
+	Matrix              []jsonCell             `json:"matrix"`
+	Failures            []jsonFailure          `json:"failures,omitempty"`
+	PaperComparisonRows []jsonComparison       `json:"paperComparison"`
+	Communication       []campaign.CommSummary `json:"communication,omitempty"`
+}
+
+type jsonServer struct {
+	Name                string `json:"name"`
+	Created             int    `json:"created"`
+	Deployed            int    `json:"deployed"`
+	DescriptionWarnings int    `json:"descriptionWarnings"`
+	GenWarnings         int    `json:"generationWarnings"`
+	GenErrors           int    `json:"generationErrors"`
+	CompileWarnings     int    `json:"compilationWarnings"`
+	CompileErrors       int    `json:"compilationErrors"`
+}
+
+type jsonCell struct {
+	Client          string `json:"client"`
+	Server          string `json:"server"`
+	Tests           int    `json:"tests"`
+	GenWarnings     int    `json:"generationWarnings"`
+	GenErrors       int    `json:"generationErrors"`
+	CompileWarnings int    `json:"compilationWarnings"`
+	CompileErrors   int    `json:"compilationErrors"`
+}
+
+type jsonFailure struct {
+	Server         string   `json:"server"`
+	Class          string   `json:"class"`
+	GenClients     []string `json:"generationErrorClients,omitempty"`
+	CompileClients []string `json:"compilationErrorClients,omitempty"`
+}
+
+type jsonComparison struct {
+	Metric   string `json:"metric"`
+	Paper    int    `json:"paper"`
+	Measured int    `json:"measured"`
+	Delta    int    `json:"delta"`
+}
+
+// JSON writes the complete campaign result (and optional
+// communication summary) as indented JSON.
+func JSON(w io.Writer, res *campaign.Result, comm *campaign.CommResult) error {
+	out := jsonResult{
+		TotalServices:   res.TotalServices,
+		TotalPublished:  res.TotalPublished,
+		TotalTests:      res.TotalTests,
+		InteropErrors:   res.InteropErrors,
+		SameFramework:   res.SameFrameworkErrors,
+		FlaggedServices: res.FlaggedServices,
+		FlaggedClean:    res.FlaggedCleanServices,
+	}
+	for _, name := range res.ServerOrder {
+		s := res.Servers[name]
+		out.Servers = append(out.Servers, jsonServer{
+			Name: name, Created: s.Created, Deployed: s.Deployed,
+			DescriptionWarnings: s.DescriptionWarnings,
+			GenWarnings:         s.GenWarnings, GenErrors: s.GenErrors,
+			CompileWarnings: s.CompileWarnings, CompileErrors: s.CompileErrors,
+		})
+	}
+	for _, client := range res.ClientOrder {
+		for _, server := range res.ServerOrder {
+			c := res.Matrix[client][server]
+			out.Matrix = append(out.Matrix, jsonCell{
+				Client: client, Server: server, Tests: c.Tests,
+				GenWarnings: c.GenWarnings, GenErrors: c.GenErrors,
+				CompileWarnings: c.CompileWarnings, CompileErrors: c.CompileErrors,
+			})
+		}
+	}
+	for _, g := range GroupFailures(res) {
+		out.Failures = append(out.Failures, jsonFailure(g))
+	}
+	for _, c := range Comparisons(res) {
+		out.PaperComparisonRows = append(out.PaperComparisonRows, jsonComparison{
+			Metric: c.Metric, Paper: c.Paper, Measured: c.Measured, Delta: c.Delta(),
+		})
+	}
+	if comm != nil {
+		for _, name := range comm.ServerOrder {
+			out.Communication = append(out.Communication, *comm.Servers[name])
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,37 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"wsinterop/internal/campaign"
+)
+
+// Maturity writes the per-client tool analysis behind the paper's
+// §IV.A discussion: which artifact generation tools are "quite
+// mature" (they fail cleanly at generation, almost only on non-WS-I-
+// compliant documents, and never emit code that breaks compilation)
+// and which are not.
+func Maturity(w io.Writer, res *campaign.Result) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "client-side FW\ttests\tgenE\tcompW\tcompE\terr on flagged\terr on clean\tverdict")
+	for _, name := range res.ClientOrder {
+		c := res.Clients[name]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\n",
+			name, c.Tests, c.GenErrors, c.CompileWarnings, c.CompileErrors,
+			c.ErrorsOnFlagged, c.ErrorsOnClean, verdict(c))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "mature = fails only at generation (no compile errors or warnings), per §IV.A")
+	return err
+}
+
+func verdict(c *campaign.ClientSummary) string {
+	if c.Mature() {
+		return "mature"
+	}
+	return "immature"
+}

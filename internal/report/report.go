@@ -1,0 +1,191 @@
+// Package report renders campaign results in the shapes the paper
+// reports them: the Fig. 4 per-server step overview, the Table III
+// client × server issue matrix, the §IV headline findings, and the
+// service-filtering summary of the Preparation Phase.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"wsinterop/internal/campaign"
+)
+
+// Fig4 writes the per-server overview of warnings and errors at each
+// Testing Phase step (the paper's Fig. 4).
+func Fig4(w io.Writer, res *campaign.Result) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "metric\t"+strings.Join(res.ServerOrder, "\t")+"\ttotal")
+	rows := []struct {
+		name string
+		get  func(*campaign.ServerSummary) int
+	}{
+		{"services created", func(s *campaign.ServerSummary) int { return s.Created }},
+		{"WSDL published", func(s *campaign.ServerSummary) int { return s.Deployed }},
+		{"description warnings", func(s *campaign.ServerSummary) int { return s.DescriptionWarnings }},
+		{"description errors", func(s *campaign.ServerSummary) int { return s.DescriptionErrors }},
+		{"tests executed", func(s *campaign.ServerSummary) int { return s.Tests }},
+		{"generation warnings", func(s *campaign.ServerSummary) int { return s.GenWarnings }},
+		{"generation errors", func(s *campaign.ServerSummary) int { return s.GenErrors }},
+		{"compilation warnings", func(s *campaign.ServerSummary) int { return s.CompileWarnings }},
+		{"compilation errors", func(s *campaign.ServerSummary) int { return s.CompileErrors }},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s", r.name)
+		total := 0
+		for _, name := range res.ServerOrder {
+			v := r.get(res.Servers[name])
+			total += v
+			fmt.Fprintf(tw, "\t%d", v)
+		}
+		fmt.Fprintf(tw, "\t%d\n", total)
+	}
+	return tw.Flush()
+}
+
+// TableIII writes the detailed client × server issue matrix (the
+// paper's Table III): per combination, generation warnings/errors and
+// compilation warnings/errors.
+func TableIII(w io.Writer, res *campaign.Result) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "client-side FW")
+	for _, s := range res.ServerOrder {
+		fmt.Fprintf(tw, "\t%s genW\tgenE\tcompW\tcompE", s)
+	}
+	fmt.Fprintln(tw)
+	for _, c := range res.ClientOrder {
+		fmt.Fprint(tw, c)
+		for _, s := range res.ServerOrder {
+			cell := res.Matrix[c][s]
+			fmt.Fprintf(tw, "\t%d\t%d\t%d\t%d",
+				cell.GenWarnings, cell.GenErrors, cell.CompileWarnings, cell.CompileErrors)
+		}
+		fmt.Fprintln(tw)
+	}
+	return tw.Flush()
+}
+
+// Findings writes the §IV headline statistics.
+func Findings(w io.Writer, res *campaign.Result) error {
+	genErrors, compErrors := 0, 0
+	genWarnings, compWarnings := 0, 0
+	for _, s := range res.Servers {
+		genErrors += s.GenErrors
+		compErrors += s.CompileErrors
+		genWarnings += s.GenWarnings
+		compWarnings += s.CompileWarnings
+	}
+	flaggedFailing := res.FlaggedServices - res.FlaggedCleanServices
+	pct := 0.0
+	if res.FlaggedServices > 0 {
+		pct = 100 * float64(flaggedFailing) / float64(res.FlaggedServices)
+	}
+	lines := []string{
+		fmt.Sprintf("services created:                   %d", res.TotalServices),
+		fmt.Sprintf("service descriptions published:     %d", res.TotalPublished),
+		fmt.Sprintf("services excluded (undeployable):   %d", res.TotalServices-res.TotalPublished),
+		fmt.Sprintf("tests executed:                     %d", res.TotalTests),
+		fmt.Sprintf("description-step warnings (WS-I):   %d", res.FlaggedServices),
+		fmt.Sprintf("artifact generation warnings:       %d", genWarnings),
+		fmt.Sprintf("artifact generation errors:         %d", genErrors),
+		fmt.Sprintf("artifact compilation warnings:      %d", compWarnings),
+		fmt.Sprintf("artifact compilation errors:        %d", compErrors),
+		fmt.Sprintf("interoperability error situations:  %d", res.InteropErrors),
+		fmt.Sprintf("same-framework error situations:    %d", res.SameFrameworkErrors),
+		fmt.Sprintf("WS-I-flagged services failing on:   %d of %d (%.1f%%)", flaggedFailing, res.FlaggedServices, pct),
+		fmt.Sprintf("WS-I-clean services still failing:  %d", res.UnflaggedFailingServices),
+	}
+	for _, ln := range lines {
+		if _, err := fmt.Fprintln(w, ln); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Deploy writes the Preparation Phase / description-step filtering
+// summary (services created vs published per server).
+func Deploy(w io.Writer, res *campaign.Result) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "server\tcreated\tpublished\texcluded")
+	for _, name := range res.ServerOrder {
+		s := res.Servers[name]
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\n", name, s.Created, s.Deployed, s.Created-s.Deployed)
+	}
+	fmt.Fprintf(tw, "total\t%d\t%d\t%d\n",
+		res.TotalServices, res.TotalPublished, res.TotalServices-res.TotalPublished)
+	return tw.Flush()
+}
+
+// PaperComparison is one paper-vs-measured row of EXPERIMENTS.md.
+type PaperComparison struct {
+	Metric   string
+	Paper    int
+	Measured int
+}
+
+// Delta returns measured − paper.
+func (p PaperComparison) Delta() int { return p.Measured - p.Paper }
+
+// Comparisons assembles the paper-vs-measured table for the full
+// campaign (paper values from DESIGN.md §3).
+func Comparisons(res *campaign.Result) []PaperComparison {
+	genW, genE, compW, compE := 0, 0, 0, 0
+	for _, s := range res.Servers {
+		genW += s.GenWarnings
+		genE += s.GenErrors
+		compW += s.CompileWarnings
+		compE += s.CompileErrors
+	}
+	cmp := []PaperComparison{
+		{"services created", 22024, res.TotalServices},
+		{"service descriptions published", 7239, res.TotalPublished},
+		{"tests executed", 79629, res.TotalTests},
+		{"description-step warnings", 86, res.FlaggedServices},
+		{"generation warnings", 4763, genW},
+		{"generation errors", 287, genE},
+		{"compilation warnings", 14478, compW},
+		{"compilation errors", 1301, compE},
+		{"same-framework error situations", 307, res.SameFrameworkErrors},
+		{"interoperability error situations (paper text: 1583)", 1588, res.InteropErrors},
+	}
+	for _, name := range res.ServerOrder {
+		s := res.Servers[name]
+		paper := map[string][4]int{
+			"Metro":       {2489, 13, 4978, 529},
+			"JBossWS CXF": {2248, 21, 4496, 464},
+			"WCF .NET":    {2502, 253, 5004, 308},
+		}[name]
+		cmp = append(cmp,
+			PaperComparison{name + ": published WSDLs", paper[0], s.Deployed},
+			PaperComparison{name + ": generation errors", paper[1], s.GenErrors},
+			PaperComparison{name + ": compilation warnings", paper[2], s.CompileWarnings},
+			PaperComparison{name + ": compilation errors", paper[3], s.CompileErrors},
+		)
+	}
+	return cmp
+}
+
+// WriteComparisons renders the paper-vs-measured table.
+func WriteComparisons(w io.Writer, cmp []PaperComparison) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "metric\tpaper\tmeasured\tdelta")
+	for _, c := range cmp {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%+d\n", c.Metric, c.Paper, c.Measured, c.Delta())
+	}
+	return tw.Flush()
+}
+
+// SortedServerNames returns result server names sorted alphabetically
+// (utility for deterministic ad-hoc reporting).
+func SortedServerNames(res *campaign.Result) []string {
+	names := make([]string, 0, len(res.Servers))
+	for n := range res.Servers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,149 @@
+// Package services implements the Preparation Phase of the
+// interoperability assessment approach: generating the corpus of test
+// web services.
+//
+// Following §III.A of the paper, every service is a minimal echo
+// implementation with a single operation whose one input parameter and
+// one output parameter share the same type — one of the native classes
+// of the host platform. The business logic is irrelevant by design:
+// the services exist to exercise the interface-mapping machinery of
+// the frameworks, which is where interoperability breaks.
+package services
+
+import (
+	"fmt"
+	"strings"
+
+	"wsinterop/internal/typesys"
+)
+
+// Variant selects the interface complexity of a generated service.
+// The paper's first batch uses VariantSimple throughout; the other
+// variants implement its announced future work — "services with a
+// higher level of complexity to cover more elaborate patterns of
+// inter-operation".
+type Variant int
+
+// Service interface variants.
+const (
+	// VariantSimple is the paper's shape: one operation, one input,
+	// one output of the same type.
+	VariantSimple Variant = iota + 1
+	// VariantMultiParam gives the operation three input parameters
+	// (the class parameter plus scalar options).
+	VariantMultiParam
+	// VariantNested wraps the parameter one level deeper inside an
+	// envelope structure.
+	VariantNested
+	// VariantCollection passes an unbounded sequence of the parameter
+	// type.
+	VariantCollection
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	switch v {
+	case VariantSimple:
+		return "simple"
+	case VariantMultiParam:
+		return "multi-param"
+	case VariantNested:
+		return "nested"
+	case VariantCollection:
+		return "collection"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Variants lists every implemented variant in ascending complexity.
+func Variants() []Variant {
+	return []Variant{VariantSimple, VariantMultiParam, VariantNested, VariantCollection}
+}
+
+// Definition describes one generated test service.
+type Definition struct {
+	// Name is the service name, derived from the parameter class
+	// (e.g. "EchoJavaUtilBitSetService").
+	Name string
+	// OperationName is the single operation's name.
+	OperationName string
+	// Parameter is the native class used as both the input and output
+	// parameter type.
+	Parameter *typesys.Class
+	// Variant is the interface complexity (VariantSimple when zero).
+	Variant Variant
+}
+
+// OperationName is the fixed operation name of every generated echo
+// service.
+const OperationName = "echo"
+
+// ForClass creates the echo service definition for one native class.
+func ForClass(c *typesys.Class) Definition {
+	return ForClassVariant(c, VariantSimple)
+}
+
+// ForClassVariant creates a service definition with the given
+// interface complexity.
+func ForClassVariant(c *typesys.Class, v Variant) Definition {
+	return Definition{
+		Name:          "Echo" + camelize(c.Name) + "Service",
+		OperationName: OperationName,
+		Parameter:     c,
+		Variant:       v,
+	}
+}
+
+// Generate creates the full service corpus for one catalog, one
+// service per class, in catalog order. The paper generated 3 971 Java
+// and 14 082 C# services this way.
+func Generate(cat *typesys.Catalog) []Definition {
+	return GenerateVariant(cat, VariantSimple)
+}
+
+// GenerateVariant creates the corpus at the given interface
+// complexity.
+func GenerateVariant(cat *typesys.Catalog, v Variant) []Definition {
+	defs := make([]Definition, 0, cat.Len())
+	for i := range cat.Classes {
+		defs = append(defs, ForClassVariant(&cat.Classes[i], v))
+	}
+	return defs
+}
+
+// camelize converts a dotted fully qualified class name into a camel
+// case identifier fragment: "java.util.BitSet" → "JavaUtilBitSet".
+func camelize(fq string) string {
+	parts := strings.Split(fq, ".")
+	var b strings.Builder
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		b.WriteString(strings.ToUpper(p[:1]))
+		b.WriteString(p[1:])
+	}
+	return b.String()
+}
+
+// SourceSkeleton renders an illustrative host-language source skeleton
+// for a service definition. The original study generated real Java
+// and C# sources with a script; the skeleton preserves that artifact
+// for documentation and the quickstart example.
+func SourceSkeleton(def Definition) string {
+	cls := def.Parameter
+	switch cls.Language {
+	case typesys.Java:
+		return fmt.Sprintf(
+			"@WebService\npublic class %s {\n    @WebMethod\n    public %s %s(%s input) {\n        return input;\n    }\n}\n",
+			def.Name, cls.Name, def.OperationName, cls.Name)
+	case typesys.CSharp:
+		return fmt.Sprintf(
+			"[ServiceContract]\npublic class %s {\n    [OperationContract]\n    public %s %s(%s input) {\n        return input;\n    }\n}\n",
+			def.Name, cls.Name, def.OperationName, cls.Name)
+	default:
+		return fmt.Sprintf("service %s { %s(%s) -> %s }\n",
+			def.Name, def.OperationName, cls.Name, cls.Name)
+	}
+}

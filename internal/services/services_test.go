@@ -1,0 +1,119 @@
+package services
+
+import (
+	"strings"
+	"testing"
+
+	"wsinterop/internal/typesys"
+)
+
+func TestForClass(t *testing.T) {
+	cls, ok := typesys.JavaCatalog().Lookup(typesys.JavaSimpleDateFormat)
+	if !ok {
+		t.Fatal("catalog lookup failed")
+	}
+	def := ForClass(cls)
+	if def.Name != "EchoJavaTextSimpleDateFormatService" {
+		t.Errorf("service name = %q", def.Name)
+	}
+	if def.OperationName != OperationName {
+		t.Errorf("operation = %q, want %q", def.OperationName, OperationName)
+	}
+	if def.Parameter != cls {
+		t.Error("parameter class not threaded through")
+	}
+}
+
+func TestGenerateFullCorpus(t *testing.T) {
+	jdefs := Generate(typesys.JavaCatalog())
+	if len(jdefs) != typesys.JavaTotal {
+		t.Errorf("Java services = %d, want %d", len(jdefs), typesys.JavaTotal)
+	}
+	cdefs := Generate(typesys.CSharpCatalog())
+	if len(cdefs) != typesys.CSharpTotal {
+		t.Errorf("C# services = %d, want %d", len(cdefs), typesys.CSharpTotal)
+	}
+	// One service per class, names unique.
+	seen := make(map[string]bool, len(jdefs))
+	for _, d := range jdefs {
+		if seen[d.Name] {
+			t.Fatalf("duplicate service name %q", d.Name)
+		}
+		seen[d.Name] = true
+	}
+}
+
+func TestSourceSkeletons(t *testing.T) {
+	jcls, _ := typesys.JavaCatalog().Lookup(typesys.JavaSimpleDateFormat)
+	jsrc := SourceSkeleton(ForClass(jcls))
+	for _, want := range []string{"@WebService", "java.text.SimpleDateFormat", "echo", "return input;"} {
+		if !strings.Contains(jsrc, want) {
+			t.Errorf("Java skeleton missing %q:\n%s", want, jsrc)
+		}
+	}
+	ccls, _ := typesys.CSharpCatalog().Lookup(typesys.CSharpDataTable)
+	csrc := SourceSkeleton(ForClass(ccls))
+	for _, want := range []string{"[ServiceContract]", "System.Data.DataTable"} {
+		if !strings.Contains(csrc, want) {
+			t.Errorf("C# skeleton missing %q:\n%s", want, csrc)
+		}
+	}
+}
+
+func TestCamelizeViaNames(t *testing.T) {
+	tests := []struct{ class, want string }{
+		{"java.util.concurrent.Future", "EchoJavaUtilConcurrentFutureService"},
+		{"System.Data.DataSet", "EchoSystemDataDataSetService"},
+	}
+	for _, tt := range tests {
+		var cls *typesys.Class
+		if c, ok := typesys.JavaCatalog().Lookup(tt.class); ok {
+			cls = c
+		} else if c, ok := typesys.CSharpCatalog().Lookup(tt.class); ok {
+			cls = c
+		} else {
+			t.Fatalf("class %q missing", tt.class)
+		}
+		if got := ForClass(cls).Name; got != tt.want {
+			t.Errorf("service name for %s = %q, want %q", tt.class, got, tt.want)
+		}
+	}
+}
+
+func TestVariants(t *testing.T) {
+	vs := Variants()
+	if len(vs) != 4 || vs[0] != VariantSimple {
+		t.Fatalf("Variants() = %v", vs)
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		s := v.String()
+		if s == "" || strings.HasPrefix(s, "Variant(") || seen[s] {
+			t.Errorf("bad variant name %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(Variant(99).String(), "Variant(") {
+		t.Error("unknown variant should render numerically")
+	}
+}
+
+func TestGenerateVariantPropagates(t *testing.T) {
+	defs := GenerateVariant(typesys.JavaCatalog(), VariantCollection)
+	if len(defs) != typesys.JavaTotal {
+		t.Fatalf("defs = %d", len(defs))
+	}
+	for i := range defs[:10] {
+		if defs[i].Variant != VariantCollection {
+			t.Fatalf("variant not propagated: %+v", defs[i])
+		}
+	}
+}
+
+func TestForClassVariant(t *testing.T) {
+	cls, _ := typesys.JavaCatalog().Lookup(typesys.JavaSimpleDateFormat)
+	def := ForClassVariant(cls, VariantNested)
+	if def.Variant != VariantNested || def.Parameter != cls {
+		t.Errorf("ForClassVariant = %+v", def)
+	}
+}

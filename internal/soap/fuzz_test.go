@@ -1,0 +1,36 @@
+package soap
+
+import "testing"
+
+// FuzzUnmarshal exercises the envelope parser with arbitrary bytes:
+// no panics, and any accepted message must re-marshal and re-parse.
+func FuzzUnmarshal(f *testing.F) {
+	seed, err := Marshal(testMessage())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	fault, err := MarshalFault(&Fault{Code: FaultClient, String: "x"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(fault)
+	f.Add([]byte(``))
+	f.Add([]byte(`<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/"><soap:Body/></soap:Envelope>`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := Marshal(m)
+		if err != nil {
+			// Messages with wrapper names that are not serializable
+			// (e.g. containing spaces) are rejected at marshal time.
+			return
+		}
+		if _, err := Unmarshal(out); err != nil {
+			t.Fatalf("marshal output failed to reparse: %v\n%s", err, out)
+		}
+	})
+}

@@ -1,0 +1,186 @@
+// Package soap implements a SOAP 1.1 envelope codec: building,
+// serializing and parsing the request/response messages that client
+// and server framework subsystems exchange during the Communication
+// and Execution steps of the inter-operation lifecycle.
+//
+// The paper scopes those two steps out and announces them as future
+// work; this package, together with internal/transport, implements
+// that extension so clean (error-free) framework combinations can be
+// driven end to end.
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Namespace constants for SOAP 1.1.
+const (
+	// NamespaceEnvelope is the SOAP 1.1 envelope namespace.
+	NamespaceEnvelope = "http://schemas.xmlsoap.org/soap/envelope/"
+	// ContentType is the SOAP 1.1 HTTP content type.
+	ContentType = "text/xml; charset=utf-8"
+)
+
+// Message is one SOAP body payload: a single document/literal wrapper
+// element with simple-content children, which is exactly the message
+// shape the study's echo services exchange.
+type Message struct {
+	// Namespace is the wrapper element's namespace (the service's
+	// target namespace).
+	Namespace string
+	// Local is the wrapper element's local name (the operation name,
+	// or operation name + "Response").
+	Local string
+	// Fields holds the child element values by local name.
+	Fields map[string]string
+}
+
+// Field returns the named child value.
+func (m *Message) Field(name string) (string, bool) {
+	v, ok := m.Fields[name]
+	return v, ok
+}
+
+// Fault is a SOAP 1.1 fault.
+type Fault struct {
+	Code   string `xml:"faultcode"`
+	String string `xml:"faultstring"`
+	Actor  string `xml:"faultactor,omitempty"`
+	Detail string `xml:"detail,omitempty"`
+}
+
+// Error implements the error interface so transport code can return
+// faults directly.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("soap fault %s: %s", f.Code, f.String)
+}
+
+// Fault codes defined by SOAP 1.1.
+const (
+	FaultClient = "soap:Client"
+	FaultServer = "soap:Server"
+)
+
+// ErrNoBody is wrapped by DecodeError when an envelope carries
+// neither a payload nor a fault.
+var ErrNoBody = errors.New("envelope body is empty")
+
+// DecodeError reports a malformed SOAP message.
+type DecodeError struct {
+	Reason string
+	Err    error
+}
+
+// Error implements the error interface.
+func (e *DecodeError) Error() string {
+	if e.Err != nil {
+		return "soap decode: " + e.Reason + ": " + e.Err.Error()
+	}
+	return "soap decode: " + e.Reason
+}
+
+// Unwrap exposes the wrapped cause.
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// Marshal serializes a message into a SOAP 1.1 envelope. Children are
+// written in sorted field order so output is deterministic.
+func Marshal(m *Message) ([]byte, error) {
+	if m.Local == "" {
+		return nil, errors.New("soap: message has no wrapper element name")
+	}
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	buf.WriteString(`<soap:Envelope xmlns:soap="` + NamespaceEnvelope + `">` + "\n")
+	buf.WriteString("  <soap:Body>\n")
+	fmt.Fprintf(&buf, "    <m:%s xmlns:m=%q>\n", m.Local, m.Namespace)
+
+	names := make([]string, 0, len(m.Fields))
+	for k := range m.Fields {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&buf, "      <m:%s>%s</m:%s>\n", name, escape(m.Fields[name]), name)
+	}
+
+	fmt.Fprintf(&buf, "    </m:%s>\n", m.Local)
+	buf.WriteString("  </soap:Body>\n")
+	buf.WriteString("</soap:Envelope>\n")
+	return buf.Bytes(), nil
+}
+
+// MarshalFault serializes a fault envelope.
+func MarshalFault(f *Fault) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	buf.WriteString(`<soap:Envelope xmlns:soap="` + NamespaceEnvelope + `">` + "\n")
+	buf.WriteString("  <soap:Body>\n")
+	buf.WriteString("    <soap:Fault>\n")
+	fmt.Fprintf(&buf, "      <faultcode>%s</faultcode>\n", escape(f.Code))
+	fmt.Fprintf(&buf, "      <faultstring>%s</faultstring>\n", escape(f.String))
+	if f.Actor != "" {
+		fmt.Fprintf(&buf, "      <faultactor>%s</faultactor>\n", escape(f.Actor))
+	}
+	if f.Detail != "" {
+		fmt.Fprintf(&buf, "      <detail>%s</detail>\n", escape(f.Detail))
+	}
+	buf.WriteString("    </soap:Fault>\n")
+	buf.WriteString("  </soap:Body>\n")
+	buf.WriteString("</soap:Envelope>\n")
+	return buf.Bytes(), nil
+}
+
+func escape(s string) string {
+	var b bytes.Buffer
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return s
+	}
+	return b.String()
+}
+
+// envelope is the parse-side wire structure.
+type envelope struct {
+	XMLName xml.Name `xml:"http://schemas.xmlsoap.org/soap/envelope/ Envelope"`
+	Body    struct {
+		Fault   *Fault  `xml:"http://schemas.xmlsoap.org/soap/envelope/ Fault"`
+		Payload payload `xml:",any"`
+	} `xml:"http://schemas.xmlsoap.org/soap/envelope/ Body"`
+}
+
+type payload struct {
+	XMLName  xml.Name
+	Children []child `xml:",any"`
+}
+
+type child struct {
+	XMLName xml.Name
+	Value   string `xml:",chardata"`
+}
+
+// Unmarshal parses a SOAP 1.1 envelope. It returns the message, or a
+// *Fault as the error when the body carries a fault.
+func Unmarshal(data []byte) (*Message, error) {
+	var env envelope
+	if err := xml.Unmarshal(data, &env); err != nil {
+		return nil, &DecodeError{Reason: "malformed envelope", Err: err}
+	}
+	if env.Body.Fault != nil {
+		return nil, env.Body.Fault
+	}
+	if env.Body.Payload.XMLName.Local == "" {
+		return nil, &DecodeError{Reason: "no payload", Err: ErrNoBody}
+	}
+	m := &Message{
+		Namespace: env.Body.Payload.XMLName.Space,
+		Local:     env.Body.Payload.XMLName.Local,
+		Fields:    make(map[string]string, len(env.Body.Payload.Children)),
+	}
+	for _, c := range env.Body.Payload.Children {
+		m.Fields[c.XMLName.Local] = c.Value
+	}
+	return m, nil
+}

@@ -1,0 +1,60 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"wsinterop/internal/soap"
+)
+
+// LocalBridge invokes an HTTP SOAP handler in-process, without binding
+// a network listener. The full handler path still executes (request
+// construction, dispatch, fault mapping), so behaviour is identical to
+// the networked path minus the socket. The communication-step
+// campaign extension uses this bridge to drive tens of thousands of
+// invocations cheaply — optionally through a Sniffer middleware.
+type LocalBridge struct {
+	handler http.Handler
+}
+
+// Local returns an in-process bridge to the host. The host does not
+// need to be started.
+func (h *Host) Local() *LocalBridge { return NewLocalBridge(h) }
+
+// NewLocalBridge builds a bridge over any SOAP-speaking handler
+// (typically a Host, or a Sniffer wrapping one).
+func NewLocalBridge(h http.Handler) *LocalBridge { return &LocalBridge{handler: h} }
+
+// Invoke sends a request message to the endpoint path and returns the
+// response message. SOAP faults are returned as *soap.Fault errors,
+// mirroring Client.Invoke.
+func (b *LocalBridge) Invoke(ctx context.Context, path string, req *soap.Message) (*soap.Message, error) {
+	body, err := soap.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encode request: %w", err)
+	}
+	httpReq := httptest.NewRequest("POST", path, strings.NewReader(string(body)))
+	httpReq.Header.Set("Content-Type", soap.ContentType)
+	httpReq.Header.Set("SOAPAction", `""`)
+	httpReq = httpReq.WithContext(ctx)
+
+	rec := httptest.NewRecorder()
+	b.handler.ServeHTTP(rec, httpReq)
+
+	if rec.Code == 404 {
+		return nil, fmt.Errorf("no endpoint deployed at %s", path)
+	}
+	msg, err := soap.Unmarshal(rec.Body.Bytes())
+	if err != nil {
+		var fault *soap.Fault
+		if errors.As(err, &fault) {
+			return nil, fault
+		}
+		return nil, fmt.Errorf("decode response (HTTP %d): %w", rec.Code, err)
+	}
+	return msg, nil
+}

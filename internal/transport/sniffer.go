@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"sync"
+
+	"wsinterop/internal/wsi"
+)
+
+// Sniffer is HTTP middleware that captures every SOAP exchange passing
+// through a handler and validates both directions against the WS-I
+// message-level assertions (wsi.CheckMessage). It implements, on this
+// reproduction's runtime, the sniffer-based conformance checking the
+// paper's related work proposes: description-level compliance is
+// checked statically in step 1, message-level compliance at steps 4–5.
+type Sniffer struct {
+	next    http.Handler
+	checker *wsi.Checker
+
+	mu        sync.Mutex
+	exchanges int
+	findings  []CapturedViolation
+}
+
+// CapturedViolation is one message-level finding with its direction.
+type CapturedViolation struct {
+	// Direction is "request" or "response".
+	Direction string
+	Violation wsi.Violation
+}
+
+// NewSniffer wraps a handler. A nil checker uses the default.
+func NewSniffer(next http.Handler, checker *wsi.Checker) *Sniffer {
+	if checker == nil {
+		checker = wsi.NewChecker()
+	}
+	return &Sniffer{next: next, checker: checker}
+}
+
+var _ http.Handler = (*Sniffer)(nil)
+
+// recordingWriter captures the response for post-hoc validation.
+type recordingWriter struct {
+	http.ResponseWriter
+	status int
+	body   bytes.Buffer
+}
+
+func (w *recordingWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *recordingWriter) Write(p []byte) (int, error) {
+	w.body.Write(p)
+	return w.ResponseWriter.Write(p)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Sniffer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	reqBody, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err == nil {
+		r.Body = io.NopCloser(bytes.NewReader(reqBody))
+	}
+	reqReport := s.checker.CheckMessage(reqBody, wsi.MessageMeta{
+		ContentType: r.Header.Get("Content-Type"),
+		SOAPAction:  r.Header.Get("SOAPAction"),
+	})
+
+	rec := &recordingWriter{ResponseWriter: w, status: http.StatusOK}
+	s.next.ServeHTTP(rec, r)
+
+	respReport := s.checker.CheckMessage(rec.body.Bytes(), wsi.MessageMeta{
+		ContentType: rec.Header().Get("Content-Type"),
+		HTTPStatus:  rec.status,
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.exchanges++
+	for _, v := range reqReport.Violations {
+		s.findings = append(s.findings, CapturedViolation{Direction: "request", Violation: v})
+	}
+	for _, v := range respReport.Violations {
+		s.findings = append(s.findings, CapturedViolation{Direction: "response", Violation: v})
+	}
+}
+
+// Exchanges reports how many request/response pairs were captured.
+func (s *Sniffer) Exchanges() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.exchanges
+}
+
+// Findings returns a copy of every captured violation.
+func (s *Sniffer) Findings() []CapturedViolation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]CapturedViolation(nil), s.findings...)
+}

@@ -1,0 +1,392 @@
+// Package transport implements the Communication and Execution steps
+// of the web service inter-operation lifecycle (steps 4 and 5 of the
+// paper's Fig. 1) — the extension the paper announces as future work.
+//
+// A Host deploys the echo services a server framework published and
+// serves them over real HTTP on a loopback listener. A Client invokes
+// a deployed operation by exchanging SOAP 1.1 envelopes with the
+// endpoint, completing the round trip that the first three
+// (statically tested) steps enable.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"wsinterop/internal/soap"
+	"wsinterop/internal/wsdl"
+	"wsinterop/internal/xsd"
+)
+
+// FieldSpec describes one expected payload field of an operation: the
+// leaf-level view of the wrapper element's children (document/literal)
+// or the message parts (rpc/literal).
+type FieldSpec struct {
+	Name string
+	// Type is the field's declared type; XSD built-ins get lexical
+	// validation, everything else is treated as opaque content.
+	Type xsd.QName
+	// Required reports whether the field must be present.
+	Required bool
+}
+
+// Endpoint is one deployed echo service.
+type Endpoint struct {
+	// Path is the HTTP path the service is served at.
+	Path string
+	// Namespace is the service target namespace.
+	Namespace string
+	// Operations maps operation name → response wrapper local name.
+	Operations map[string]string
+	// Inputs maps operation name → expected payload fields; when
+	// present the host validates incoming payloads against it (the
+	// Execution step's deserialization checks).
+	Inputs map[string][]FieldSpec
+	// Description is the serialized WSDL served at GET <path>?wsdl —
+	// the discovery convention every framework of the study supports.
+	Description []byte
+}
+
+// SampleValue returns a lexically valid sample for a field, carrying
+// the payload string for opaque (non-built-in) content.
+func SampleValue(spec FieldSpec, payload string) string {
+	if spec.Type.Space != xsd.NamespaceXSD {
+		return payload
+	}
+	switch spec.Type.Local {
+	case "int", "long", "short", "byte", "integer",
+		"unsignedByte", "unsignedShort", "unsignedInt", "unsignedLong":
+		return "42"
+	case "boolean":
+		return "true"
+	case "float", "double", "decimal":
+		return "1.5"
+	case "dateTime":
+		return "2014-06-23T10:00:00Z"
+	case "date":
+		return "2014-06-23"
+	case "time":
+		return "10:00:00"
+	case "base64Binary":
+		return "AA=="
+	case "hexBinary":
+		return "00ff"
+	case "duration":
+		return "P1D"
+	default:
+		return payload
+	}
+}
+
+// FromWSDL derives the endpoint dispatch table from a service
+// description. It returns an error when the description declares no
+// operations — a live deployment of the "unusable WSDL" finding.
+func FromWSDL(d *wsdl.Definitions) (*Endpoint, error) {
+	if d.OperationCount() == 0 {
+		return nil, fmt.Errorf("transport: description %q declares no operations", d.Name)
+	}
+	ep := &Endpoint{
+		Path:      "/" + strings.ReplaceAll(d.Name, " ", ""),
+		Namespace: d.TargetNamespace,
+		Operations: make(map[string]string,
+			d.OperationCount()),
+		Inputs: make(map[string][]FieldSpec, d.OperationCount()),
+	}
+	for _, pt := range d.PortTypes {
+		for _, op := range pt.Operations {
+			ep.Operations[op.Name] = op.Name + "Response"
+			ep.Inputs[op.Name] = inputSpecs(d, op)
+		}
+	}
+	raw, err := wsdl.Marshal(d)
+	if err != nil {
+		return nil, fmt.Errorf("transport: serialize description: %w", err)
+	}
+	ep.Description = raw
+	return ep, nil
+}
+
+// inputSpecs derives the expected payload fields of one operation,
+// flattening anonymous envelope nesting to the leaf level (the shape
+// soap.Message carries).
+func inputSpecs(d *wsdl.Definitions, op wsdl.Operation) []FieldSpec {
+	m := d.Message(op.Input.Message)
+	if m == nil {
+		return nil
+	}
+	// rpc/literal: one field per typed part, all required.
+	if len(m.Parts) > 0 && m.Parts[0].Element.IsZero() {
+		specs := make([]FieldSpec, 0, len(m.Parts))
+		for _, p := range m.Parts {
+			specs = append(specs, FieldSpec{Name: p.Name, Type: p.Type, Required: true})
+		}
+		return specs
+	}
+	// document/literal: the wrapper element's leaf children.
+	if d.Types == nil || len(m.Parts) == 0 {
+		return nil
+	}
+	el, ok := d.Types.Element(m.Parts[0].Element)
+	if !ok || el.Inline == nil {
+		return nil
+	}
+	var specs []FieldSpec
+	var walk func(ct *xsd.ComplexType, ancestorsRequired bool)
+	walk = func(ct *xsd.ComplexType, ancestorsRequired bool) {
+		for i := range ct.Sequence {
+			child := &ct.Sequence[i]
+			required := ancestorsRequired && child.Occurs.Min > 0
+			if child.Inline != nil {
+				walk(child.Inline, required)
+				continue
+			}
+			if child.Name == "" {
+				continue // reference particles carry opaque content
+			}
+			specs = append(specs, FieldSpec{Name: child.Name, Type: child.Type, Required: required})
+		}
+	}
+	walk(el.Inline, true)
+	return specs
+}
+
+// validatePayload applies the Execution-step deserialization checks:
+// required fields present, no unknown fields, lexically valid scalar
+// values.
+func validatePayload(specs []FieldSpec, fields map[string]string) error {
+	if specs == nil {
+		return nil
+	}
+	known := make(map[string]*FieldSpec, len(specs))
+	for i := range specs {
+		known[specs[i].Name] = &specs[i]
+	}
+	for name, value := range fields {
+		spec, ok := known[name]
+		if !ok {
+			return fmt.Errorf("unexpected element %q in payload", name)
+		}
+		if !xsd.ValidLexical(spec.Type, value) {
+			return fmt.Errorf("value %q is not a valid %s for element %q", value, spec.Type.Local, name)
+		}
+	}
+	for i := range specs {
+		if specs[i].Required {
+			if _, ok := fields[specs[i].Name]; !ok {
+				return fmt.Errorf("required element %q missing from payload", specs[i].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Host serves deployed services over HTTP on a loopback listener.
+type Host struct {
+	mu        sync.RWMutex
+	endpoints map[string]*Endpoint
+
+	srv      *http.Server
+	listener net.Listener
+	done     chan struct{}
+	serveErr error
+}
+
+// NewHost creates an empty host.
+func NewHost() *Host {
+	return &Host{endpoints: make(map[string]*Endpoint, 8)}
+}
+
+// Deploy registers an endpoint. Deploying the same path twice
+// replaces the previous endpoint.
+func (h *Host) Deploy(ep *Endpoint) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.endpoints[ep.Path] = ep
+}
+
+// DeployWSDL derives an endpoint from a description and deploys it.
+func (h *Host) DeployWSDL(d *wsdl.Definitions) (*Endpoint, error) {
+	ep, err := FromWSDL(d)
+	if err != nil {
+		return nil, err
+	}
+	h.Deploy(ep)
+	return ep, nil
+}
+
+// Start binds a loopback listener and serves until Shutdown. It
+// returns the base URL of the host.
+func (h *Host) Start() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("transport: listen: %w", err)
+	}
+	h.listener = ln
+	h.done = make(chan struct{})
+	h.srv = &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		defer close(h.done)
+		if err := h.srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			h.serveErr = err
+		}
+	}()
+	return "http://" + ln.Addr().String(), nil
+}
+
+// Shutdown stops the host and waits for the serve goroutine to exit.
+func (h *Host) Shutdown(ctx context.Context) error {
+	if h.srv == nil {
+		return nil
+	}
+	err := h.srv.Shutdown(ctx)
+	<-h.done
+	if err != nil {
+		return err
+	}
+	return h.serveErr
+}
+
+var _ http.Handler = (*Host)(nil)
+
+// ServeHTTP implements the SOAP 1.1 HTTP binding: POST with a textual
+// XML body; faults use HTTP 500 as the binding requires.
+func (h *Host) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mu.RLock()
+	ep := h.endpoints[r.URL.Path]
+	h.mu.RUnlock()
+
+	// GET <path>?wsdl serves the description — the discovery
+	// convention of every framework in the study.
+	if r.Method == http.MethodGet {
+		if ep == nil {
+			http.NotFound(w, r)
+			return
+		}
+		if _, ok := r.URL.Query()["wsdl"]; ok && len(ep.Description) > 0 {
+			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
+			_, _ = w.Write(ep.Description)
+			return
+		}
+		http.Error(w, "SOAP endpoints accept POST (or GET ?wsdl)", http.StatusMethodNotAllowed)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "SOAP endpoints accept POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	if ep == nil {
+		http.NotFound(w, r)
+		return
+	}
+
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeFault(w, &soap.Fault{Code: soap.FaultClient, String: "unreadable request body"})
+		return
+	}
+	msg, err := soap.Unmarshal(body)
+	if err != nil {
+		writeFault(w, &soap.Fault{Code: soap.FaultClient, String: err.Error()})
+		return
+	}
+
+	respLocal, ok := ep.Operations[msg.Local]
+	if !ok {
+		writeFault(w, &soap.Fault{
+			Code:   soap.FaultClient,
+			String: fmt.Sprintf("unknown operation %q", msg.Local),
+		})
+		return
+	}
+	if err := validatePayload(ep.Inputs[msg.Local], msg.Fields); err != nil {
+		writeFault(w, &soap.Fault{Code: soap.FaultClient, String: err.Error()})
+		return
+	}
+
+	// Execution step: the echo business logic returns the input.
+	resp := &soap.Message{
+		Namespace: ep.Namespace,
+		Local:     respLocal,
+		Fields:    msg.Fields,
+	}
+	out, err := soap.Marshal(resp)
+	if err != nil {
+		writeFault(w, &soap.Fault{Code: soap.FaultServer, String: err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", soap.ContentType)
+	if _, err := w.Write(out); err != nil {
+		return // client went away; nothing to do
+	}
+}
+
+func writeFault(w http.ResponseWriter, f *soap.Fault) {
+	out, err := soap.MarshalFault(f)
+	if err != nil {
+		http.Error(w, f.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", soap.ContentType)
+	w.WriteHeader(http.StatusInternalServerError)
+	_, _ = w.Write(out)
+}
+
+// Client invokes deployed SOAP endpoints.
+type Client struct {
+	httpClient *http.Client
+}
+
+// NewClient creates a SOAP client. Pass nil to use a default HTTP
+// client with a 10-second timeout.
+func NewClient(hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	return &Client{httpClient: hc}
+}
+
+// Invoke sends a request message to url and returns the response
+// message. A SOAP fault is returned as a *soap.Fault error.
+func (c *Client) Invoke(ctx context.Context, url, soapAction string, req *soap.Message) (*soap.Message, error) {
+	body, err := soap.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("encode request: %w", err)
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
+	if err != nil {
+		return nil, fmt.Errorf("build request: %w", err)
+	}
+	httpReq.Header.Set("Content-Type", soap.ContentType)
+	httpReq.Header.Set("SOAPAction", fmt.Sprintf("%q", soapAction))
+
+	httpResp, err := c.httpClient.Do(httpReq)
+	if err != nil {
+		return nil, fmt.Errorf("invoke %s: %w", url, err)
+	}
+	defer func() { _ = httpResp.Body.Close() }()
+
+	respBody, err := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("read response: %w", err)
+	}
+	msg, err := soap.Unmarshal(respBody)
+	if err != nil {
+		// Faults come back typed; other decode failures wrap.
+		var fault *soap.Fault
+		if errors.As(err, &fault) {
+			return nil, fault
+		}
+		return nil, fmt.Errorf("decode response (HTTP %d): %w", httpResp.StatusCode, err)
+	}
+	return msg, nil
+}

@@ -1,0 +1,189 @@
+package typesys
+
+import "sync"
+
+// C# catalog construction.
+//
+// The catalog has exactly 14 082 classes; 2 502 are bindable, matching
+// the number of services WCF .NET published in the study. Inside the
+// bindable set the trait populations follow DESIGN.md §3.5:
+//
+//	80 DataSet-style classes whose WSDL references xs:schema and
+//	   xml:lang (fails WS-I): 76 "hard" (13 nested / 2 paired with a
+//	   wildcard / 1 unbounded / 60 plain) + 4 benign,
+//	 3 wildcard-only classes (DataTable family; WS-I compliant but
+//	   break Metro/CXF/JBossWS generation),
+//	 1 case-colliding enum wrapper (SocketError; Axis2 compile error),
+//	 4 WebControls classes with an "echo" property (VB collisions),
+//	301 deeply nested classes (JScript compiler crash).
+
+// Exact C# catalog quotas.
+const (
+	CSharpTotal    = 14082
+	CSharpBindable = 2502
+
+	CSharpSchemaRefTotal     = 80
+	CSharpSchemaRefNested    = 13
+	CSharpSchemaRefWithAny   = 2
+	CSharpSchemaRefUnbounded = 1
+	CSharpSchemaRefPlain     = 60
+	CSharpSchemaRefBenign    = 4
+
+	CSharpWildcardClasses = 3
+	CSharpEchoClasses     = 4
+	CSharpDeepNesting     = 301
+)
+
+var csharpPackages = []string{
+	"System", "System.Collections", "System.Collections.Generic",
+	"System.ComponentModel", "System.Configuration", "System.Data",
+	"System.Data.Common", "System.Diagnostics", "System.Drawing",
+	"System.Globalization", "System.IO", "System.Linq", "System.Net",
+	"System.Net.Sockets", "System.Reflection", "System.Resources",
+	"System.Runtime", "System.Security", "System.Security.Cryptography",
+	"System.ServiceModel", "System.Text", "System.Threading",
+	"System.Threading.Tasks", "System.Web", "System.Web.UI",
+	"System.Web.UI.WebControls", "System.Windows.Forms", "System.Xml",
+	"System.Xml.Schema", "System.Xml.Serialization", "Microsoft.Win32",
+	"Microsoft.CSharp", "System.Media", "System.Messaging",
+	"System.Printing", "System.Timers", "System.Transactions",
+	"System.Activities", "System.AddIn", "System.CodeDom",
+}
+
+var csharpStems = []string{
+	"Composite", "Linked", "Tracked", "Virtual", "Projected", "Hosted",
+	"Bound", "Braced", "Declared", "Derived", "Staged", "Queued",
+	"Mapped", "Merged", "Nested", "Paged", "Parsed", "Pinned",
+	"Routed", "Sealed", "Signed", "Sliced", "Spooled", "Stamped",
+	"Striped", "Tagged", "Threaded", "Tiered", "Traced", "Vaulted",
+}
+
+var csharpNouns = []string{
+	"Collection", "Provider", "Definition", "Descriptor", "Binding",
+	"Exchange", "Fragment", "Gateway", "Envelope", "Inventory",
+	"Journal", "Ledger", "Manifest", "Matrix", "Package", "Pipeline",
+	"Profile", "Quota", "Relay", "Schedule", "Segment", "Sequence",
+	"Surface", "Template", "Ticket", "Tracker", "Vector", "View",
+	"Worker", "Zone",
+}
+
+var (
+	csharpOnce    sync.Once
+	csharpCatalog *Catalog
+)
+
+// CSharpCatalog returns the shared, immutable C# class catalog.
+func CSharpCatalog() *Catalog {
+	csharpOnce.Do(func() { csharpCatalog = buildCSharp() })
+	return csharpCatalog
+}
+
+// Individually named C# classes from the paper's narratives.
+const (
+	CSharpDataTable           = "System.Data.DataTable"
+	CSharpDataTableCollection = "System.Data.DataTableCollection"
+	CSharpDataSet             = "System.Data.DataSet"
+	CSharpSocketError         = "System.Net.Sockets.SocketError"
+)
+
+func buildCSharp() *Catalog {
+	b := &builder{
+		lang: CSharp,
+		gen:  newNameGen(csharpPackages, csharpStems, csharpNouns),
+	}
+
+	// --- wildcard (DataSet family): WS-I compliant, break
+	// Metro/CXF/JBossWS generation; DataTable and DataTableCollection
+	// additionally collide under Axis2's lower-cased locals.
+	b.gen.reserve(CSharpDataTable)
+	b.add("System.Data", "DataTable", KindBean,
+		HintWildcard|HintCaseCollidingFields, []Field{
+			{Name: "tableName", Kind: FieldString},
+			{Name: "TableName", Kind: FieldString},
+		})
+	b.gen.reserve(CSharpDataTableCollection)
+	b.add("System.Data", "DataTableCollection", KindBean,
+		HintWildcard|HintCaseCollidingFields, []Field{
+			{Name: "count", Kind: FieldInt},
+			{Name: "Count", Kind: FieldInt},
+		})
+	b.gen.reserve(CSharpDataSet)
+	b.add("System.Data", "DataSet", KindBean, HintWildcard, []Field{
+		{Name: "dataSetName", Kind: FieldString},
+	})
+
+	// --- SocketError: Axis2 duplicate-variable compile error.
+	b.gen.reserve(CSharpSocketError)
+	b.add("System.Net.Sockets", "SocketError", KindBean,
+		HintCaseCollidingFields, []Field{
+			{Name: "nativeErrorCode", Kind: FieldInt},
+			{Name: "NativeErrorCode", Kind: FieldInt},
+		})
+
+	// --- DataSet-style schema-reference family (fails WS-I). The
+	// 76 hard classes split into the tool-breaking structural subsets;
+	// the first plain class carries the double xml:lang (drawing the
+	// single .NET-language warning), and small nillable/minOccurs=0
+	// slices draw the Zend and suds warnings.
+	addSchemaRef := func(n int, extra Hint, mutate func(i int, c *Class)) {
+		for i := 0; i < n; i++ {
+			pkg, simple := b.gen.next("Set")
+			b.add(pkg, simple, KindBean, HintLangAttr|extra, nil)
+			if mutate != nil {
+				mutate(i, &b.classes[len(b.classes)-1])
+			}
+		}
+	}
+	addSchemaRef(CSharpSchemaRefNested, HintSchemaRefHard|HintSchemaRefNested, nil)
+	addSchemaRef(CSharpSchemaRefWithAny, HintSchemaRefHard|HintSchemaRefWithAny, nil)
+	addSchemaRef(CSharpSchemaRefUnbounded, HintSchemaRefHard|HintSchemaRefUnbounded, nil)
+	addSchemaRef(CSharpSchemaRefPlain, HintSchemaRefHard, func(i int, c *Class) {
+		switch {
+		case i == 0:
+			c.Hints |= HintDoubleLang
+		case i >= 1 && i <= 8:
+			c.Hints |= HintNillableRef
+		case i >= 9 && i <= 16:
+			c.Hints |= HintOptionalRef
+		}
+	})
+	addSchemaRef(CSharpSchemaRefBenign, 0, nil)
+
+	// --- WebControls: VB method/parameter collisions.
+	webControls := []string{"GridViewRowSet", "ListItemBag", "MenuItemSlab", "TreeNodeCrate"}
+	for _, simple := range webControls {
+		b.gen.reserve("System.Web.UI.WebControls." + simple)
+		b.add("System.Web.UI.WebControls", simple, KindBean, HintEchoField,
+			[]Field{
+				{Name: "echo", Kind: FieldString},
+				{Name: "text", Kind: FieldString},
+			})
+	}
+
+	// --- JScript compiler crashers: deeply nested inline types.
+	b.addGenerated(CSharpDeepNesting, "", KindBean, HintDeepNesting, nil)
+
+	// --- plain bindable filler.
+	named := CSharpWildcardClasses + 1 + CSharpEchoClasses // DataSet family + SocketError + WebControls
+	filler := CSharpBindable - named - CSharpSchemaRefTotal - CSharpDeepNesting
+	b.addGenerated(filler, "", KindBean, 0, nil)
+
+	// --- unbindable populations.
+	unbindable := CSharpTotal - CSharpBindable
+	quota := []struct {
+		n    int
+		kind Kind
+	}{
+		{3000, KindInterface},
+		{2000, KindAbstract},
+		{4000, KindGeneric},
+		{1500, KindStatic},
+		{unbindable - 10500, KindDelegate},
+	}
+	for _, q := range quota {
+		b.addGenerated(q.n, "", q.kind, 0, nil)
+	}
+
+	c := &Catalog{Language: CSharp, Classes: b.classes}
+	return c.finish()
+}

@@ -1,0 +1,181 @@
+package typesys
+
+import "sync"
+
+// Java catalog construction.
+//
+// The catalog has exactly 3 971 classes, partitioned to reproduce the
+// paper's service-description filtering:
+//
+//	bean (bindable by Metro and JBossWS)  2 246
+//	bean-vendor (bindable by Metro only)    243
+//	async-handle (JBossWS publishes a
+//	  zero-operation WSDL, Metro refuses)     2
+//	unbindable kinds                      1 480
+//	                                      -----
+//	                                      3 971
+//
+// Metro therefore publishes 2 489 WSDLs (bean + bean-vendor) and
+// JBossWS 2 248 (bean + async-handle), matching Table III's headers.
+//
+// Trait populations inside the bindable set (see DESIGN.md §3.5):
+// 477 throwable classes (412 bean + 65 bean-vendor), 50 classes with a
+// JScript-reserved-word property, and the individually named classes
+// of the paper's §IV.B narratives.
+
+// Exact Java catalog quotas.
+const (
+	JavaTotal        = 3971
+	JavaBeanBoth     = 2246
+	JavaBeanVendor   = 243
+	JavaAsyncHandles = 2
+
+	// JavaThrowablesBoth and JavaThrowablesVendor split the 477
+	// throwable classes between the two bindable kinds.
+	JavaThrowablesBoth   = 412
+	JavaThrowablesVendor = 65
+
+	// JavaReservedWordClasses is the JScript-breaking population.
+	JavaReservedWordClasses = 50
+)
+
+var javaPackages = []string{
+	"java.lang", "java.util", "java.io", "java.net", "java.text",
+	"java.awt", "java.awt.image", "java.awt.event", "java.beans",
+	"java.math", "java.nio", "java.nio.channels", "java.nio.charset",
+	"java.rmi", "java.rmi.server", "java.security", "java.security.cert",
+	"java.sql", "java.util.concurrent", "java.util.jar",
+	"java.util.logging", "java.util.prefs", "java.util.regex",
+	"java.util.zip", "javax.activation", "javax.annotation",
+	"javax.crypto", "javax.imageio", "javax.management", "javax.naming",
+	"javax.net", "javax.print", "javax.script", "javax.sound.midi",
+	"javax.sound.sampled", "javax.sql", "javax.swing", "javax.swing.text",
+	"javax.tools", "javax.xml.bind", "javax.xml.datatype",
+	"javax.xml.namespace", "javax.xml.parsers", "javax.xml.soap",
+	"javax.xml.transform", "javax.xml.validation", "javax.xml.ws",
+	"javax.xml.xpath", "org.w3c.dom", "org.xml.sax",
+}
+
+var javaStems = []string{
+	"Abstract", "Default", "Simple", "Buffered", "Basic", "Composite",
+	"Delegating", "Filtered", "Indexed", "Linked", "Managed", "Mutable",
+	"Piped", "Pooled", "Ranged", "Scoped", "Shared", "Sorted", "Synced",
+	"Tracked", "Typed", "Weighted", "Atomic", "Bounded", "Cached",
+	"Chained", "Checked", "Compact", "Direct", "Dual",
+}
+
+var javaNouns = []string{
+	"Handler", "Manager", "Factory", "Event", "Context", "Stream",
+	"Reader", "Writer", "Buffer", "Element", "Builder", "Adapter",
+	"Descriptor", "Model", "Entry", "Node", "Registry", "Provider",
+	"Resolver", "Validator", "Format", "Token", "Channel", "Session",
+	"Record", "Bundle", "Gauge", "Router", "Monitor", "Snapshot",
+}
+
+var (
+	javaOnce    sync.Once
+	javaCatalog *Catalog
+)
+
+// JavaCatalog returns the shared, immutable Java class catalog. The
+// catalog is built once; callers must not mutate it.
+func JavaCatalog() *Catalog {
+	javaOnce.Do(func() { javaCatalog = buildJava() })
+	return javaCatalog
+}
+
+// Individually named Java classes from the paper's narratives.
+const (
+	JavaW3CEndpointReference  = "javax.xml.ws.wsaddressing.W3CEndpointReference"
+	JavaSimpleDateFormat      = "java.text.SimpleDateFormat"
+	JavaFuture                = "java.util.concurrent.Future"
+	JavaResponse              = "javax.xml.ws.Response"
+	JavaXMLGregorianCalendar  = "javax.xml.datatype.XMLGregorianCalendar"
+	JavaVBCollisionClass      = "java.awt.Event"
+	javaWSAddressingNamespace = "http://www.w3.org/2005/08/addressing"
+)
+
+func buildJava() *Catalog {
+	b := &builder{
+		lang: Java,
+		gen:  newNameGen(javaPackages, javaStems, javaNouns),
+	}
+
+	// --- individually named classes -------------------------------
+	b.gen.reserve(JavaW3CEndpointReference)
+	b.add("javax.xml.ws.wsaddressing", "W3CEndpointReference", KindBean,
+		HintUnresolvedAddressingRef, []Field{
+			{Name: "address", Kind: FieldString},
+			{Name: "referenceParameters", Kind: FieldRef, Ref: "EndpointReference"},
+		})
+
+	b.gen.reserve(JavaSimpleDateFormat)
+	b.add("java.text", "SimpleDateFormat", KindBean, HintVendorFacet, []Field{
+		{Name: "pattern", Kind: FieldString},
+		{Name: "lenient", Kind: FieldBool},
+	})
+
+	b.gen.reserve(JavaFuture)
+	b.add("java.util.concurrent", "Future", KindAsyncHandle,
+		HintZeroOperations|HintEmptyTypes, nil)
+
+	b.gen.reserve(JavaResponse)
+	b.add("javax.xml.ws", "Response", KindAsyncHandle, HintZeroOperations,
+		[]Field{{Name: "context", Kind: FieldString}})
+
+	b.gen.reserve(JavaXMLGregorianCalendar)
+	b.add("javax.xml.datatype", "XMLGregorianCalendar", KindBean,
+		HintCaseCollidingFields, []Field{
+			{Name: "timezone", Kind: FieldInt},
+			{Name: "timeZone", Kind: FieldString},
+			{Name: "year", Kind: FieldInt},
+		})
+
+	b.gen.reserve(JavaVBCollisionClass)
+	b.add("java.awt", "Event", KindBean, HintEchoField, []Field{
+		{Name: "echo", Kind: FieldString},
+		{Name: "when", Kind: FieldLong},
+	})
+
+	// --- populations with structural hints ------------------------
+	b.addGenerated(JavaReservedWordClasses, "", KindBean, HintReservedWordField,
+		func(c *Class) {
+			c.Fields = append([]Field{{Name: "function", Kind: FieldString}}, c.Fields...)
+		})
+
+	throwableFields := func(c *Class) {
+		c.Fields = []Field{
+			{Name: "message", Kind: FieldString},
+			{Name: "cause", Kind: FieldRef, Ref: c.Simple + "Cause"},
+		}
+	}
+	// Alternate Exception/Error suffixes across the throwable family.
+	half := JavaThrowablesBoth / 2
+	b.addGenerated(half, "Exception", KindBean, HintThrowable, throwableFields)
+	b.addGenerated(JavaThrowablesBoth-half, "Error", KindBean, HintThrowable, throwableFields)
+	b.addGenerated(JavaThrowablesVendor, "Exception", KindBeanVendor, HintThrowable, throwableFields)
+
+	// --- plain filler populations ---------------------------------
+	namedBeanBoth := 4 // W3CEndpointReference, SimpleDateFormat, XMLGregorianCalendar, Event
+	fillerBoth := JavaBeanBoth - namedBeanBoth - JavaReservedWordClasses - JavaThrowablesBoth
+	b.addGenerated(fillerBoth, "", KindBean, 0, nil)
+	b.addGenerated(JavaBeanVendor-JavaThrowablesVendor, "", KindBeanVendor, 0, nil)
+
+	// --- unbindable populations ------------------------------------
+	unbindable := JavaTotal - JavaBeanBoth - JavaBeanVendor - JavaAsyncHandles
+	quota := []struct {
+		n    int
+		kind Kind
+	}{
+		{500, KindInterface},
+		{300, KindAbstract},
+		{400, KindGeneric},
+		{unbindable - 1200, KindNoCtor},
+	}
+	for _, q := range quota {
+		b.addGenerated(q.n, "", q.kind, 0, nil)
+	}
+
+	c := &Catalog{Language: Java, Classes: b.classes}
+	return c.finish()
+}

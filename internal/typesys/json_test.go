@@ -1,0 +1,106 @@
+package typesys
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	for _, cat := range []*Catalog{JavaCatalog(), CSharpCatalog()} {
+		data, err := ExportJSON(cat)
+		if err != nil {
+			t.Fatalf("%s export: %v", cat.Language, err)
+		}
+		got, err := ImportJSON(data)
+		if err != nil {
+			t.Fatalf("%s import: %v", cat.Language, err)
+		}
+		if got.Len() != cat.Len() || got.Language != cat.Language {
+			t.Fatalf("%s: identity lost (%d classes)", cat.Language, got.Len())
+		}
+		for i := range cat.Classes {
+			a, b := &cat.Classes[i], &got.Classes[i]
+			if a.Name != b.Name || a.Kind != b.Kind || a.Hints != b.Hints ||
+				a.Package != b.Package || a.Simple != b.Simple {
+				t.Fatalf("%s: class %d differs: %+v vs %+v", cat.Language, i, a, b)
+			}
+			if !reflect.DeepEqual(a.Fields, b.Fields) && !(a.Fields == nil && len(b.Fields) == 0) {
+				t.Fatalf("%s: fields of %s differ", cat.Language, a.Name)
+			}
+		}
+	}
+}
+
+func TestHintNamesRoundTrip(t *testing.T) {
+	masks := []Hint{
+		0,
+		HintThrowable,
+		HintLangAttr | HintSchemaRefHard | HintSchemaRefNested,
+		HintWildcard | HintCaseCollidingFields,
+	}
+	for _, m := range masks {
+		names := HintNames(m)
+		back, err := ParseHints(names)
+		if err != nil {
+			t.Fatalf("parse %v: %v", names, err)
+		}
+		if back != m {
+			t.Errorf("round trip %b → %v → %b", m, names, back)
+		}
+	}
+	if _, err := ParseHints([]string{"no-such-hint"}); err == nil {
+		t.Error("unknown hint name should fail")
+	}
+}
+
+func TestHintNamesCoverEveryBit(t *testing.T) {
+	all := []Hint{
+		HintUnresolvedAddressingRef, HintVendorFacet, HintZeroOperations,
+		HintEmptyTypes, HintLangAttr, HintSchemaRefHard, HintSchemaRefNested,
+		HintSchemaRefWithAny, HintSchemaRefUnbounded, HintDoubleLang,
+		HintNillableRef, HintOptionalRef, HintWildcard,
+		HintCaseCollidingFields, HintThrowable, HintReservedWordField,
+		HintDeepNesting, HintEchoField,
+	}
+	for _, h := range all {
+		if names := HintNames(h); len(names) != 1 {
+			t.Errorf("hint %b has %d names", h, len(names))
+		}
+	}
+}
+
+func TestImportRejectsBadData(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        "not json",
+		"bad language":   `{"language":"COBOL","classes":[]}`,
+		"bad kind":       `{"language":"Java","classes":[{"name":"a.B","kind":"alien"}]}`,
+		"bad hint":       `{"language":"Java","classes":[{"name":"a.B","kind":"bean","hints":["x"]}]}`,
+		"bad field kind": `{"language":"Java","classes":[{"name":"a.B","kind":"bean","fields":[{"name":"f","kind":"blob"}]}]}`,
+		"unqualified":    `{"language":"Java","classes":[{"name":"NoPackage","kind":"bean"}]}`,
+		"duplicate":      `{"language":"Java","classes":[{"name":"a.B","kind":"bean"},{"name":"a.B","kind":"bean"}]}`,
+	}
+	for name, data := range cases {
+		if _, err := ImportJSON([]byte(data)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestImportedCatalogIsQueryable(t *testing.T) {
+	data := `{"language":"Java","classes":[
+	  {"name":"com.example.Widget","kind":"bean",
+	   "fields":[{"name":"value","kind":"string"},{"name":"part","kind":"ref","ref":"Part"}]},
+	  {"name":"com.example.Broken","kind":"bean","hints":["case-colliding-fields"],
+	   "fields":[{"name":"id","kind":"int"},{"name":"Id","kind":"int"}]}
+	]}`
+	cat, err := ImportJSON([]byte(data))
+	if err != nil {
+		t.Fatalf("import: %v", err)
+	}
+	if _, ok := cat.Lookup("com.example.Widget"); !ok {
+		t.Error("lookup failed")
+	}
+	if n := len(cat.WithHint(HintCaseCollidingFields)); n != 1 {
+		t.Errorf("hint query = %d, want 1", n)
+	}
+}

@@ -1,0 +1,460 @@
+// Package typesys models the native type systems of the two service
+// implementation languages of the study — Java SE 7 and C# (.NET 4.0)
+// — as deterministic synthetic class catalogs.
+//
+// The original study crawled the public API documentation of both
+// platforms and created one test service per native class (3 971 Java
+// classes, 14 082 C# classes). Since the proprietary class libraries
+// are not available here, this package synthesizes catalogs of the
+// same size whose classes carry the *structural properties* that
+// matter to the interoperability pipeline: the shape each class maps
+// to in XML Schema (bean fields, wildcards, cross-namespace
+// references, vendor facets, naming hazards) and the binding kind that
+// determines whether a server framework can publish it at all.
+//
+// All catalogs are fully deterministic: calling Java() or CSharp()
+// twice yields identical catalogs, and the exact counts reported by
+// the paper (deployable services, trait populations) hold as
+// invariants verified by the test suite.
+package typesys
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Language identifies the implementation language of a class.
+type Language int
+
+// Languages of the study.
+const (
+	Java Language = iota + 1
+	CSharp
+)
+
+// String implements fmt.Stringer.
+func (l Language) String() string {
+	switch l {
+	case Java:
+		return "Java"
+	case CSharp:
+		return "C#"
+	default:
+		return fmt.Sprintf("Language(%d)", int(l))
+	}
+}
+
+// Kind is the binding kind of a class: it determines whether a
+// server-side framework subsystem can map the class to a service
+// interface (and so publish a WSDL for a service using it).
+type Kind int
+
+// Binding kinds. Only bean-like kinds are bindable; the remaining
+// kinds model the class populations the paper's service-description
+// step filtered out (14 785 of 22 024 services).
+const (
+	// KindBean is a concrete class with a default constructor and
+	// readable/writable properties: bindable by every framework.
+	KindBean Kind = iota + 1
+	// KindBeanVendor is bindable only via vendor-specific binding
+	// annotations: Metro maps it, JBossWS CXF does not.
+	KindBeanVendor
+	// KindAsyncHandle is an asynchronous invocation handle type
+	// (java.util.concurrent.Future, javax.xml.ws.Response): JBossWS
+	// publishes a WSDL without operations for it, Metro refuses to
+	// deploy it.
+	KindAsyncHandle
+	// KindInterface cannot be instantiated: unbindable.
+	KindInterface
+	// KindAbstract cannot be instantiated: unbindable.
+	KindAbstract
+	// KindGeneric carries unbound type parameters: unbindable.
+	KindGeneric
+	// KindNoCtor has no accessible default constructor: unbindable.
+	KindNoCtor
+	// KindStatic is a static holder class (C#): unbindable.
+	KindStatic
+	// KindDelegate is a delegate type (C#): unbindable.
+	KindDelegate
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindBean:
+		return "bean"
+	case KindBeanVendor:
+		return "bean-vendor"
+	case KindAsyncHandle:
+		return "async-handle"
+	case KindInterface:
+		return "interface"
+	case KindAbstract:
+		return "abstract"
+	case KindGeneric:
+		return "generic"
+	case KindNoCtor:
+		return "no-ctor"
+	case KindStatic:
+		return "static"
+	case KindDelegate:
+		return "delegate"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Bindable reports whether a server framework can in principle map
+// the kind to a service interface.
+func (k Kind) Bindable() bool {
+	switch k {
+	case KindBean, KindBeanVendor, KindAsyncHandle:
+		return true
+	default:
+		return false
+	}
+}
+
+// Hint is a bitmask of structural properties of a class's XML Schema
+// mapping. Hints are *materialized* by server framework emitters as
+// concrete schema structures; client-side behaviour then follows from
+// the structure alone. Each hint corresponds to a defect family
+// documented in §IV.B of the paper (see DESIGN.md §3.5).
+type Hint uint32
+
+// Structural hints.
+const (
+	// HintUnresolvedAddressingRef makes the schema reference a
+	// WS-Addressing element without a resolvable import
+	// (javax.xml.ws.wsaddressing.W3CEndpointReference).
+	HintUnresolvedAddressingRef Hint = 1 << iota
+	// HintVendorFacet makes the schema use a non-standard restriction
+	// facet (java.text.SimpleDateFormat).
+	HintVendorFacet
+	// HintZeroOperations makes the published WSDL carry a port type
+	// with no operations (Future / Response on JBossWS).
+	HintZeroOperations
+	// HintEmptyTypes additionally leaves the types section empty
+	// (Future); distinguishes the gSOAP-breaking no-operation variant.
+	HintEmptyTypes
+	// HintLangAttr makes the schema reference the xml:lang attribute
+	// (the WCF DataSet WSDL family; fails the WS-I check).
+	HintLangAttr
+	// HintSchemaRefHard embeds an element reference to xs:schema in an
+	// un-importable namespace (76 of the 80 WCF classes).
+	HintSchemaRefHard
+	// HintSchemaRefNested nests the xs:schema reference inside an
+	// inline complex type (the 13-class subset that breaks gSOAP).
+	HintSchemaRefNested
+	// HintSchemaRefWithAny pairs the reference with a wildcard in the
+	// same sequence (the 2-class subset that breaks Axis1).
+	HintSchemaRefWithAny
+	// HintSchemaRefUnbounded gives the reference unbounded cardinality
+	// (the 1-class subset that breaks suds).
+	HintSchemaRefUnbounded
+	// HintDoubleLang duplicates the xml:lang attribute reference (the
+	// 1 class that draws a warning from all three .NET languages).
+	HintDoubleLang
+	// HintNillableRef marks the reference nillable (the 8 classes that
+	// draw Zend warnings).
+	HintNillableRef
+	// HintOptionalRef gives the reference minOccurs=0 (the 8 classes
+	// that draw suds warnings).
+	HintOptionalRef
+	// HintWildcard maps the class to a wildcard-only content model
+	// (System.Data.DataTable family; WS-I compliant, breaks
+	// Metro/CXF/JBossWS generation).
+	HintWildcard
+	// HintCaseCollidingFields gives the class two properties whose
+	// names differ only in letter case; Axis2's lower-cased local
+	// variable naming collapses them into a duplicate variable.
+	HintCaseCollidingFields
+	// HintThrowable marks exception/error classes whose fault-wrapper
+	// attribute Axis1 misnames (889 compile errors).
+	HintThrowable
+	// HintReservedWordField gives the class a property named after a
+	// JScript reserved word; the JScript generator silently omits the
+	// accessor function (50 Java classes).
+	HintReservedWordField
+	// HintDeepNesting maps the class to deeply nested inline types
+	// that crash the JScript compiler (301 C# classes; the paper's
+	// "131 INTERNAL COMPILER CRASH").
+	HintDeepNesting
+	// HintEchoField gives the class a property named like the service
+	// operation, producing a case-insensitive method/parameter
+	// collision in Visual Basic artifacts (4 C# + 1 Java class).
+	HintEchoField
+)
+
+// Has reports whether all bits of q are set in h.
+func (h Hint) Has(q Hint) bool { return h&q == q }
+
+// FieldKind is the value category of a bean property.
+type FieldKind int
+
+// Field kinds map onto XSD built-in simple types, except FieldRef
+// which references another complex type.
+const (
+	FieldString FieldKind = iota + 1
+	FieldInt
+	FieldLong
+	FieldBool
+	FieldDouble
+	FieldDateTime
+	FieldBytes
+	FieldRef
+)
+
+// Field is one bean property of a class.
+type Field struct {
+	Name string
+	Kind FieldKind
+	// Ref is the referenced complex type local name when Kind is
+	// FieldRef.
+	Ref string
+}
+
+// Class is one native class of a platform library.
+type Class struct {
+	// Name is the fully qualified class name, e.g. "java.util.BitSet"
+	// or "System.Data.DataTable".
+	Name string
+	// Package is the namespace / package portion of Name.
+	Package string
+	// Simple is the local class name.
+	Simple string
+	// Language is the implementation language.
+	Language Language
+	// Kind is the binding kind.
+	Kind Kind
+	// Hints are the structural schema-mapping properties.
+	Hints Hint
+	// Fields is the bean property list mapped into the schema.
+	Fields []Field
+}
+
+// Catalog is the complete class catalog of one platform.
+type Catalog struct {
+	Language Language
+	Classes  []Class
+
+	byName map[string]int
+}
+
+// Lookup returns the class with the given fully qualified name.
+func (c *Catalog) Lookup(name string) (*Class, bool) {
+	i, ok := c.byName[name]
+	if !ok {
+		return nil, false
+	}
+	return &c.Classes[i], true
+}
+
+// Len returns the number of classes in the catalog.
+func (c *Catalog) Len() int { return len(c.Classes) }
+
+// WithHint returns the classes carrying all bits of the given hint,
+// in catalog order.
+func (c *Catalog) WithHint(h Hint) []*Class {
+	var out []*Class
+	for i := range c.Classes {
+		if c.Classes[i].Hints.Has(h) {
+			out = append(out, &c.Classes[i])
+		}
+	}
+	return out
+}
+
+// WithKind returns the classes of the given binding kind.
+func (c *Catalog) WithKind(k Kind) []*Class {
+	var out []*Class
+	for i := range c.Classes {
+		if c.Classes[i].Kind == k {
+			out = append(out, &c.Classes[i])
+		}
+	}
+	return out
+}
+
+// Stats summarizes a catalog for invariant checking and reporting.
+type Stats struct {
+	Total    int
+	ByKind   map[Kind]int
+	Bindable int
+}
+
+// Stats computes catalog statistics.
+func (c *Catalog) Stats() Stats {
+	s := Stats{Total: len(c.Classes), ByKind: make(map[Kind]int, 8)}
+	for i := range c.Classes {
+		s.ByKind[c.Classes[i].Kind]++
+		if c.Classes[i].Kind.Bindable() {
+			s.Bindable++
+		}
+	}
+	return s
+}
+
+// finish indexes the catalog and verifies name uniqueness; it panics
+// on construction bugs because a malformed catalog would invalidate
+// every downstream result (catalog construction is deterministic
+// program initialization, not runtime input handling).
+func (c *Catalog) finish() *Catalog {
+	c.byName = make(map[string]int, len(c.Classes))
+	for i := range c.Classes {
+		name := c.Classes[i].Name
+		if _, dup := c.byName[name]; dup {
+			panic("typesys: duplicate class name " + name)
+		}
+		c.byName[name] = i
+	}
+	return c
+}
+
+// fnv1a is a small deterministic string hash used to derive stable
+// pseudo-random structure (field counts, field kinds) from class
+// names.
+func fnv1a(s string) uint32 {
+	const (
+		offset = 2166136261
+		prime  = 16777619
+	)
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// syntheticFields derives a deterministic bean property list for a
+// class from its name.
+func syntheticFields(name string, n int) []Field {
+	if n <= 0 {
+		n = 1 + int(fnv1a(name)%4)
+	}
+	kinds := []FieldKind{FieldString, FieldInt, FieldLong, FieldBool, FieldDouble, FieldDateTime, FieldBytes}
+	names := []string{"value", "name", "count", "id", "flags", "size", "data", "label", "index", "state"}
+	fields := make([]Field, 0, n)
+	seen := make(map[string]bool, n)
+	h := fnv1a(name)
+	for i := 0; i < n; i++ {
+		fn := names[int(h>>uint(i%8))%len(names)]
+		for seen[fn] {
+			fn += "x"
+		}
+		seen[fn] = true
+		fields = append(fields, Field{Name: fn, Kind: kinds[int(h>>uint((i+3)%8))%len(kinds)]})
+		h = h*31 + uint32(i) + 7
+	}
+	return fields
+}
+
+// nameGen deterministically produces unique fully qualified class
+// names across a set of packages.
+type nameGen struct {
+	packages []string
+	stems    []string
+	nouns    []string
+	used     map[string]bool
+	i        int
+}
+
+func newNameGen(packages, stems, nouns []string) *nameGen {
+	return &nameGen{
+		packages: packages,
+		stems:    stems,
+		nouns:    nouns,
+		used:     make(map[string]bool, 1024),
+	}
+}
+
+// reserve marks an explicitly constructed name as taken.
+func (g *nameGen) reserve(name string) { g.used[name] = true }
+
+// next returns the next unused fully qualified name, optionally
+// forcing a suffix on the local name (e.g. "Exception").
+func (g *nameGen) next(suffix string) (pkg, simple string) {
+	for {
+		i := g.i
+		g.i++
+		pkg = g.packages[i%len(g.packages)]
+		stem := g.stems[(i/len(g.packages))%len(g.stems)]
+		noun := g.nouns[(i/(len(g.packages)*len(g.stems)))%len(g.nouns)]
+		simple = stem + noun + suffix
+		if g.used[pkg+"."+simple] {
+			continue
+		}
+		g.used[pkg+"."+simple] = true
+		return pkg, simple
+	}
+}
+
+// builder accumulates classes for one catalog.
+type builder struct {
+	lang    Language
+	gen     *nameGen
+	classes []Class
+}
+
+func (b *builder) add(pkg, simple string, kind Kind, hints Hint, fields []Field) {
+	name := pkg + "." + simple
+	if fields == nil && kind.Bindable() {
+		fields = syntheticFields(name, 0)
+	}
+	b.classes = append(b.classes, Class{
+		Name:     name,
+		Package:  pkg,
+		Simple:   simple,
+		Language: b.lang,
+		Kind:     kind,
+		Hints:    hints,
+		Fields:   fields,
+	})
+}
+
+// addGenerated appends n generator-named classes of the given kind,
+// applying hints and an optional per-class field mutation.
+func (b *builder) addGenerated(n int, suffix string, kind Kind, hints Hint, mutate func(*Class)) {
+	for i := 0; i < n; i++ {
+		pkg, simple := b.gen.next(suffix)
+		b.add(pkg, simple, kind, hints, nil)
+		if mutate != nil {
+			mutate(&b.classes[len(b.classes)-1])
+		}
+	}
+}
+
+// SortedPackages returns the distinct package names of the catalog in
+// sorted order; used by reporting and documentation tooling.
+func (c *Catalog) SortedPackages() []string {
+	set := make(map[string]bool, 64)
+	for i := range c.Classes {
+		set[c.Classes[i].Package] = true
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NamespaceFor maps a package name to the XML target namespace a Java
+// or C# emitter derives for it (reverse-DNS convention for Java,
+// tempuri-rooted convention for .NET).
+func NamespaceFor(lang Language, pkg string) string {
+	switch lang {
+	case Java:
+		parts := strings.Split(pkg, ".")
+		for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+			parts[i], parts[j] = parts[j], parts[i]
+		}
+		return "http://" + strings.Join(parts, ".") + "/"
+	case CSharp:
+		return "http://tempuri.org/" + strings.ReplaceAll(pkg, ".", "/") + "/"
+	default:
+		return "http://example.invalid/" + pkg + "/"
+	}
+}

@@ -1,0 +1,346 @@
+package typesys
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestJavaCatalogSize(t *testing.T) {
+	cat := JavaCatalog()
+	if got := cat.Len(); got != JavaTotal {
+		t.Errorf("Java catalog size = %d, want %d", got, JavaTotal)
+	}
+}
+
+func TestCSharpCatalogSize(t *testing.T) {
+	cat := CSharpCatalog()
+	if got := cat.Len(); got != CSharpTotal {
+		t.Errorf("C# catalog size = %d, want %d", got, CSharpTotal)
+	}
+}
+
+func TestJavaDeployabilityQuotas(t *testing.T) {
+	cat := JavaCatalog()
+	s := cat.Stats()
+	// Metro publishes bean + bean-vendor; JBossWS publishes bean +
+	// async-handle — the 2 489 / 2 248 split of Table III.
+	metro := s.ByKind[KindBean] + s.ByKind[KindBeanVendor]
+	jboss := s.ByKind[KindBean] + s.ByKind[KindAsyncHandle]
+	if metro != 2489 {
+		t.Errorf("Metro-deployable classes = %d, want 2489", metro)
+	}
+	if jboss != 2248 {
+		t.Errorf("JBossWS-deployable classes = %d, want 2248", jboss)
+	}
+	if s.ByKind[KindAsyncHandle] != JavaAsyncHandles {
+		t.Errorf("async handles = %d, want %d", s.ByKind[KindAsyncHandle], JavaAsyncHandles)
+	}
+}
+
+func TestCSharpDeployabilityQuota(t *testing.T) {
+	s := CSharpCatalog().Stats()
+	if s.Bindable != CSharpBindable {
+		t.Errorf("bindable C# classes = %d, want %d", s.Bindable, CSharpBindable)
+	}
+}
+
+func TestJavaTraitPopulations(t *testing.T) {
+	cat := JavaCatalog()
+	tests := []struct {
+		hint Hint
+		want int
+	}{
+		{HintThrowable, JavaThrowablesBoth + JavaThrowablesVendor},
+		{HintReservedWordField, JavaReservedWordClasses},
+		{HintUnresolvedAddressingRef, 1},
+		{HintVendorFacet, 1},
+		{HintZeroOperations, 2},
+		{HintEmptyTypes, 1},
+		{HintEchoField, 1},
+		{HintCaseCollidingFields, 1},
+	}
+	for _, tt := range tests {
+		if got := len(cat.WithHint(tt.hint)); got != tt.want {
+			t.Errorf("Java classes with hint %b = %d, want %d", tt.hint, got, tt.want)
+		}
+	}
+}
+
+func TestJavaThrowableSplit(t *testing.T) {
+	cat := JavaCatalog()
+	both, vendor := 0, 0
+	for _, c := range cat.WithHint(HintThrowable) {
+		switch c.Kind {
+		case KindBean:
+			both++
+		case KindBeanVendor:
+			vendor++
+		default:
+			t.Errorf("throwable %s has unexpected kind %s", c.Name, c.Kind)
+		}
+	}
+	if both != JavaThrowablesBoth || vendor != JavaThrowablesVendor {
+		t.Errorf("throwable split = %d/%d, want %d/%d", both, vendor, JavaThrowablesBoth, JavaThrowablesVendor)
+	}
+}
+
+func TestCSharpTraitPopulations(t *testing.T) {
+	cat := CSharpCatalog()
+	tests := []struct {
+		name string
+		hint Hint
+		want int
+	}{
+		{"lang attr (WS-I failing family)", HintLangAttr, CSharpSchemaRefTotal},
+		{"hard schema refs", HintSchemaRefHard, 76},
+		{"nested subset", HintSchemaRefNested, CSharpSchemaRefNested},
+		{"with-any subset", HintSchemaRefWithAny, CSharpSchemaRefWithAny},
+		{"unbounded subset", HintSchemaRefUnbounded, CSharpSchemaRefUnbounded},
+		{"double lang", HintDoubleLang, 1},
+		{"nillable refs", HintNillableRef, 8},
+		{"optional refs", HintOptionalRef, 8},
+		{"wildcards", HintWildcard, CSharpWildcardClasses},
+		{"case colliding", HintCaseCollidingFields, 3}, // DataTable, DataTableCollection, SocketError
+		{"echo fields", HintEchoField, CSharpEchoClasses},
+		{"deep nesting", HintDeepNesting, CSharpDeepNesting},
+	}
+	for _, tt := range tests {
+		if got := len(cat.WithHint(tt.hint)); got != tt.want {
+			t.Errorf("%s = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestSchemaRefSubsetsAreDisjointAndHard(t *testing.T) {
+	cat := CSharpCatalog()
+	for _, c := range cat.WithHint(HintSchemaRefNested) {
+		if !c.Hints.Has(HintSchemaRefHard) {
+			t.Errorf("%s nested but not hard", c.Name)
+		}
+		if c.Hints.Has(HintSchemaRefWithAny) || c.Hints.Has(HintSchemaRefUnbounded) {
+			t.Errorf("%s belongs to multiple subsets", c.Name)
+		}
+	}
+	for _, c := range cat.WithHint(HintSchemaRefWithAny) {
+		if c.Hints.Has(HintSchemaRefUnbounded) {
+			t.Errorf("%s belongs to multiple subsets", c.Name)
+		}
+	}
+	// Every hard class carries the lang attribute (the WS-I trigger).
+	for _, c := range cat.WithHint(HintSchemaRefHard) {
+		if !c.Hints.Has(HintLangAttr) {
+			t.Errorf("%s hard but missing lang attr", c.Name)
+		}
+	}
+}
+
+func TestNamedNarrativeClassesExist(t *testing.T) {
+	jc := JavaCatalog()
+	for _, name := range []string{
+		JavaW3CEndpointReference, JavaSimpleDateFormat, JavaFuture,
+		JavaResponse, JavaXMLGregorianCalendar, JavaVBCollisionClass,
+	} {
+		if _, ok := jc.Lookup(name); !ok {
+			t.Errorf("Java narrative class %s missing", name)
+		}
+	}
+	cc := CSharpCatalog()
+	for _, name := range []string{
+		CSharpDataTable, CSharpDataTableCollection, CSharpDataSet, CSharpSocketError,
+	} {
+		if _, ok := cc.Lookup(name); !ok {
+			t.Errorf("C# narrative class %s missing", name)
+		}
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	if _, ok := JavaCatalog().Lookup("no.such.Class"); ok {
+		t.Error("Lookup of missing class succeeded")
+	}
+}
+
+func TestCatalogDeterminism(t *testing.T) {
+	// The sync.Once caches, so compare two fresh builds.
+	a, b := buildJava(), buildJava()
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Classes {
+		ca, cb := &a.Classes[i], &b.Classes[i]
+		if ca.Name != cb.Name || ca.Kind != cb.Kind || ca.Hints != cb.Hints {
+			t.Fatalf("class %d differs: %+v vs %+v", i, ca, cb)
+		}
+	}
+	x, y := buildCSharp(), buildCSharp()
+	for i := range x.Classes {
+		if x.Classes[i].Name != y.Classes[i].Name || x.Classes[i].Hints != y.Classes[i].Hints {
+			t.Fatalf("C# class %d differs", i)
+		}
+	}
+}
+
+func TestClassNamesWellFormed(t *testing.T) {
+	check := func(cat *Catalog) {
+		for i := range cat.Classes {
+			c := &cat.Classes[i]
+			if c.Name != c.Package+"."+c.Simple {
+				t.Fatalf("name decomposition broken for %q", c.Name)
+			}
+			if c.Simple == "" || c.Package == "" {
+				t.Fatalf("empty name component in %+v", c)
+			}
+		}
+	}
+	check(JavaCatalog())
+	check(CSharpCatalog())
+}
+
+func TestBindableClassesHaveFields(t *testing.T) {
+	for _, cat := range []*Catalog{JavaCatalog(), CSharpCatalog()} {
+		for i := range cat.Classes {
+			c := &cat.Classes[i]
+			if c.Kind == KindBean && len(c.Fields) == 0 {
+				t.Errorf("bean class %s has no fields", c.Name)
+			}
+		}
+	}
+}
+
+func TestReservedWordClassesHaveReservedField(t *testing.T) {
+	for _, c := range JavaCatalog().WithHint(HintReservedWordField) {
+		found := false
+		for _, f := range c.Fields {
+			if f.Name == "function" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s lacks the reserved-word field", c.Name)
+		}
+	}
+}
+
+func TestEchoClassesHaveEchoField(t *testing.T) {
+	all := append(JavaCatalog().WithHint(HintEchoField), CSharpCatalog().WithHint(HintEchoField)...)
+	for _, c := range all {
+		if len(c.Fields) == 0 || c.Fields[0].Name != "echo" {
+			t.Errorf("%s first field should be echo, got %+v", c.Name, c.Fields)
+		}
+	}
+}
+
+func TestCaseCollidingClassesCollide(t *testing.T) {
+	all := append(JavaCatalog().WithHint(HintCaseCollidingFields), CSharpCatalog().WithHint(HintCaseCollidingFields)...)
+	for _, c := range all {
+		lower := make(map[string]int)
+		for _, f := range c.Fields {
+			lower[strings.ToLower(f.Name)]++
+		}
+		collides := false
+		for _, n := range lower {
+			if n > 1 {
+				collides = true
+			}
+		}
+		if !collides {
+			t.Errorf("%s marked case-colliding but fields do not collide: %+v", c.Name, c.Fields)
+		}
+	}
+}
+
+func TestNamespaceFor(t *testing.T) {
+	tests := []struct {
+		lang Language
+		pkg  string
+		want string
+	}{
+		{Java, "java.util", "http://util.java/"},
+		{Java, "javax.xml.ws", "http://ws.xml.javax/"},
+		{CSharp, "System.Data", "http://tempuri.org/System/Data/"},
+	}
+	for _, tt := range tests {
+		if got := NamespaceFor(tt.lang, tt.pkg); got != tt.want {
+			t.Errorf("NamespaceFor(%v, %q) = %q, want %q", tt.lang, tt.pkg, got, tt.want)
+		}
+	}
+}
+
+func TestHintHas(t *testing.T) {
+	h := HintWildcard | HintCaseCollidingFields
+	if !h.Has(HintWildcard) || !h.Has(HintCaseCollidingFields) {
+		t.Error("Has should report set bits")
+	}
+	if h.Has(HintThrowable) {
+		t.Error("Has reported an unset bit")
+	}
+	if !h.Has(HintWildcard | HintCaseCollidingFields) {
+		t.Error("Has should support multi-bit queries")
+	}
+}
+
+func TestSyntheticFieldsDeterministicAndUnique(t *testing.T) {
+	f := func(name string) bool {
+		a := syntheticFields(name, 0)
+		b := syntheticFields(name, 0)
+		if len(a) != len(b) || len(a) == 0 || len(a) > 4 {
+			return false
+		}
+		seen := make(map[string]bool, len(a))
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+			if seen[a[i].Name] {
+				return false
+			}
+			seen[a[i].Name] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindStringsAndBindable(t *testing.T) {
+	bindable := []Kind{KindBean, KindBeanVendor, KindAsyncHandle}
+	for _, k := range bindable {
+		if !k.Bindable() {
+			t.Errorf("%s should be bindable", k)
+		}
+	}
+	for _, k := range []Kind{KindInterface, KindAbstract, KindGeneric, KindNoCtor, KindStatic, KindDelegate} {
+		if k.Bindable() {
+			t.Errorf("%s should not be bindable", k)
+		}
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("%d has no display name", k)
+		}
+	}
+}
+
+func TestWithKind(t *testing.T) {
+	cat := JavaCatalog()
+	async := cat.WithKind(KindAsyncHandle)
+	if len(async) != 2 {
+		t.Fatalf("async handles = %d, want 2", len(async))
+	}
+	names := map[string]bool{async[0].Name: true, async[1].Name: true}
+	if !names[JavaFuture] || !names[JavaResponse] {
+		t.Errorf("unexpected async handles: %v", names)
+	}
+}
+
+func TestSortedPackages(t *testing.T) {
+	pkgs := JavaCatalog().SortedPackages()
+	if len(pkgs) < 10 {
+		t.Errorf("suspiciously few packages: %d", len(pkgs))
+	}
+	for i := 1; i < len(pkgs); i++ {
+		if pkgs[i-1] >= pkgs[i] {
+			t.Errorf("packages not sorted: %q >= %q", pkgs[i-1], pkgs[i])
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package wsdl
+
+import (
+	"fmt"
+	"sort"
+
+	"wsinterop/internal/xsd"
+)
+
+// Diff computes a structural comparison of two service descriptions.
+// The study's root cause analysis repeatedly compares what different
+// emitters publish for the same class (Metro vs JBossWS vs Axis2
+// variants of W3CEndpointReference differ only in their import
+// declarations, yet split the client field into three behaviours);
+// Diff makes those emitter deltas first-class.
+//
+// The comparison is structural and order-insensitive where the
+// specification is order-insensitive (operations, messages, global
+// schema declarations), and covers the properties the client models
+// react to: binding style and body namespace, soapAction values,
+// imports and their locations, schema global declarations, simple
+// type facets and reference particles.
+
+// Delta is one structural difference between two descriptions.
+type Delta struct {
+	// Area localizes the difference (e.g. "binding", "schema",
+	// "imports", "operations").
+	Area string
+	// Detail describes it, naming both sides as A and B.
+	Detail string
+}
+
+// String renders the delta.
+func (d Delta) String() string { return d.Area + ": " + d.Detail }
+
+// Diff returns every structural difference between a and b. An empty
+// result means the descriptions are structurally equivalent.
+func Diff(a, b *Definitions) []Delta {
+	var out []Delta
+	add := func(area, format string, args ...any) {
+		out = append(out, Delta{Area: area, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	if a.TargetNamespace != b.TargetNamespace {
+		add("definitions", "target namespace A=%q B=%q", a.TargetNamespace, b.TargetNamespace)
+	}
+	if a.OperationCount() != b.OperationCount() {
+		add("operations", "operation count A=%d B=%d", a.OperationCount(), b.OperationCount())
+	}
+	diffOperations(a, b, add)
+	diffBindings(a, b, add)
+	diffSchemas(a, b, add)
+	return out
+}
+
+func diffOperations(a, b *Definitions, add func(string, string, ...any)) {
+	ops := func(d *Definitions) map[string]bool {
+		m := make(map[string]bool)
+		for _, pt := range d.PortTypes {
+			for _, op := range pt.Operations {
+				m[op.Name] = true
+			}
+		}
+		return m
+	}
+	ao, bo := ops(a), ops(b)
+	for _, name := range sortedKeys(ao) {
+		if !bo[name] {
+			add("operations", "operation %q only in A", name)
+		}
+	}
+	for _, name := range sortedKeys(bo) {
+		if !ao[name] {
+			add("operations", "operation %q only in B", name)
+		}
+	}
+	// Message part shapes for shared operations.
+	for _, name := range sortedKeys(ao) {
+		if !bo[name] {
+			continue
+		}
+		pa, pb := partShape(a, name), partShape(b, name)
+		if pa != pb {
+			add("messages", "operation %q input shape A=%s B=%s", name, pa, pb)
+		}
+	}
+}
+
+// partShape summarizes how an operation's input message references
+// its payload: by element or by type.
+func partShape(d *Definitions, opName string) string {
+	for _, pt := range d.PortTypes {
+		for _, op := range pt.Operations {
+			if op.Name != opName {
+				continue
+			}
+			m := d.Message(op.Input.Message)
+			if m == nil || len(m.Parts) == 0 {
+				return "none"
+			}
+			if !m.Parts[0].Element.IsZero() {
+				return fmt.Sprintf("element(%d parts)", len(m.Parts))
+			}
+			return fmt.Sprintf("type(%d parts)", len(m.Parts))
+		}
+	}
+	return "none"
+}
+
+func diffBindings(a, b *Definitions, add func(string, string, ...any)) {
+	styleOf := func(d *Definitions) (Style, string, string) {
+		for _, bd := range d.Bindings {
+			style := bd.Style
+			if style == "" {
+				style = StyleDocument
+			}
+			for _, op := range bd.Operations {
+				return style, op.SOAPAction, op.BodyNamespace
+			}
+			return style, "", ""
+		}
+		return "", "", ""
+	}
+	sa, actA, nsA := styleOf(a)
+	sb, actB, nsB := styleOf(b)
+	if sa != sb {
+		add("binding", "style A=%q B=%q", sa, sb)
+	}
+	if (actA == "") != (actB == "") {
+		add("binding", "soapAction A=%q B=%q", actA, actB)
+	}
+	if nsA != nsB {
+		add("binding", "body namespace A=%q B=%q", nsA, nsB)
+	}
+}
+
+func diffSchemas(a, b *Definitions, add func(string, string, ...any)) {
+	type importShape struct{ ns, loc string }
+	collect := func(d *Definitions) (imports map[importShape]bool, globals map[string]bool, facets map[string]bool, refs map[string]bool) {
+		imports = make(map[importShape]bool)
+		globals = make(map[string]bool)
+		facets = make(map[string]bool)
+		refs = make(map[string]bool)
+		if d.Types == nil {
+			return
+		}
+		for _, sch := range d.Types.Schemas {
+			for _, imp := range sch.Imports {
+				imports[importShape{imp.Namespace, imp.SchemaLocation}] = true
+			}
+			for _, name := range (&xsd.SchemaSet{Schemas: []*xsd.Schema{sch}}).GlobalNames() {
+				globals[name] = true
+			}
+			for _, st := range sch.SimpleTypes {
+				for _, f := range st.Facets {
+					facets[f.Name] = true
+				}
+			}
+			for i := range sch.ComplexTypes {
+				collectRefs(&sch.ComplexTypes[i], refs)
+			}
+		}
+		return
+	}
+	ia, ga, fa, ra := collect(a)
+	ib, gb, fb, rb := collect(b)
+
+	for imp := range ia {
+		if !ib[imp] {
+			add("imports", "import {%s loc=%q} only in A", imp.ns, imp.loc)
+		}
+	}
+	for imp := range ib {
+		if !ia[imp] {
+			add("imports", "import {%s loc=%q} only in B", imp.ns, imp.loc)
+		}
+	}
+	diffStringSets("schema", "global declaration", ga, gb, add)
+	diffStringSets("facets", "facet", fa, fb, add)
+	diffStringSets("references", "reference particle", ra, rb, add)
+}
+
+func collectRefs(ct *xsd.ComplexType, refs map[string]bool) {
+	for i := range ct.Sequence {
+		el := &ct.Sequence[i]
+		if !el.Ref.IsZero() {
+			refs[el.Ref.String()] = true
+		}
+		if el.Inline != nil {
+			collectRefs(el.Inline, refs)
+		}
+	}
+	for _, at := range ct.Attributes {
+		if !at.Ref.IsZero() {
+			refs[at.Ref.String()] = true
+		}
+	}
+}
+
+func diffStringSets(area, what string, a, b map[string]bool, add func(string, string, ...any)) {
+	for _, k := range sortedKeys(a) {
+		if !b[k] {
+			add(area, "%s %q only in A", what, k)
+		}
+	}
+	for _, k := range sortedKeys(b) {
+		if !a[k] {
+			add(area, "%s %q only in B", what, k)
+		}
+	}
+}
+
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,95 @@
+package wsdl
+
+import (
+	"strings"
+	"testing"
+
+	"wsinterop/internal/xsd"
+)
+
+func TestDiffIdentical(t *testing.T) {
+	if deltas := Diff(testDefinitions(), testDefinitions()); len(deltas) != 0 {
+		t.Errorf("identical documents differ: %v", deltas)
+	}
+}
+
+func hasDelta(deltas []Delta, area, substr string) bool {
+	for _, d := range deltas {
+		if d.Area == area && strings.Contains(d.Detail, substr) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDiffOperations(t *testing.T) {
+	a, b := testDefinitions(), testDefinitions()
+	b.PortTypes[0].Operations = nil
+	b.Bindings[0].Operations = nil
+	deltas := Diff(a, b)
+	if !hasDelta(deltas, "operations", "operation count") {
+		t.Errorf("missing operation-count delta: %v", deltas)
+	}
+	if !hasDelta(deltas, "operations", `"echo" only in A`) {
+		t.Errorf("missing operation-name delta: %v", deltas)
+	}
+}
+
+func TestDiffBindingStyleAndAction(t *testing.T) {
+	a, b := testDefinitions(), testDefinitions()
+	b.Bindings[0].Style = StyleRPC
+	b.Bindings[0].Operations[0].SOAPAction = "urn:act"
+	b.Bindings[0].Operations[0].BodyNamespace = "urn:tns"
+	deltas := Diff(a, b)
+	for _, want := range []string{"style", "soapAction", "body namespace"} {
+		if !hasDelta(deltas, "binding", want) {
+			t.Errorf("missing binding delta %q: %v", want, deltas)
+		}
+	}
+}
+
+func TestDiffImports(t *testing.T) {
+	a, b := testDefinitions(), testDefinitions()
+	b.Types.Schemas[0].Imports = []xsd.Import{{Namespace: "urn:ext", SchemaLocation: "x.xsd"}}
+	deltas := Diff(a, b)
+	if !hasDelta(deltas, "imports", "only in B") {
+		t.Errorf("missing import delta: %v", deltas)
+	}
+	// Same namespace but different location is still a difference.
+	a.Types.Schemas[0].Imports = []xsd.Import{{Namespace: "urn:ext"}}
+	deltas = Diff(a, b)
+	if !hasDelta(deltas, "imports", "only in A") || !hasDelta(deltas, "imports", "only in B") {
+		t.Errorf("location difference not detected: %v", deltas)
+	}
+}
+
+func TestDiffSchemaContent(t *testing.T) {
+	a, b := testDefinitions(), testDefinitions()
+	sch := b.Types.Schemas[0]
+	sch.SimpleTypes = append(sch.SimpleTypes, xsd.SimpleType{
+		Name: "Odd", Base: xsd.TypeString,
+		Facets: []xsd.Facet{{Name: "jaxb-format", Value: "y"}},
+	})
+	sch.ComplexTypes[0].Sequence = append(sch.ComplexTypes[0].Sequence, xsd.Element{
+		Ref: xsd.QName{Space: xsd.NamespaceXSD, Local: "schema"},
+	})
+	deltas := Diff(a, b)
+	if !hasDelta(deltas, "schema", `"Odd" only in B`) {
+		t.Errorf("missing global-declaration delta: %v", deltas)
+	}
+	if !hasDelta(deltas, "facets", "jaxb-format") {
+		t.Errorf("missing facet delta: %v", deltas)
+	}
+	if !hasDelta(deltas, "references", "schema") {
+		t.Errorf("missing reference delta: %v", deltas)
+	}
+}
+
+func TestDiffPartShape(t *testing.T) {
+	a, b := testDefinitions(), testDefinitions()
+	b.Messages[0].Parts = []Part{{Name: "arg", Type: xsd.TypeString}}
+	deltas := Diff(a, b)
+	if !hasDelta(deltas, "messages", "input shape") {
+		t.Errorf("missing part-shape delta: %v", deltas)
+	}
+}

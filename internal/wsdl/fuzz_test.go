@@ -1,0 +1,33 @@
+package wsdl
+
+import (
+	"testing"
+)
+
+// FuzzUnmarshal exercises the WSDL parser with arbitrary bytes: it
+// must never panic, and anything it accepts must re-serialize and
+// re-parse (parse → marshal → parse stability).
+func FuzzUnmarshal(f *testing.F) {
+	seed, err := Marshal(testDefinitions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`<wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/" targetNamespace="urn:x"></wsdl:definitions>`))
+	f.Add([]byte(``))
+	f.Add([]byte(`<html>`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		out, err := Marshal(d)
+		if err != nil {
+			t.Fatalf("accepted document failed to marshal: %v", err)
+		}
+		if _, err := Unmarshal(out); err != nil {
+			t.Fatalf("marshal output failed to reparse: %v\n%s", err, out)
+		}
+	})
+}

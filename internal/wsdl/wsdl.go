@@ -1,0 +1,255 @@
+// Package wsdl implements an object model for WSDL 1.1 service
+// description documents together with XML serialization and parsing.
+//
+// The model covers the document structure that SOAP web service
+// frameworks emit for document/literal and rpc/literal services:
+// embedded XSD schemas (<types>), abstract messages, port types with
+// operations, SOAP bindings, and service/port endpoints. It is the
+// interchange artifact at the centre of the interoperability study:
+// server-side framework subsystems produce these documents and
+// client-side subsystems consume them.
+package wsdl
+
+import (
+	"fmt"
+
+	"wsinterop/internal/xsd"
+)
+
+// Namespace constants for WSDL 1.1 and its SOAP 1.1 binding.
+const (
+	NamespaceWSDL     = "http://schemas.xmlsoap.org/wsdl/"
+	NamespaceSOAP     = "http://schemas.xmlsoap.org/wsdl/soap/"
+	NamespaceSOAPHTTP = "http://schemas.xmlsoap.org/soap/http"
+)
+
+// Style is the SOAP binding style.
+type Style string
+
+// Binding styles defined by WSDL 1.1.
+const (
+	StyleDocument Style = "document"
+	StyleRPC      Style = "rpc"
+)
+
+// Use is the SOAP body use attribute.
+type Use string
+
+// Body uses defined by WSDL 1.1. WS-I Basic Profile permits only
+// literal.
+const (
+	UseLiteral Use = "literal"
+	UseEncoded Use = "encoded"
+)
+
+// Definitions is the root of a WSDL 1.1 document.
+type Definitions struct {
+	Name            string
+	TargetNamespace string
+	Documentation   string
+	Types           *xsd.SchemaSet
+	Messages        []Message
+	PortTypes       []PortType
+	Bindings        []Binding
+	Services        []Service
+}
+
+// Message is an abstract message with typed parts.
+type Message struct {
+	Name  string
+	Parts []Part
+}
+
+// Part is one message part, referencing either a global element
+// (document style) or a type (rpc style).
+type Part struct {
+	Name    string
+	Element xsd.QName // element reference (document/literal)
+	Type    xsd.QName // type reference (rpc)
+}
+
+// PortType is the abstract interface: a named set of operations.
+type PortType struct {
+	Name       string
+	Operations []Operation
+}
+
+// Operation is one abstract operation with input and output messages
+// (request-response MEP; the study's services are all echo-style
+// request-response).
+type Operation struct {
+	Name   string
+	Input  IORef
+	Output IORef
+	Faults []IORef
+}
+
+// IORef references a message by local name within the document's
+// target namespace.
+type IORef struct {
+	Name    string
+	Message string
+}
+
+// Binding binds a port type to SOAP 1.1 over HTTP.
+type Binding struct {
+	Name       string
+	PortType   string // local name of the bound port type
+	Transport  string // soap:binding transport URI
+	Style      Style
+	Operations []BindingOperation
+}
+
+// BindingOperation carries the per-operation SOAP binding details.
+// BodyNamespace is the soapbind:body namespace attribute, which WS-I
+// requires for rpc-literal bindings (R2717) and forbids for
+// document-literal ones.
+type BindingOperation struct {
+	Name          string
+	SOAPAction    string
+	InputUse      Use
+	OutputUse     Use
+	BodyNamespace string
+}
+
+// Service exposes ports at concrete endpoint addresses.
+type Service struct {
+	Name  string
+	Ports []Port
+}
+
+// Port is one endpoint: a binding plus a location URI.
+type Port struct {
+	Name     string
+	Binding  string // local name of the binding
+	Location string
+}
+
+// Message returns the message with the given local name, or nil.
+func (d *Definitions) Message(name string) *Message {
+	for i := range d.Messages {
+		if d.Messages[i].Name == name {
+			return &d.Messages[i]
+		}
+	}
+	return nil
+}
+
+// PortType returns the port type with the given local name, or nil.
+func (d *Definitions) PortType(name string) *PortType {
+	for i := range d.PortTypes {
+		if d.PortTypes[i].Name == name {
+			return &d.PortTypes[i]
+		}
+	}
+	return nil
+}
+
+// Binding returns the binding with the given local name, or nil.
+func (d *Definitions) Binding(name string) *Binding {
+	for i := range d.Bindings {
+		if d.Bindings[i].Name == name {
+			return &d.Bindings[i]
+		}
+	}
+	return nil
+}
+
+// OperationCount returns the total number of abstract operations
+// across all port types. Zero operations is the "unusable WSDL"
+// condition §IV.A of the study highlights.
+func (d *Definitions) OperationCount() int {
+	n := 0
+	for i := range d.PortTypes {
+		n += len(d.PortTypes[i].Operations)
+	}
+	return n
+}
+
+// StructuralError describes an internal inconsistency in a WSDL
+// document discovered by Validate.
+type StructuralError struct {
+	Section string // e.g. "binding", "service", "message"
+	Detail  string
+}
+
+// Error implements the error interface.
+func (e *StructuralError) Error() string {
+	return fmt.Sprintf("wsdl %s: %s", e.Section, e.Detail)
+}
+
+// Validate checks referential integrity of the document: operations
+// reference declared messages, bindings reference declared port types
+// (and mirror their operations), service ports reference declared
+// bindings, and document-style parts reference schema elements that
+// exist. It returns every problem found rather than stopping at the
+// first, because the results-classification step needs the full list.
+func (d *Definitions) Validate() []*StructuralError {
+	var errs []*StructuralError
+	for _, pt := range d.PortTypes {
+		for _, op := range pt.Operations {
+			for _, ref := range []IORef{op.Input, op.Output} {
+				if ref.Message == "" {
+					continue
+				}
+				if d.Message(ref.Message) == nil {
+					errs = append(errs, &StructuralError{
+						Section: "portType",
+						Detail:  fmt.Sprintf("operation %s references undeclared message %q", op.Name, ref.Message),
+					})
+				}
+			}
+		}
+	}
+	for _, b := range d.Bindings {
+		pt := d.PortType(b.PortType)
+		if pt == nil {
+			errs = append(errs, &StructuralError{
+				Section: "binding",
+				Detail:  fmt.Sprintf("binding %s references undeclared portType %q", b.Name, b.PortType),
+			})
+			continue
+		}
+		for _, bop := range b.Operations {
+			found := false
+			for _, op := range pt.Operations {
+				if op.Name == bop.Name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				errs = append(errs, &StructuralError{
+					Section: "binding",
+					Detail:  fmt.Sprintf("binding %s declares operation %q absent from portType %s", b.Name, bop.Name, pt.Name),
+				})
+			}
+		}
+	}
+	for _, svc := range d.Services {
+		for _, p := range svc.Ports {
+			if d.Binding(p.Binding) == nil {
+				errs = append(errs, &StructuralError{
+					Section: "service",
+					Detail:  fmt.Sprintf("port %s references undeclared binding %q", p.Name, p.Binding),
+				})
+			}
+		}
+	}
+	if d.Types != nil {
+		for _, m := range d.Messages {
+			for _, part := range m.Parts {
+				if part.Element.IsZero() {
+					continue
+				}
+				if _, ok := d.Types.Element(part.Element); !ok {
+					errs = append(errs, &StructuralError{
+						Section: "message",
+						Detail:  fmt.Sprintf("part %s of message %s references undeclared element %s", part.Name, m.Name, part.Element),
+					})
+				}
+			}
+		}
+	}
+	return errs
+}

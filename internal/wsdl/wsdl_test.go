@@ -1,0 +1,159 @@
+package wsdl
+
+import (
+	"strings"
+	"testing"
+
+	"wsinterop/internal/xsd"
+)
+
+// testDefinitions builds a minimal but complete echo-service document.
+func testDefinitions() *Definitions {
+	tns := "http://svc.test/"
+	sch := &xsd.Schema{
+		TargetNamespace:    tns,
+		ElementFormDefault: "qualified",
+		ComplexTypes: []xsd.ComplexType{{
+			Name: "Payload",
+			Sequence: []xsd.Element{
+				{Name: "value", Type: xsd.TypeString, Occurs: xsd.Optional},
+			},
+		}},
+		Elements: []xsd.Element{
+			{Name: "echo", Inline: &xsd.ComplexType{Sequence: []xsd.Element{
+				{Name: "input", Type: xsd.QName{Space: tns, Local: "Payload"}, Occurs: xsd.Once},
+			}}},
+			{Name: "echoResponse", Inline: &xsd.ComplexType{Sequence: []xsd.Element{
+				{Name: "return", Type: xsd.QName{Space: tns, Local: "Payload"}, Occurs: xsd.Once},
+			}}},
+		},
+	}
+	return &Definitions{
+		Name:            "EchoService",
+		TargetNamespace: tns,
+		Types:           xsd.NewSchemaSet(sch),
+		Messages: []Message{
+			{Name: "echoRequest", Parts: []Part{{Name: "parameters", Element: xsd.QName{Space: tns, Local: "echo"}}}},
+			{Name: "echoResponse", Parts: []Part{{Name: "parameters", Element: xsd.QName{Space: tns, Local: "echoResponse"}}}},
+		},
+		PortTypes: []PortType{{
+			Name: "EchoPortType",
+			Operations: []Operation{{
+				Name:   "echo",
+				Input:  IORef{Message: "echoRequest"},
+				Output: IORef{Message: "echoResponse"},
+			}},
+		}},
+		Bindings: []Binding{{
+			Name:      "EchoBinding",
+			PortType:  "EchoPortType",
+			Transport: NamespaceSOAPHTTP,
+			Style:     StyleDocument,
+			Operations: []BindingOperation{{
+				Name: "echo", SOAPAction: "", InputUse: UseLiteral, OutputUse: UseLiteral,
+			}},
+		}},
+		Services: []Service{{
+			Name: "EchoService",
+			Ports: []Port{{
+				Name: "EchoPort", Binding: "EchoBinding",
+				Location: "http://localhost:8080/echo",
+			}},
+		}},
+	}
+}
+
+func TestLookups(t *testing.T) {
+	d := testDefinitions()
+	if d.Message("echoRequest") == nil {
+		t.Error("Message(echoRequest) = nil")
+	}
+	if d.Message("missing") != nil {
+		t.Error("Message(missing) should be nil")
+	}
+	if d.PortType("EchoPortType") == nil {
+		t.Error("PortType lookup failed")
+	}
+	if d.Binding("EchoBinding") == nil {
+		t.Error("Binding lookup failed")
+	}
+	if got := d.OperationCount(); got != 1 {
+		t.Errorf("OperationCount = %d, want 1", got)
+	}
+}
+
+func TestValidateClean(t *testing.T) {
+	if errs := testDefinitions().Validate(); len(errs) != 0 {
+		t.Errorf("clean document should validate, got %v", errs)
+	}
+}
+
+func TestValidateFindsEveryDefect(t *testing.T) {
+	t.Run("dangling message", func(t *testing.T) {
+		d := testDefinitions()
+		d.PortTypes[0].Operations[0].Input.Message = "missing"
+		if errs := d.Validate(); len(errs) != 1 || errs[0].Section != "portType" {
+			t.Errorf("got %v", errs)
+		}
+	})
+	t.Run("dangling portType", func(t *testing.T) {
+		d := testDefinitions()
+		d.Bindings[0].PortType = "missing"
+		if errs := d.Validate(); len(errs) != 1 || errs[0].Section != "binding" {
+			t.Errorf("got %v", errs)
+		}
+	})
+	t.Run("binding op not in portType", func(t *testing.T) {
+		d := testDefinitions()
+		d.Bindings[0].Operations[0].Name = "other"
+		if errs := d.Validate(); len(errs) != 1 || errs[0].Section != "binding" {
+			t.Errorf("got %v", errs)
+		}
+	})
+	t.Run("dangling binding in port", func(t *testing.T) {
+		d := testDefinitions()
+		d.Services[0].Ports[0].Binding = "missing"
+		if errs := d.Validate(); len(errs) != 1 || errs[0].Section != "service" {
+			t.Errorf("got %v", errs)
+		}
+	})
+	t.Run("dangling part element", func(t *testing.T) {
+		d := testDefinitions()
+		d.Messages[0].Parts[0].Element = xsd.QName{Space: d.TargetNamespace, Local: "missing"}
+		if errs := d.Validate(); len(errs) != 1 || errs[0].Section != "message" {
+			t.Errorf("got %v", errs)
+		}
+	})
+}
+
+func TestValidateReportsAllProblems(t *testing.T) {
+	d := testDefinitions()
+	d.Bindings[0].PortType = "missing"
+	d.Services[0].Ports[0].Binding = "alsoMissing"
+	errs := d.Validate()
+	if len(errs) != 2 {
+		t.Errorf("expected both problems reported, got %v", errs)
+	}
+}
+
+func TestZeroOperationDocument(t *testing.T) {
+	d := testDefinitions()
+	d.PortTypes[0].Operations = nil
+	d.Bindings[0].Operations = nil
+	d.Messages = nil
+	if got := d.OperationCount(); got != 0 {
+		t.Errorf("OperationCount = %d, want 0", got)
+	}
+	if errs := d.Validate(); len(errs) != 0 {
+		// The zero-operation WSDL is structurally valid — that is the
+		// paper's point.
+		t.Errorf("zero-operation document should validate, got %v", errs)
+	}
+}
+
+func TestStructuralErrorMessage(t *testing.T) {
+	e := &StructuralError{Section: "binding", Detail: "broken"}
+	if !strings.Contains(e.Error(), "binding") || !strings.Contains(e.Error(), "broken") {
+		t.Errorf("unhelpful error: %q", e.Error())
+	}
+}

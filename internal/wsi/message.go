@@ -1,0 +1,162 @@
+package wsi
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"mime"
+	"strings"
+)
+
+// This file implements message-level conformance checking: validating
+// the SOAP messages actually exchanged on the wire, independently of
+// the description-level assertions. The paper's related work (§II,
+// Ramsokul & Sowmya) proposes exactly this sniffer-based runtime
+// checking; here it complements the static three-step study and plugs
+// into the transport layer (transport.Sniffer) during the
+// Communication/Execution extension.
+//
+// The checker deliberately re-parses raw bytes with its own XML walk
+// rather than reusing internal/soap: a conformance checker that
+// shares the implementation under test would inherit its blind spots.
+
+// Message-level assertions (BP 1.1 messaging requirements, RM-prefixed
+// to distinguish them from the description-level R-assertions).
+var (
+	AssertionMsgEnvelope = Assertion{
+		ID:          "RM9980",
+		Description: "a MESSAGE must be serialized as a soap:Envelope in the SOAP 1.1 namespace",
+	}
+	AssertionMsgBodyChild = Assertion{
+		ID:          "RM1011",
+		Description: "a MESSAGE body must contain at most one child element",
+	}
+	AssertionMsgQualified = Assertion{
+		ID:          "RM1014",
+		Description: "children of soap:Body must be namespace-qualified",
+	}
+	AssertionMsgContentType = Assertion{
+		ID:          "RM1119",
+		Description: "a MESSAGE must be sent with a text/xml content type",
+	}
+	AssertionMsgSOAPAction = Assertion{
+		ID:          "RM1109",
+		Description: "the SOAPAction HTTP header value must be a quoted string",
+	}
+	AssertionMsgFaultShape = Assertion{
+		ID:          "RM1004",
+		Description: "a soap:Fault must carry faultcode and faultstring children",
+	}
+	AssertionMsgFaultStatus = Assertion{
+		ID:          "RM1126",
+		Description: "an HTTP response carrying a soap:Fault must use status 500",
+	}
+)
+
+// MessageAssertions lists the message-level assertion set.
+func MessageAssertions() []Assertion {
+	return []Assertion{
+		AssertionMsgEnvelope, AssertionMsgBodyChild, AssertionMsgQualified,
+		AssertionMsgContentType, AssertionMsgSOAPAction,
+		AssertionMsgFaultShape, AssertionMsgFaultStatus,
+	}
+}
+
+// MessageMeta carries the HTTP-level context of one captured message.
+type MessageMeta struct {
+	// ContentType is the Content-Type header value.
+	ContentType string
+	// SOAPAction is the raw SOAPAction header (requests only; empty
+	// means absent, which is acceptable for responses).
+	SOAPAction string
+	// HTTPStatus is the response status (0 for requests).
+	HTTPStatus int
+}
+
+const soapEnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+
+// CheckMessage validates one captured SOAP message against the
+// message-level assertion set.
+func (c *Checker) CheckMessage(raw []byte, meta MessageMeta) *Report {
+	r := &Report{}
+	c.checkTransportMeta(meta, r)
+
+	dec := xml.NewDecoder(bytes.NewReader(raw))
+	depth := 0
+	inBody := false
+	bodyDepth := 0
+	bodyChildren := 0
+	isFault := false
+	var faultFields map[string]bool
+	var pathStack []xml.Name
+
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			break
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			pathStack = append(pathStack, t.Name)
+			switch {
+			case depth == 1:
+				if t.Name.Local != "Envelope" || t.Name.Space != soapEnvelopeNS {
+					r.add(AssertionMsgEnvelope,
+						"root element is {%s}%s", t.Name.Space, t.Name.Local)
+				}
+			case depth == 2 && t.Name.Local == "Body" && t.Name.Space == soapEnvelopeNS:
+				inBody = true
+				bodyDepth = depth
+			case inBody && depth == bodyDepth+1:
+				bodyChildren++
+				if t.Name.Space == "" {
+					r.add(AssertionMsgQualified,
+						"body child %q is unqualified", t.Name.Local)
+				}
+				if t.Name.Local == "Fault" && t.Name.Space == soapEnvelopeNS {
+					isFault = true
+					faultFields = make(map[string]bool, 2)
+				}
+			case isFault && depth == bodyDepth+2:
+				faultFields[t.Name.Local] = true
+			}
+		case xml.EndElement:
+			if inBody && depth == bodyDepth {
+				inBody = false
+			}
+			depth--
+			if len(pathStack) > 0 {
+				pathStack = pathStack[:len(pathStack)-1]
+			}
+		}
+	}
+
+	if bodyChildren > 1 {
+		r.add(AssertionMsgBodyChild, "body has %d children", bodyChildren)
+	}
+	if isFault {
+		if !faultFields["faultcode"] || !faultFields["faultstring"] {
+			r.add(AssertionMsgFaultShape, "fault lacks faultcode and/or faultstring")
+		}
+		if meta.HTTPStatus != 0 && meta.HTTPStatus != 500 {
+			r.add(AssertionMsgFaultStatus, "fault returned with HTTP %d", meta.HTTPStatus)
+		}
+	}
+	return r
+}
+
+func (c *Checker) checkTransportMeta(meta MessageMeta, r *Report) {
+	if meta.ContentType != "" {
+		mediaType, _, err := mime.ParseMediaType(meta.ContentType)
+		if err != nil || mediaType != "text/xml" {
+			r.add(AssertionMsgContentType, "content type %q", meta.ContentType)
+		}
+	}
+	if meta.SOAPAction != "" {
+		v := meta.SOAPAction
+		if !strings.HasPrefix(v, `"`) || !strings.HasSuffix(v, `"`) || len(v) < 2 {
+			r.add(AssertionMsgSOAPAction, "SOAPAction %s is not quoted", fmt.Sprintf("%q", v))
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package wsi
+
+import (
+	"testing"
+)
+
+const cleanEnvelope = `<?xml version="1.0"?>
+<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+  <soap:Body>
+    <m:echo xmlns:m="http://svc.test/">
+      <m:input>hello</m:input>
+    </m:echo>
+  </soap:Body>
+</soap:Envelope>`
+
+const cleanFault = `<?xml version="1.0"?>
+<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+  <soap:Body>
+    <soap:Fault>
+      <faultcode>soap:Client</faultcode>
+      <faultstring>bad</faultstring>
+    </soap:Fault>
+  </soap:Body>
+</soap:Envelope>`
+
+func cleanMeta() MessageMeta {
+	return MessageMeta{ContentType: "text/xml; charset=utf-8", SOAPAction: `""`}
+}
+
+func TestCheckMessageClean(t *testing.T) {
+	r := NewChecker().CheckMessage([]byte(cleanEnvelope), cleanMeta())
+	if len(r.Violations) != 0 {
+		t.Errorf("clean message has findings: %v", r.Violations)
+	}
+}
+
+func TestCheckMessageWrongEnvelopeNamespace(t *testing.T) {
+	bad := `<Envelope xmlns="urn:wrong"><Body/></Envelope>`
+	r := NewChecker().CheckMessage([]byte(bad), cleanMeta())
+	if !violated(r, AssertionMsgEnvelope.ID) {
+		t.Errorf("expected RM9980, got %v", r.Violations)
+	}
+}
+
+func TestCheckMessageMultipleBodyChildren(t *testing.T) {
+	bad := `<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+	<soap:Body>
+	  <a:x xmlns:a="urn:a"/><a:y xmlns:a="urn:a"/>
+	</soap:Body></soap:Envelope>`
+	r := NewChecker().CheckMessage([]byte(bad), cleanMeta())
+	if !violated(r, AssertionMsgBodyChild.ID) {
+		t.Errorf("expected RM1011, got %v", r.Violations)
+	}
+}
+
+func TestCheckMessageUnqualifiedChild(t *testing.T) {
+	bad := `<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+	<soap:Body><echo/></soap:Body></soap:Envelope>`
+	r := NewChecker().CheckMessage([]byte(bad), cleanMeta())
+	if !violated(r, AssertionMsgQualified.ID) {
+		t.Errorf("expected RM1014, got %v", r.Violations)
+	}
+}
+
+func TestCheckMessageContentType(t *testing.T) {
+	meta := cleanMeta()
+	meta.ContentType = "application/soap+xml" // SOAP 1.2's type: not BP 1.1
+	r := NewChecker().CheckMessage([]byte(cleanEnvelope), meta)
+	if !violated(r, AssertionMsgContentType.ID) {
+		t.Errorf("expected RM1119, got %v", r.Violations)
+	}
+}
+
+func TestCheckMessageSOAPActionQuoting(t *testing.T) {
+	meta := cleanMeta()
+	meta.SOAPAction = "http://unquoted/action"
+	r := NewChecker().CheckMessage([]byte(cleanEnvelope), meta)
+	if !violated(r, AssertionMsgSOAPAction.ID) {
+		t.Errorf("expected RM1109, got %v", r.Violations)
+	}
+	meta.SOAPAction = `"http://quoted/action"`
+	r = NewChecker().CheckMessage([]byte(cleanEnvelope), meta)
+	if violated(r, AssertionMsgSOAPAction.ID) {
+		t.Errorf("quoted SOAPAction should pass, got %v", r.Violations)
+	}
+}
+
+func TestCheckMessageFaultShape(t *testing.T) {
+	r := NewChecker().CheckMessage([]byte(cleanFault), MessageMeta{
+		ContentType: "text/xml", HTTPStatus: 500,
+	})
+	if len(r.Violations) != 0 {
+		t.Errorf("well-formed fault has findings: %v", r.Violations)
+	}
+
+	bad := `<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+	<soap:Body><soap:Fault><faultstring>x</faultstring></soap:Fault></soap:Body></soap:Envelope>`
+	r = NewChecker().CheckMessage([]byte(bad), MessageMeta{ContentType: "text/xml", HTTPStatus: 500})
+	if !violated(r, AssertionMsgFaultShape.ID) {
+		t.Errorf("expected RM1004, got %v", r.Violations)
+	}
+}
+
+func TestCheckMessageFaultStatus(t *testing.T) {
+	r := NewChecker().CheckMessage([]byte(cleanFault), MessageMeta{
+		ContentType: "text/xml", HTTPStatus: 200,
+	})
+	if !violated(r, AssertionMsgFaultStatus.ID) {
+		t.Errorf("expected RM1126, got %v", r.Violations)
+	}
+}
+
+func TestMessageAssertionIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range append(AllAssertions(), MessageAssertions()...) {
+		if seen[a.ID] {
+			t.Errorf("duplicate assertion ID %s", a.ID)
+		}
+		seen[a.ID] = true
+	}
+}

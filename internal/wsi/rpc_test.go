@@ -1,0 +1,64 @@
+package wsi
+
+import (
+	"testing"
+
+	"wsinterop/internal/wsdl"
+	"wsinterop/internal/xsd"
+)
+
+// rpcDoc converts the clean test document to rpc/literal.
+func rpcDoc() *wsdl.Definitions {
+	d := cleanDoc()
+	tns := d.TargetNamespace
+	d.Bindings[0].Style = wsdl.StyleRPC
+	d.Bindings[0].Operations[0].BodyNamespace = tns
+	d.Messages = []wsdl.Message{
+		{Name: "in", Parts: []wsdl.Part{{Name: "input", Type: xsd.QName{Space: tns, Local: "Payload"}}}},
+		{Name: "out", Parts: []wsdl.Part{{Name: "return", Type: xsd.QName{Space: tns, Local: "Payload"}}}},
+	}
+	// rpc documents do not declare wrapper elements.
+	d.Types.Schemas[0].Elements = nil
+	return d
+}
+
+func TestRPCCleanDocumentPasses(t *testing.T) {
+	r := NewChecker().Check(rpcDoc())
+	if len(r.Violations) != 0 {
+		t.Errorf("clean rpc document has findings: %v", r.Violations)
+	}
+}
+
+func TestRPCElementPartFailsR2203(t *testing.T) {
+	d := rpcDoc()
+	d.Types.Schemas[0].Elements = []xsd.Element{{
+		Name: "echo",
+		Type: xsd.QName{Space: d.TargetNamespace, Local: "Payload"},
+	}}
+	d.Messages[0].Parts[0] = wsdl.Part{
+		Name:    "input",
+		Element: xsd.QName{Space: d.TargetNamespace, Local: "echo"},
+	}
+	r := NewChecker().Check(d)
+	if !violated(r, AssertionRPCPartType.ID) {
+		t.Errorf("expected R2203, got %v", r.Violations)
+	}
+}
+
+func TestRPCMissingBodyNamespaceFailsR2717(t *testing.T) {
+	d := rpcDoc()
+	d.Bindings[0].Operations[0].BodyNamespace = ""
+	r := NewChecker().Check(d)
+	if !violated(r, AssertionRPCNamespace.ID) {
+		t.Errorf("expected R2717, got %v", r.Violations)
+	}
+}
+
+func TestDocumentWithBodyNamespaceFailsR2716(t *testing.T) {
+	d := cleanDoc()
+	d.Bindings[0].Operations[0].BodyNamespace = d.TargetNamespace
+	r := NewChecker().Check(d)
+	if !violated(r, AssertionDocNoNamespace.ID) {
+		t.Errorf("expected R2716, got %v", r.Violations)
+	}
+}

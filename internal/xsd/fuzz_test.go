@@ -1,0 +1,31 @@
+package xsd
+
+import "testing"
+
+// FuzzUnmarshalSchema exercises the schema parser with arbitrary
+// bytes: no panics, and accepted schemas must survive a marshal /
+// re-parse cycle.
+func FuzzUnmarshalSchema(f *testing.F) {
+	seed, err := MarshalSchema(testSchema(), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`<schema xmlns="http://www.w3.org/2001/XMLSchema" targetNamespace="urn:x"/>`))
+	f.Add([]byte(`<schema xmlns="urn:not-xsd"><element type="und:ef"/></schema>`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sch, err := UnmarshalSchema(data)
+		if err != nil {
+			return
+		}
+		out, err := MarshalSchema(sch, nil)
+		if err != nil {
+			t.Fatalf("accepted schema failed to marshal: %v", err)
+		}
+		if _, err := UnmarshalSchema(out); err != nil {
+			t.Fatalf("marshal output failed to reparse: %v\n%s", err, out)
+		}
+	})
+}

@@ -1,0 +1,102 @@
+package xsd
+
+import (
+	"encoding/base64"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Lexical validation of simple-type values. The Execution step of the
+// inter-operation lifecycle deserializes message payloads against the
+// service schema; this file provides the value-space checks the
+// transport runtime applies to incoming payloads, covering the
+// built-in types the framework emitters map bean properties to.
+
+// ValidLexical reports whether value is a valid lexical form of the
+// built-in simple type q. Unknown or non-XSD types accept any value
+// (they map to anyType-style handling in every framework of the
+// study).
+func ValidLexical(q QName, value string) bool {
+	if q.Space != NamespaceXSD {
+		return true
+	}
+	switch q.Local {
+	case "string", "anyType", "anySimpleType", "anyURI",
+		"normalizedString", "token", "language":
+		return true
+	case "int":
+		v, err := strconv.ParseInt(strings.TrimSpace(value), 10, 64)
+		return err == nil && v >= -2147483648 && v <= 2147483647
+	case "long", "integer":
+		_, err := strconv.ParseInt(strings.TrimSpace(value), 10, 64)
+		return err == nil
+	case "short":
+		v, err := strconv.ParseInt(strings.TrimSpace(value), 10, 64)
+		return err == nil && v >= -32768 && v <= 32767
+	case "byte":
+		v, err := strconv.ParseInt(strings.TrimSpace(value), 10, 64)
+		return err == nil && v >= -128 && v <= 127
+	case "unsignedByte", "unsignedShort", "unsignedInt", "unsignedLong":
+		_, err := strconv.ParseUint(strings.TrimSpace(value), 10, 64)
+		return err == nil
+	case "boolean":
+		switch strings.TrimSpace(value) {
+		case "true", "false", "1", "0":
+			return true
+		}
+		return false
+	case "float", "double", "decimal":
+		_, err := strconv.ParseFloat(strings.TrimSpace(value), 64)
+		return err == nil
+	case "dateTime":
+		return validDateTime(strings.TrimSpace(value))
+	case "date":
+		_, err := time.Parse("2006-01-02", strings.TrimSpace(value))
+		return err == nil
+	case "time":
+		_, err := time.Parse("15:04:05", strings.TrimSpace(value))
+		return err == nil
+	case "base64Binary":
+		_, err := base64.StdEncoding.DecodeString(strings.TrimSpace(value))
+		return err == nil
+	case "hexBinary":
+		s := strings.TrimSpace(value)
+		if len(s)%2 != 0 {
+			return false
+		}
+		for _, r := range s {
+			ok := (r >= '0' && r <= '9') || (r >= 'a' && r <= 'f') || (r >= 'A' && r <= 'F')
+			if !ok {
+				return false
+			}
+		}
+		return true
+	case "duration":
+		return strings.HasPrefix(strings.TrimSpace(value), "P") ||
+			strings.HasPrefix(strings.TrimSpace(value), "-P")
+	case "QName":
+		s := strings.TrimSpace(value)
+		return s != "" && !strings.HasPrefix(s, ":") && !strings.HasSuffix(s, ":") &&
+			strings.Count(s, ":") <= 1
+	default:
+		return true
+	}
+}
+
+// validDateTime accepts the XSD dateTime lexical space: ISO 8601 with
+// optional fractional seconds and optional zone designator.
+func validDateTime(s string) bool {
+	layouts := []string{
+		"2006-01-02T15:04:05",
+		"2006-01-02T15:04:05Z07:00",
+		"2006-01-02T15:04:05.999999999",
+		"2006-01-02T15:04:05.999999999Z07:00",
+	}
+	for _, layout := range layouts {
+		if _, err := time.Parse(layout, s); err == nil {
+			return true
+		}
+	}
+	return false
+}

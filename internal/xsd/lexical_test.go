@@ -1,0 +1,102 @@
+package xsd
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidLexicalTable(t *testing.T) {
+	tests := []struct {
+		typ   QName
+		value string
+		want  bool
+	}{
+		{TypeString, "anything at all", true},
+		{TypeString, "", true},
+		{TypeInt, "42", true},
+		{TypeInt, " 42 ", true},
+		{TypeInt, "2147483647", true},
+		{TypeInt, "2147483648", false},
+		{TypeInt, "-2147483649", false},
+		{TypeInt, "x", false},
+		{TypeLong, "9223372036854775807", true},
+		{TypeLong, "9223372036854775808", false},
+		{XSD("short"), "32767", true},
+		{XSD("short"), "32768", false},
+		{XSD("byte"), "-128", true},
+		{XSD("byte"), "-129", false},
+		{XSD("unsignedInt"), "0", true},
+		{XSD("unsignedInt"), "-1", false},
+		{TypeBoolean, "true", true},
+		{TypeBoolean, "false", true},
+		{TypeBoolean, "1", true},
+		{TypeBoolean, "0", true},
+		{TypeBoolean, "TRUE", false},
+		{TypeBoolean, "yes", false},
+		{TypeDouble, "1.5", true},
+		{TypeDouble, "-3e8", true},
+		{TypeDouble, "one", false},
+		{TypeDecimal, "10.01", true},
+		{TypeDateTime, "2014-06-23T10:00:00", true},
+		{TypeDateTime, "2014-06-23T10:00:00Z", true},
+		{TypeDateTime, "2014-06-23T10:00:00.123+01:00", true},
+		{TypeDateTime, "2014-06-23", false},
+		{TypeDateTime, "not a date", false},
+		{XSD("date"), "2014-06-23", true},
+		{XSD("date"), "23/06/2014", false},
+		{XSD("time"), "10:00:00", true},
+		{XSD("time"), "25:00:00", false},
+		{TypeBase64Binary, "AA==", true},
+		{TypeBase64Binary, "!!!", false},
+		{XSD("hexBinary"), "00ff", true},
+		{XSD("hexBinary"), "0f0", false},
+		{XSD("hexBinary"), "zz", false},
+		{XSD("duration"), "P1DT2H", true},
+		{XSD("duration"), "-P1D", true},
+		{XSD("duration"), "1D", false},
+		{TypeQNameType, "tns:Widget", true},
+		{TypeQNameType, "Widget", true},
+		{TypeQNameType, ":bad", false},
+		{TypeQNameType, "a:b:c", false},
+		{TypeAnyType, "whatever", true},
+		// Non-XSD types carry opaque content.
+		{QName{Space: "http://beans/", Local: "Widget"}, "<anything/>", true},
+	}
+	for _, tt := range tests {
+		if got := ValidLexical(tt.typ, tt.value); got != tt.want {
+			t.Errorf("ValidLexical(%s, %q) = %v, want %v", tt.typ, tt.value, got, tt.want)
+		}
+	}
+}
+
+// TestValidLexicalIntProperty: the int validator agrees with the
+// parser over the whole integer range.
+func TestValidLexicalIntProperty(t *testing.T) {
+	f := func(v int64) bool {
+		want := v >= -2147483648 && v <= 2147483647
+		return ValidLexical(TypeInt, strconv.FormatInt(v, 10)) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValidLexicalNeverPanics: arbitrary strings never panic any
+// validator.
+func TestValidLexicalNeverPanics(t *testing.T) {
+	types := []QName{
+		TypeString, TypeInt, TypeLong, TypeBoolean, TypeDouble,
+		TypeDateTime, TypeBase64Binary, XSD("hexBinary"), XSD("duration"),
+		TypeQNameType, XSD("date"), XSD("time"), XSD("unsignedLong"),
+	}
+	f := func(s string) bool {
+		for _, q := range types {
+			_ = ValidLexical(q, s)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

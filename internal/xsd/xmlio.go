@@ -1,0 +1,455 @@
+package xsd
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements XML serialization and parsing for the schema
+// object model. The wire format follows the conventional layout used
+// by JAX-WS and WCF emitters: one xs:schema element per target
+// namespace, qualified references written as prefix:local with the
+// prefix map declared on the schema element.
+//
+// The writer assigns prefixes deterministically (tns for the target
+// namespace, xs for XML Schema, q1..qN for foreign namespaces) so that
+// document output is byte-stable for a given model — a property the
+// campaign runner and the round-trip property tests rely on.
+
+// xmlSchema is the wire representation of a Schema.
+type xmlSchema struct {
+	XMLName            xml.Name         `xml:"http://www.w3.org/2001/XMLSchema schema"`
+	TargetNamespace    string           `xml:"targetNamespace,attr,omitempty"`
+	ElementFormDefault string           `xml:"elementFormDefault,attr,omitempty"`
+	Attrs              []xml.Attr       `xml:",any,attr"`
+	Imports            []xmlImport      `xml:"import"`
+	SimpleTypes        []xmlSimpleType  `xml:"simpleType"`
+	ComplexTypes       []xmlComplexType `xml:"complexType"`
+	Elements           []xmlElement     `xml:"element"`
+}
+
+type xmlImport struct {
+	Namespace      string `xml:"namespace,attr"`
+	SchemaLocation string `xml:"schemaLocation,attr,omitempty"`
+}
+
+type xmlElement struct {
+	Name      string          `xml:"name,attr,omitempty"`
+	Type      string          `xml:"type,attr,omitempty"`
+	Ref       string          `xml:"ref,attr,omitempty"`
+	MinOccurs string          `xml:"minOccurs,attr,omitempty"`
+	MaxOccurs string          `xml:"maxOccurs,attr,omitempty"`
+	Nillable  string          `xml:"nillable,attr,omitempty"`
+	Inline    *xmlComplexType `xml:"complexType"`
+}
+
+type xmlComplexType struct {
+	Name      string        `xml:"name,attr,omitempty"`
+	Abstract  string        `xml:"abstract,attr,omitempty"`
+	Sequence  *xmlSequence  `xml:"sequence"`
+	Extension *xmlExtension `xml:"complexContent>extension"`
+	Attrs     []xmlAttrDecl `xml:"attribute"`
+}
+
+type xmlExtension struct {
+	Base     string        `xml:"base,attr"`
+	Sequence *xmlSequence  `xml:"sequence"`
+	Attrs    []xmlAttrDecl `xml:"attribute"`
+}
+
+type xmlSequence struct {
+	Elements []xmlElement `xml:"element"`
+	Any      []xmlAny     `xml:"any"`
+}
+
+type xmlAny struct {
+	Namespace       string `xml:"namespace,attr,omitempty"`
+	ProcessContents string `xml:"processContents,attr,omitempty"`
+	MinOccurs       string `xml:"minOccurs,attr,omitempty"`
+	MaxOccurs       string `xml:"maxOccurs,attr,omitempty"`
+}
+
+type xmlAttrDecl struct {
+	Name string `xml:"name,attr,omitempty"`
+	Type string `xml:"type,attr,omitempty"`
+	Ref  string `xml:"ref,attr,omitempty"`
+}
+
+type xmlSimpleType struct {
+	Name        string          `xml:"name,attr"`
+	Restriction *xmlRestriction `xml:"restriction"`
+}
+
+type xmlRestriction struct {
+	Base   string     `xml:"base,attr"`
+	Inner  []innerXML `xml:",any"`
+	Facets []Facet    `xml:"-"`
+}
+
+type innerXML struct {
+	XMLName xml.Name
+	Value   string `xml:"value,attr"`
+}
+
+// PrefixTable maps namespace URIs to prefixes for one schema document.
+type PrefixTable struct {
+	byNS   map[string]string
+	order  []string
+	target string
+}
+
+// NewPrefixTable creates a deterministic prefix assignment for the
+// given target namespace.
+func NewPrefixTable(target string) *PrefixTable {
+	pt := &PrefixTable{byNS: make(map[string]string, 4), target: target}
+	pt.assign(NamespaceXSD, "xs")
+	if target != "" {
+		pt.assign(target, "tns")
+	}
+	pt.assign(NamespaceXML, "xml")
+	return pt
+}
+
+func (pt *PrefixTable) assign(ns, prefix string) {
+	if _, ok := pt.byNS[ns]; ok {
+		return
+	}
+	pt.byNS[ns] = prefix
+	pt.order = append(pt.order, ns)
+}
+
+// Prefix returns the prefix for ns, assigning q1..qN on first use of a
+// foreign namespace.
+func (pt *PrefixTable) Prefix(ns string) string {
+	if p, ok := pt.byNS[ns]; ok {
+		return p
+	}
+	p := "q" + strconv.Itoa(len(pt.order))
+	pt.assign(ns, p)
+	return p
+}
+
+// Ref renders a QName as prefix:local using this table.
+func (pt *PrefixTable) Ref(q QName) string {
+	if q.IsZero() {
+		return ""
+	}
+	if q.Space == "" {
+		return q.Local
+	}
+	return pt.Prefix(q.Space) + ":" + q.Local
+}
+
+// Declarations returns the xmlns attributes for every assigned prefix
+// except the reserved xml: prefix.
+func (pt *PrefixTable) Declarations() []xml.Attr {
+	attrs := make([]xml.Attr, 0, len(pt.order))
+	for _, ns := range pt.order {
+		if ns == NamespaceXML {
+			continue
+		}
+		attrs = append(attrs, xml.Attr{
+			Name:  xml.Name{Local: "xmlns:" + pt.byNS[ns]},
+			Value: ns,
+		})
+	}
+	return attrs
+}
+
+// MarshalSchema serializes one schema block to XML. The prefix table
+// may be shared with an enclosing WSDL writer; pass nil to create a
+// fresh one.
+func MarshalSchema(sch *Schema, pt *PrefixTable) ([]byte, error) {
+	if pt == nil {
+		pt = NewPrefixTable(sch.TargetNamespace)
+	}
+	ws := toWireSchema(sch, pt)
+	ws.Attrs = pt.Declarations()
+	return xml.MarshalIndent(ws, "", "  ")
+}
+
+func toWireSchema(sch *Schema, pt *PrefixTable) *xmlSchema {
+	ws := &xmlSchema{
+		TargetNamespace:    sch.TargetNamespace,
+		ElementFormDefault: sch.ElementFormDefault,
+	}
+	for _, imp := range sch.Imports {
+		ws.Imports = append(ws.Imports, xmlImport(imp))
+	}
+	for i := range sch.SimpleTypes {
+		ws.SimpleTypes = append(ws.SimpleTypes, toWireSimpleType(&sch.SimpleTypes[i], pt))
+	}
+	for i := range sch.ComplexTypes {
+		ws.ComplexTypes = append(ws.ComplexTypes, *toWireComplexType(&sch.ComplexTypes[i], pt))
+	}
+	for i := range sch.Elements {
+		ws.Elements = append(ws.Elements, toWireElement(&sch.Elements[i], pt))
+	}
+	return ws
+}
+
+func toWireElement(el *Element, pt *PrefixTable) xmlElement {
+	we := xmlElement{
+		Name: el.Name,
+		Type: pt.Ref(el.Type),
+		Ref:  pt.Ref(el.Ref),
+	}
+	if el.Occurs != Once && el.Occurs != (Occurs{}) {
+		we.MinOccurs = strconv.Itoa(el.Occurs.Min)
+		if el.Occurs.Max < 0 {
+			we.MaxOccurs = "unbounded"
+		} else {
+			we.MaxOccurs = strconv.Itoa(el.Occurs.Max)
+		}
+	}
+	if el.Nillable {
+		we.Nillable = "true"
+	}
+	if el.Inline != nil {
+		ct := toWireComplexType(el.Inline, pt)
+		ct.Name = ""
+		we.Inline = ct
+	}
+	return we
+}
+
+func toWireComplexType(ct *ComplexType, pt *PrefixTable) *xmlComplexType {
+	wct := &xmlComplexType{Name: ct.Name}
+	if ct.Abstract {
+		wct.Abstract = "true"
+	}
+	seq := &xmlSequence{}
+	for i := range ct.Sequence {
+		seq.Elements = append(seq.Elements, toWireElement(&ct.Sequence[i], pt))
+	}
+	for _, a := range ct.Any {
+		wa := xmlAny{Namespace: a.Namespace, ProcessContents: a.ProcessContents}
+		if a.Occurs != Once && a.Occurs != (Occurs{}) {
+			wa.MinOccurs = strconv.Itoa(a.Occurs.Min)
+			if a.Occurs.Max < 0 {
+				wa.MaxOccurs = "unbounded"
+			} else {
+				wa.MaxOccurs = strconv.Itoa(a.Occurs.Max)
+			}
+		}
+		seq.Any = append(seq.Any, wa)
+	}
+	var attrs []xmlAttrDecl
+	for _, at := range ct.Attributes {
+		attrs = append(attrs, xmlAttrDecl{Name: at.Name, Type: pt.Ref(at.Type), Ref: pt.Ref(at.Ref)})
+	}
+	if !ct.Base.IsZero() {
+		wct.Extension = &xmlExtension{Base: pt.Ref(ct.Base), Sequence: seq, Attrs: attrs}
+	} else {
+		if len(seq.Elements) > 0 || len(seq.Any) > 0 {
+			wct.Sequence = seq
+		}
+		wct.Attrs = attrs
+	}
+	return wct
+}
+
+func toWireSimpleType(st *SimpleType, pt *PrefixTable) xmlSimpleType {
+	wst := xmlSimpleType{Name: st.Name}
+	r := &xmlRestriction{Base: pt.Ref(st.Base)}
+	for _, f := range st.Facets {
+		r.Inner = append(r.Inner, innerXML{
+			XMLName: xml.Name{Space: NamespaceXSD, Local: f.Name},
+			Value:   f.Value,
+		})
+	}
+	wst.Restriction = r
+	return wst
+}
+
+// nsResolver resolves prefix:local strings back to QNames using the
+// xmlns declarations captured during parsing.
+type nsResolver struct {
+	prefixes map[string]string
+}
+
+func newNSResolver(attrs []xml.Attr, target string) *nsResolver {
+	r := &nsResolver{prefixes: map[string]string{
+		"xml": NamespaceXML,
+	}}
+	for _, a := range attrs {
+		if a.Name.Space == "xmlns" {
+			r.prefixes[a.Name.Local] = a.Value
+		} else if strings.HasPrefix(a.Name.Local, "xmlns:") {
+			r.prefixes[strings.TrimPrefix(a.Name.Local, "xmlns:")] = a.Value
+		} else if a.Name.Local == "xmlns" && a.Name.Space == "" {
+			r.prefixes[""] = a.Value
+		}
+	}
+	if _, ok := r.prefixes[""]; !ok {
+		r.prefixes[""] = target
+	}
+	return r
+}
+
+func (r *nsResolver) qname(s string) (QName, error) {
+	if s == "" {
+		return QName{}, nil
+	}
+	prefix, local := "", s
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		prefix, local = s[:i], s[i+1:]
+	}
+	ns, ok := r.prefixes[prefix]
+	if !ok {
+		return QName{}, fmt.Errorf("xsd: undeclared namespace prefix %q in %q", prefix, s)
+	}
+	return QName{Space: ns, Local: local}, nil
+}
+
+// UnmarshalSchema parses one xs:schema XML document into the object
+// model. Extra xmlns declarations present on the element are honoured
+// when resolving qualified references.
+func UnmarshalSchema(data []byte) (*Schema, error) {
+	var ws xmlSchema
+	if err := xml.Unmarshal(data, &ws); err != nil {
+		return nil, fmt.Errorf("xsd: parse schema: %w", err)
+	}
+	return fromWireSchema(&ws)
+}
+
+func fromWireSchema(ws *xmlSchema) (*Schema, error) {
+	res := newNSResolver(ws.Attrs, ws.TargetNamespace)
+	sch := &Schema{
+		TargetNamespace:    ws.TargetNamespace,
+		ElementFormDefault: ws.ElementFormDefault,
+	}
+	for _, imp := range ws.Imports {
+		sch.Imports = append(sch.Imports, Import(imp))
+	}
+	for _, wst := range ws.SimpleTypes {
+		st, err := fromWireSimpleType(&wst, res)
+		if err != nil {
+			return nil, err
+		}
+		sch.SimpleTypes = append(sch.SimpleTypes, *st)
+	}
+	for i := range ws.ComplexTypes {
+		ct, err := fromWireComplexType(&ws.ComplexTypes[i], res)
+		if err != nil {
+			return nil, err
+		}
+		sch.ComplexTypes = append(sch.ComplexTypes, *ct)
+	}
+	for i := range ws.Elements {
+		el, err := fromWireElement(&ws.Elements[i], res)
+		if err != nil {
+			return nil, err
+		}
+		sch.Elements = append(sch.Elements, *el)
+	}
+	return sch, nil
+}
+
+func parseOccurs(minA, maxA string) (Occurs, error) {
+	oc := Once
+	if minA != "" {
+		v, err := strconv.Atoi(minA)
+		if err != nil {
+			return oc, fmt.Errorf("xsd: bad minOccurs %q: %w", minA, err)
+		}
+		oc.Min = v
+	}
+	switch {
+	case maxA == "unbounded":
+		oc.Max = -1
+	case maxA != "":
+		v, err := strconv.Atoi(maxA)
+		if err != nil {
+			return oc, fmt.Errorf("xsd: bad maxOccurs %q: %w", maxA, err)
+		}
+		oc.Max = v
+	}
+	return oc, nil
+}
+
+func fromWireElement(we *xmlElement, res *nsResolver) (*Element, error) {
+	el := &Element{Name: we.Name, Nillable: we.Nillable == "true"}
+	var err error
+	if el.Occurs, err = parseOccurs(we.MinOccurs, we.MaxOccurs); err != nil {
+		return nil, err
+	}
+	if el.Type, err = res.qname(we.Type); err != nil {
+		return nil, err
+	}
+	if el.Ref, err = res.qname(we.Ref); err != nil {
+		return nil, err
+	}
+	if we.Inline != nil {
+		ct, err := fromWireComplexType(we.Inline, res)
+		if err != nil {
+			return nil, err
+		}
+		el.Inline = ct
+	}
+	return el, nil
+}
+
+func fromWireComplexType(wct *xmlComplexType, res *nsResolver) (*ComplexType, error) {
+	ct := &ComplexType{Name: wct.Name, Abstract: wct.Abstract == "true"}
+	seq := wct.Sequence
+	attrs := wct.Attrs
+	if wct.Extension != nil {
+		base, err := res.qname(wct.Extension.Base)
+		if err != nil {
+			return nil, err
+		}
+		ct.Base = base
+		seq = wct.Extension.Sequence
+		attrs = wct.Extension.Attrs
+	}
+	if seq != nil {
+		for i := range seq.Elements {
+			el, err := fromWireElement(&seq.Elements[i], res)
+			if err != nil {
+				return nil, err
+			}
+			ct.Sequence = append(ct.Sequence, *el)
+		}
+		for _, wa := range seq.Any {
+			oc, err := parseOccurs(wa.MinOccurs, wa.MaxOccurs)
+			if err != nil {
+				return nil, err
+			}
+			ct.Any = append(ct.Any, AnyParticle{
+				Namespace:       wa.Namespace,
+				ProcessContents: wa.ProcessContents,
+				Occurs:          oc,
+			})
+		}
+	}
+	for _, wa := range attrs {
+		at := Attribute{Name: wa.Name}
+		var err error
+		if at.Type, err = res.qname(wa.Type); err != nil {
+			return nil, err
+		}
+		if at.Ref, err = res.qname(wa.Ref); err != nil {
+			return nil, err
+		}
+		ct.Attributes = append(ct.Attributes, at)
+	}
+	return ct, nil
+}
+
+func fromWireSimpleType(wst *xmlSimpleType, res *nsResolver) (*SimpleType, error) {
+	st := &SimpleType{Name: wst.Name}
+	if wst.Restriction != nil {
+		base, err := res.qname(wst.Restriction.Base)
+		if err != nil {
+			return nil, err
+		}
+		st.Base = base
+		for _, in := range wst.Restriction.Inner {
+			st.Facets = append(st.Facets, Facet{Name: in.XMLName.Local, Value: in.Value})
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,293 @@
+package xsd
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalSchemaDeterministic(t *testing.T) {
+	a, err := MarshalSchema(testSchema(), nil)
+	if err != nil {
+		t.Fatalf("MarshalSchema: %v", err)
+	}
+	b, err := MarshalSchema(testSchema(), nil)
+	if err != nil {
+		t.Fatalf("MarshalSchema: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("serialization is not byte-stable for identical models")
+	}
+}
+
+func TestSchemaRoundTrip(t *testing.T) {
+	orig := testSchema()
+	orig.Imports = []Import{{Namespace: "http://external/", SchemaLocation: "ext.xsd"}}
+	orig.SimpleTypes = []SimpleType{{
+		Name: "Pattern", Base: TypeString,
+		Facets: []Facet{{Name: "pattern", Value: "[a-z]+"}, {Name: "jaxb-format", Value: "x"}},
+	}}
+	orig.ComplexTypes[0].Attributes = []Attribute{
+		{Name: "version", Type: TypeString},
+		{Ref: QName{Space: NamespaceXML, Local: "lang"}},
+	}
+	orig.ComplexTypes[0].Any = []AnyParticle{
+		{Namespace: "##any", ProcessContents: "lax", Occurs: Unbounded},
+	}
+
+	data, err := MarshalSchema(orig, nil)
+	if err != nil {
+		t.Fatalf("MarshalSchema: %v", err)
+	}
+	got, err := UnmarshalSchema(data)
+	if err != nil {
+		t.Fatalf("UnmarshalSchema: %v\ndocument:\n%s", err, data)
+	}
+	normalizeSchema(orig)
+	normalizeSchema(got)
+	if !reflect.DeepEqual(orig, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v\ndocument:\n%s", got, orig, data)
+	}
+}
+
+// normalizeSchema canonicalizes occurrence defaults so the comparison
+// is on semantics rather than representation (the writer omits 1..1).
+func normalizeSchema(s *Schema) {
+	var normCT func(ct *ComplexType)
+	normEl := func(el *Element) {
+		if el.Occurs == (Occurs{}) {
+			el.Occurs = Once
+		}
+	}
+	normCT = func(ct *ComplexType) {
+		for i := range ct.Sequence {
+			normEl(&ct.Sequence[i])
+			if ct.Sequence[i].Inline != nil {
+				normCT(ct.Sequence[i].Inline)
+			}
+		}
+		for i := range ct.Any {
+			if ct.Any[i].Occurs == (Occurs{}) {
+				ct.Any[i].Occurs = Once
+			}
+		}
+	}
+	for i := range s.Elements {
+		normEl(&s.Elements[i])
+		if s.Elements[i].Inline != nil {
+			normCT(s.Elements[i].Inline)
+		}
+	}
+	for i := range s.ComplexTypes {
+		normCT(&s.ComplexTypes[i])
+	}
+}
+
+func TestRoundTripExtensionBase(t *testing.T) {
+	orig := &Schema{
+		TargetNamespace: "http://example.test/",
+		ComplexTypes: []ComplexType{
+			{Name: "Base", Sequence: []Element{{Name: "id", Type: TypeInt, Occurs: Once}}},
+			{
+				Name: "Derived",
+				Base: QName{Space: "http://example.test/", Local: "Base"},
+				Sequence: []Element{
+					{Name: "extra", Type: TypeString, Occurs: Once},
+				},
+			},
+		},
+	}
+	data, err := MarshalSchema(orig, nil)
+	if err != nil {
+		t.Fatalf("MarshalSchema: %v", err)
+	}
+	got, err := UnmarshalSchema(data)
+	if err != nil {
+		t.Fatalf("UnmarshalSchema: %v", err)
+	}
+	if got.ComplexTypes[1].Base != orig.ComplexTypes[1].Base {
+		t.Errorf("extension base = %v, want %v", got.ComplexTypes[1].Base, orig.ComplexTypes[1].Base)
+	}
+	if len(got.ComplexTypes[1].Sequence) != 1 {
+		t.Errorf("extension sequence lost: %+v", got.ComplexTypes[1])
+	}
+}
+
+func TestRoundTripUnbounded(t *testing.T) {
+	orig := &Schema{
+		TargetNamespace: "http://example.test/",
+		ComplexTypes: []ComplexType{{
+			Name: "List",
+			Sequence: []Element{
+				{Name: "item", Type: TypeString, Occurs: Unbounded},
+				{Name: "flag", Type: TypeBoolean, Occurs: Optional, Nillable: true},
+			},
+		}},
+	}
+	data, err := MarshalSchema(orig, nil)
+	if err != nil {
+		t.Fatalf("MarshalSchema: %v", err)
+	}
+	got, err := UnmarshalSchema(data)
+	if err != nil {
+		t.Fatalf("UnmarshalSchema: %v", err)
+	}
+	seq := got.ComplexTypes[0].Sequence
+	if seq[0].Occurs.Max != -1 {
+		t.Errorf("unbounded maxOccurs lost: %+v", seq[0])
+	}
+	if !seq[1].Nillable {
+		t.Error("nillable lost in round trip")
+	}
+	if seq[1].Occurs != Optional {
+		t.Errorf("optional occurs lost: %+v", seq[1].Occurs)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalSchema([]byte("this is not xml")); err == nil {
+		t.Error("expected parse error for non-XML input")
+	}
+	if _, err := UnmarshalSchema([]byte(`<schema xmlns="urn:x"><element type="und:ef"/></schema>`)); err == nil {
+		t.Error("expected error for undeclared prefix")
+	}
+}
+
+func TestPrefixTableDeterministic(t *testing.T) {
+	pt := NewPrefixTable("http://tns/")
+	if got := pt.Prefix(NamespaceXSD); got != "xs" {
+		t.Errorf("XSD prefix = %q, want xs", got)
+	}
+	if got := pt.Prefix("http://tns/"); got != "tns" {
+		t.Errorf("target prefix = %q, want tns", got)
+	}
+	q1 := pt.Prefix("http://a/")
+	q2 := pt.Prefix("http://b/")
+	if q1 == q2 {
+		t.Errorf("foreign namespaces share prefix %q", q1)
+	}
+	if again := pt.Prefix("http://a/"); again != q1 {
+		t.Errorf("prefix assignment not stable: %q then %q", q1, again)
+	}
+}
+
+func TestPrefixTableRef(t *testing.T) {
+	pt := NewPrefixTable("http://tns/")
+	tests := []struct {
+		q    QName
+		want string
+	}{
+		{TypeString, "xs:string"},
+		{QName{Space: "http://tns/", Local: "Widget"}, "tns:Widget"},
+		{QName{}, ""},
+		{QName{Local: "bare"}, "bare"},
+	}
+	for _, tt := range tests {
+		if got := pt.Ref(tt.q); got != tt.want {
+			t.Errorf("Ref(%v) = %q, want %q", tt.q, got, tt.want)
+		}
+	}
+}
+
+// randomSchema builds a structurally valid random schema for the
+// round-trip property test.
+func randomSchema(r *rand.Rand) *Schema {
+	kinds := []QName{TypeString, TypeInt, TypeLong, TypeBoolean, TypeDouble, TypeDateTime}
+	sch := &Schema{
+		TargetNamespace:    "http://prop.test/",
+		ElementFormDefault: "qualified",
+	}
+	nTypes := 1 + r.Intn(4)
+	for i := 0; i < nTypes; i++ {
+		ct := ComplexType{Name: "T" + string(rune('A'+i))}
+		nFields := 1 + r.Intn(5)
+		for j := 0; j < nFields; j++ {
+			oc := Once
+			switch r.Intn(3) {
+			case 1:
+				oc = Optional
+			case 2:
+				oc = Unbounded
+			}
+			ct.Sequence = append(ct.Sequence, Element{
+				Name:     "f" + string(rune('a'+j)),
+				Type:     kinds[r.Intn(len(kinds))],
+				Occurs:   oc,
+				Nillable: r.Intn(2) == 0,
+			})
+		}
+		sch.ComplexTypes = append(sch.ComplexTypes, ct)
+	}
+	return sch
+}
+
+// TestSchemaRoundTripProperty checks marshal→unmarshal identity over
+// randomized schemas.
+func TestSchemaRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		orig := randomSchema(r)
+		data, err := MarshalSchema(orig, nil)
+		if err != nil {
+			t.Fatalf("iteration %d: MarshalSchema: %v", i, err)
+		}
+		got, err := UnmarshalSchema(data)
+		if err != nil {
+			t.Fatalf("iteration %d: UnmarshalSchema: %v\n%s", i, err, data)
+		}
+		normalizeSchema(orig)
+		normalizeSchema(got)
+		if !reflect.DeepEqual(orig, got) {
+			t.Fatalf("iteration %d: round trip mismatch\n got %+v\nwant %+v\n%s", i, got, orig, data)
+		}
+	}
+}
+
+// TestMarshalEscapesFacetValues ensures marshaling never produces
+// invalid XML for hostile facet values.
+func TestMarshalEscapesFacetValues(t *testing.T) {
+	f := func(value string) bool {
+		sch := &Schema{
+			TargetNamespace: "http://esc.test/",
+			SimpleTypes: []SimpleType{{
+				Name: "S", Base: TypeString,
+				Facets: []Facet{{Name: "pattern", Value: value}},
+			}},
+		}
+		data, err := MarshalSchema(sch, nil)
+		if err != nil {
+			return false
+		}
+		_, err = UnmarshalSchema(data)
+		return err == nil
+	}
+	cfg := &quick.Config{MaxCount: 50}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalForeignPrefixReferences(t *testing.T) {
+	doc := `<schema xmlns="http://www.w3.org/2001/XMLSchema"
+	  xmlns:wsa="http://www.w3.org/2005/08/addressing"
+	  targetNamespace="http://t/">
+	  <complexType name="C">
+	    <sequence><element ref="wsa:EndpointReference"/></sequence>
+	  </complexType>
+	</schema>`
+	sch, err := UnmarshalSchema([]byte(doc))
+	if err != nil {
+		t.Fatalf("UnmarshalSchema: %v", err)
+	}
+	ref := sch.ComplexTypes[0].Sequence[0].Ref
+	want := QName{Space: "http://www.w3.org/2005/08/addressing", Local: "EndpointReference"}
+	if ref != want {
+		t.Errorf("ref = %v, want %v", ref, want)
+	}
+	if !strings.Contains(doc, "wsa:") {
+		t.Fatal("test document must use a prefix")
+	}
+}

@@ -1,0 +1,519 @@
+// Package xsd implements a compact object model for the subset of XML
+// Schema (XSD 1.0) that WSDL 1.1 documents embed in their <types>
+// section, together with XML serialization, parsing, and reference
+// resolution.
+//
+// The model is deliberately structural: it captures exactly the schema
+// shapes that web service framework emitters produce when mapping a
+// native language type (a Java or C# class) to a service interface —
+// global element declarations, complex types with sequences, attribute
+// declarations, wildcard particles (xs:any), and cross-namespace
+// references. Those shapes are what downstream artifact generators and
+// WS-I compliance checkers consume, so fidelity here determines the
+// fidelity of the whole interoperability pipeline.
+package xsd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Namespace constants used throughout the schema and WSDL layers.
+const (
+	// NamespaceXSD is the XML Schema definition namespace.
+	NamespaceXSD = "http://www.w3.org/2001/XMLSchema"
+	// NamespaceXSI is the XML Schema instance namespace.
+	NamespaceXSI = "http://www.w3.org/2001/XMLSchema-instance"
+	// NamespaceXML is the reserved xml: namespace (xml:lang et al.).
+	NamespaceXML = "http://www.w3.org/XML/1998/namespace"
+)
+
+// QName is a qualified XML name: a local name within a namespace.
+type QName struct {
+	Space string `json:"space"`
+	Local string `json:"local"`
+}
+
+// String renders the QName in Clark notation ({ns}local), the
+// conventional unambiguous textual form.
+func (q QName) String() string {
+	if q.Space == "" {
+		return q.Local
+	}
+	return "{" + q.Space + "}" + q.Local
+}
+
+// IsZero reports whether the QName is entirely empty.
+func (q QName) IsZero() bool { return q.Space == "" && q.Local == "" }
+
+// XSD builds a QName in the XML Schema namespace. It is the idiomatic
+// way to reference built-in simple types such as xs:string.
+func XSD(local string) QName { return QName{Space: NamespaceXSD, Local: local} }
+
+// Builtin simple types referenced by framework type mappings.
+var (
+	TypeString       = XSD("string")
+	TypeInt          = XSD("int")
+	TypeLong         = XSD("long")
+	TypeShort        = XSD("short")
+	TypeByte         = XSD("byte")
+	TypeBoolean      = XSD("boolean")
+	TypeFloat        = XSD("float")
+	TypeDouble       = XSD("double")
+	TypeDecimal      = XSD("decimal")
+	TypeDateTime     = XSD("dateTime")
+	TypeBase64Binary = XSD("base64Binary")
+	TypeAnyType      = XSD("anyType")
+	TypeQNameType    = XSD("QName")
+)
+
+// builtinLocals is the set of built-in simple type local names the
+// resolver accepts without a schema-level declaration.
+var builtinLocals = map[string]bool{
+	"string": true, "int": true, "long": true, "short": true,
+	"byte": true, "boolean": true, "float": true, "double": true,
+	"decimal": true, "dateTime": true, "date": true, "time": true,
+	"base64Binary": true, "hexBinary": true, "anyType": true,
+	"anySimpleType": true, "anyURI": true, "QName": true,
+	"integer": true, "unsignedByte": true, "unsignedShort": true,
+	"unsignedInt": true, "unsignedLong": true, "duration": true,
+	"normalizedString": true, "token": true, "language": true,
+}
+
+// IsBuiltin reports whether q names an XSD built-in simple type.
+func IsBuiltin(q QName) bool {
+	return q.Space == NamespaceXSD && builtinLocals[q.Local]
+}
+
+// Occurs describes particle cardinality. Max < 0 means "unbounded".
+type Occurs struct {
+	Min int `json:"min"`
+	Max int `json:"max"`
+}
+
+// Once is the default cardinality (1..1).
+var Once = Occurs{Min: 1, Max: 1}
+
+// Optional is the 0..1 cardinality used for nillable bean properties.
+var Optional = Occurs{Min: 0, Max: 1}
+
+// Unbounded is the 0..unbounded cardinality used for collections.
+var Unbounded = Occurs{Min: 0, Max: -1}
+
+// Element is an element declaration or particle. Exactly one of
+// Name/Type, Name/inline complex type, or Ref is populated:
+//
+//   - a named element with Type referencing a global or built-in type,
+//   - a named element with an anonymous inline ComplexType,
+//   - a reference particle (Ref) pointing at a global element, possibly
+//     in another namespace — the shape behind the classic unresolved
+//     "s:schema" reference that WCF DataSet WSDLs carry.
+type Element struct {
+	Name     string       `json:"name,omitempty"`
+	Type     QName        `json:"type,omitempty"`
+	Ref      QName        `json:"ref,omitempty"`
+	Inline   *ComplexType `json:"inline,omitempty"`
+	Occurs   Occurs       `json:"occurs"`
+	Nillable bool         `json:"nillable,omitempty"`
+}
+
+// Attribute is an attribute declaration. Ref is used for references to
+// attributes in foreign namespaces (e.g. xml:lang).
+type Attribute struct {
+	Name string `json:"name,omitempty"`
+	Type QName  `json:"type,omitempty"`
+	Ref  QName  `json:"ref,omitempty"`
+}
+
+// AnyParticle is an xs:any wildcard inside a sequence.
+type AnyParticle struct {
+	Namespace       string `json:"namespace,omitempty"`       // e.g. "##any", "##other"
+	ProcessContents string `json:"processContents,omitempty"` // "lax", "skip", "strict"
+	Occurs          Occurs `json:"occurs"`
+}
+
+// ComplexType is a named or anonymous complex type whose content model
+// is a single xs:sequence (the only content model WS framework
+// emitters produce for bean-style mappings), plus attributes.
+type ComplexType struct {
+	Name       string        `json:"name,omitempty"`
+	Sequence   []Element     `json:"sequence,omitempty"`
+	Any        []AnyParticle `json:"any,omitempty"`
+	Attributes []Attribute   `json:"attributes,omitempty"`
+	Abstract   bool          `json:"abstract,omitempty"`
+	// Base, when set, models derivation by extension.
+	Base QName `json:"base,omitempty"`
+}
+
+// SimpleType is a named simple type restriction. Facets carries
+// restriction facet names; non-standard facets (outside the XSD
+// vocabulary) are how certain emitters break WS-I compliance.
+type SimpleType struct {
+	Name   string  `json:"name"`
+	Base   QName   `json:"base"`
+	Facets []Facet `json:"facets,omitempty"`
+}
+
+// Facet is a single restriction facet. Standard facet names are those
+// of XSD (enumeration, pattern, length, ...); anything else marks the
+// schema as non-standard.
+type Facet struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// standardFacets is the XSD 1.0 restriction facet vocabulary.
+var standardFacets = map[string]bool{
+	"length": true, "minLength": true, "maxLength": true,
+	"pattern": true, "enumeration": true, "whiteSpace": true,
+	"maxInclusive": true, "maxExclusive": true,
+	"minInclusive": true, "minExclusive": true,
+	"totalDigits": true, "fractionDigits": true,
+}
+
+// IsStandardFacet reports whether name is part of the XSD facet
+// vocabulary.
+func IsStandardFacet(name string) bool { return standardFacets[name] }
+
+// Schema is one xs:schema block: a target namespace with global
+// elements, complex types and simple types, plus import declarations.
+type Schema struct {
+	TargetNamespace    string        `json:"targetNamespace"`
+	ElementFormDefault string        `json:"elementFormDefault,omitempty"`
+	Imports            []Import      `json:"imports,omitempty"`
+	Elements           []Element     `json:"elements,omitempty"`
+	ComplexTypes       []ComplexType `json:"complexTypes,omitempty"`
+	SimpleTypes        []SimpleType  `json:"simpleTypes,omitempty"`
+}
+
+// Import is an xs:import declaration. A SchemaLocation may be empty,
+// which is legal XSD but is precisely what makes some references
+// unresolvable for artifact generators.
+type Import struct {
+	Namespace      string `json:"namespace"`
+	SchemaLocation string `json:"schemaLocation,omitempty"`
+}
+
+// SchemaSet is the collection of schema blocks embedded in one WSDL
+// <types> section, indexed for resolution.
+type SchemaSet struct {
+	Schemas []*Schema
+}
+
+// NewSchemaSet builds a SchemaSet over the given schemas. The slice is
+// copied so later caller mutations do not alias the set.
+func NewSchemaSet(schemas ...*Schema) *SchemaSet {
+	cp := make([]*Schema, len(schemas))
+	copy(cp, schemas)
+	return &SchemaSet{Schemas: cp}
+}
+
+// SchemaFor returns the schema block declaring the given target
+// namespace, or nil.
+func (s *SchemaSet) SchemaFor(ns string) *Schema {
+	for _, sch := range s.Schemas {
+		if sch.TargetNamespace == ns {
+			return sch
+		}
+	}
+	return nil
+}
+
+// Element looks up a global element declaration by qualified name.
+func (s *SchemaSet) Element(q QName) (*Element, bool) {
+	sch := s.SchemaFor(q.Space)
+	if sch == nil {
+		return nil, false
+	}
+	for i := range sch.Elements {
+		if sch.Elements[i].Name == q.Local {
+			return &sch.Elements[i], true
+		}
+	}
+	return nil, false
+}
+
+// ComplexType looks up a global complex type by qualified name.
+func (s *SchemaSet) ComplexType(q QName) (*ComplexType, bool) {
+	sch := s.SchemaFor(q.Space)
+	if sch == nil {
+		return nil, false
+	}
+	for i := range sch.ComplexTypes {
+		if sch.ComplexTypes[i].Name == q.Local {
+			return &sch.ComplexTypes[i], true
+		}
+	}
+	return nil, false
+}
+
+// SimpleType looks up a global simple type by qualified name.
+func (s *SchemaSet) SimpleType(q QName) (*SimpleType, bool) {
+	sch := s.SchemaFor(q.Space)
+	if sch == nil {
+		return nil, false
+	}
+	for i := range sch.SimpleTypes {
+		if sch.SimpleTypes[i].Name == q.Local {
+			return &sch.SimpleTypes[i], true
+		}
+	}
+	return nil, false
+}
+
+// TypeExists reports whether q resolves to a built-in, complex, or
+// simple type within the set.
+func (s *SchemaSet) TypeExists(q QName) bool {
+	if IsBuiltin(q) {
+		return true
+	}
+	if _, ok := s.ComplexType(q); ok {
+		return true
+	}
+	_, ok := s.SimpleType(q)
+	return ok
+}
+
+// UnresolvedError reports a dangling reference discovered during
+// schema resolution.
+type UnresolvedError struct {
+	Kind string // "element", "type", or "attribute"
+	Ref  QName
+	From string // context description
+}
+
+// Error implements the error interface.
+func (e *UnresolvedError) Error() string {
+	return fmt.Sprintf("unresolved %s reference %s (referenced from %s)", e.Kind, e.Ref, e.From)
+}
+
+// ErrEmptySchemaSet is returned when resolving a set with no schemas.
+var ErrEmptySchemaSet = errors.New("xsd: schema set contains no schemas")
+
+// Resolve walks every reference in the set and returns one
+// UnresolvedError per dangling element/type/attribute reference. A nil
+// slice means the set is fully resolvable. References into namespaces
+// covered by an import with a schemaLocation are assumed external and
+// resolvable; imports without a location do not vouch for anything —
+// matching how real artifact generators behave (and fail).
+func (s *SchemaSet) Resolve() ([]*UnresolvedError, error) {
+	if len(s.Schemas) == 0 {
+		return nil, ErrEmptySchemaSet
+	}
+	var unresolved []*UnresolvedError
+	for _, sch := range s.Schemas {
+		located := make(map[string]bool, len(sch.Imports))
+		for _, imp := range sch.Imports {
+			if imp.SchemaLocation != "" {
+				located[imp.Namespace] = true
+			}
+		}
+		ctx := &resolveContext{set: s, located: located}
+		for i := range sch.Elements {
+			unresolved = append(unresolved, ctx.checkElement(&sch.Elements[i], "global element "+sch.Elements[i].Name)...)
+		}
+		for i := range sch.ComplexTypes {
+			ct := &sch.ComplexTypes[i]
+			unresolved = append(unresolved, ctx.checkComplexType(ct, "complexType "+ct.Name)...)
+		}
+		for i := range sch.SimpleTypes {
+			st := &sch.SimpleTypes[i]
+			if !st.Base.IsZero() && !s.TypeExists(st.Base) && !located[st.Base.Space] {
+				unresolved = append(unresolved, &UnresolvedError{Kind: "type", Ref: st.Base, From: "simpleType " + st.Name})
+			}
+		}
+	}
+	return unresolved, nil
+}
+
+type resolveContext struct {
+	set     *SchemaSet
+	located map[string]bool
+}
+
+func (c *resolveContext) vouched(ns string) bool {
+	return c.located[ns] || ns == NamespaceXSD
+}
+
+func (c *resolveContext) checkElement(el *Element, from string) []*UnresolvedError {
+	var out []*UnresolvedError
+	switch {
+	case !el.Ref.IsZero():
+		// Element references are never vouched for by the XML Schema
+		// namespace itself: xs:schema is not a declarable element, so a
+		// reference to it (the WCF DataSet construct) is always
+		// dangling regardless of imports.
+		_, ok := c.set.Element(el.Ref)
+		vouched := c.located[el.Ref.Space] && el.Ref.Space != NamespaceXSD
+		if !ok && !vouched {
+			out = append(out, &UnresolvedError{Kind: "element", Ref: el.Ref, From: from})
+		}
+	case el.Inline != nil:
+		out = append(out, c.checkComplexType(el.Inline, from+" (inline type)")...)
+	case !el.Type.IsZero():
+		if !c.set.TypeExists(el.Type) && !c.vouched(el.Type.Space) {
+			out = append(out, &UnresolvedError{Kind: "type", Ref: el.Type, From: from})
+		}
+	}
+	return out
+}
+
+func (c *resolveContext) checkComplexType(ct *ComplexType, from string) []*UnresolvedError {
+	var out []*UnresolvedError
+	if !ct.Base.IsZero() {
+		if _, ok := c.set.ComplexType(ct.Base); !ok && !c.vouched(ct.Base.Space) {
+			out = append(out, &UnresolvedError{Kind: "type", Ref: ct.Base, From: from + " (base)"})
+		}
+	}
+	for i := range ct.Sequence {
+		out = append(out, c.checkElement(&ct.Sequence[i], from)...)
+	}
+	for _, at := range ct.Attributes {
+		if !at.Ref.IsZero() {
+			if at.Ref.Space != NamespaceXML && !c.vouched(at.Ref.Space) {
+				out = append(out, &UnresolvedError{Kind: "attribute", Ref: at.Ref, From: from})
+			}
+		} else if !at.Type.IsZero() && !c.set.TypeExists(at.Type) && !c.vouched(at.Type.Space) {
+			out = append(out, &UnresolvedError{Kind: "type", Ref: at.Type, From: from + " attribute " + at.Name})
+		}
+	}
+	return out
+}
+
+// HasNonStandardFacets reports whether any simple type in the set uses
+// a facet outside the XSD vocabulary.
+func (s *SchemaSet) HasNonStandardFacets() bool {
+	for _, sch := range s.Schemas {
+		for _, st := range sch.SimpleTypes {
+			for _, f := range st.Facets {
+				if !IsStandardFacet(f.Name) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// HasWildcard reports whether any complex type (global or inline)
+// contains an xs:any wildcard particle.
+func (s *SchemaSet) HasWildcard() bool {
+	for _, sch := range s.Schemas {
+		for i := range sch.ComplexTypes {
+			if complexHasWildcard(&sch.ComplexTypes[i]) {
+				return true
+			}
+		}
+		for i := range sch.Elements {
+			if sch.Elements[i].Inline != nil && complexHasWildcard(sch.Elements[i].Inline) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func complexHasWildcard(ct *ComplexType) bool {
+	if len(ct.Any) > 0 {
+		return true
+	}
+	for i := range ct.Sequence {
+		if ct.Sequence[i].Inline != nil && complexHasWildcard(ct.Sequence[i].Inline) {
+			return true
+		}
+	}
+	return false
+}
+
+// GlobalNames returns the sorted list of all global declaration names
+// (elements and types) across the set; useful for deterministic
+// artifact generation.
+func (s *SchemaSet) GlobalNames() []string {
+	var names []string
+	for _, sch := range s.Schemas {
+		for _, e := range sch.Elements {
+			names = append(names, e.Name)
+		}
+		for _, ct := range sch.ComplexTypes {
+			names = append(names, ct.Name)
+		}
+		for _, st := range sch.SimpleTypes {
+			names = append(names, st.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Clone produces a deep copy of the schema, so emitters can hand out
+// documents without aliasing internal state.
+func (sch *Schema) Clone() *Schema {
+	cp := &Schema{
+		TargetNamespace:    sch.TargetNamespace,
+		ElementFormDefault: sch.ElementFormDefault,
+		Imports:            append([]Import(nil), sch.Imports...),
+	}
+	cp.Elements = cloneElements(sch.Elements)
+	cp.ComplexTypes = make([]ComplexType, len(sch.ComplexTypes))
+	for i := range sch.ComplexTypes {
+		cp.ComplexTypes[i] = *cloneComplexType(&sch.ComplexTypes[i])
+	}
+	cp.SimpleTypes = make([]SimpleType, len(sch.SimpleTypes))
+	for i, st := range sch.SimpleTypes {
+		cp.SimpleTypes[i] = SimpleType{Name: st.Name, Base: st.Base, Facets: append([]Facet(nil), st.Facets...)}
+	}
+	return cp
+}
+
+func cloneElements(els []Element) []Element {
+	if els == nil {
+		return nil
+	}
+	out := make([]Element, len(els))
+	for i, e := range els {
+		out[i] = e
+		if e.Inline != nil {
+			out[i].Inline = cloneComplexType(e.Inline)
+		}
+	}
+	return out
+}
+
+func cloneComplexType(ct *ComplexType) *ComplexType {
+	cp := &ComplexType{
+		Name:       ct.Name,
+		Abstract:   ct.Abstract,
+		Base:       ct.Base,
+		Any:        append([]AnyParticle(nil), ct.Any...),
+		Attributes: append([]Attribute(nil), ct.Attributes...),
+	}
+	cp.Sequence = cloneElements(ct.Sequence)
+	return cp
+}
+
+// SanitizeNCName converts an arbitrary identifier into a valid XML
+// NCName by replacing illegal characters with underscores. Framework
+// emitters apply this to language-level class names.
+func SanitizeNCName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == '-' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if i == 0 && (r == '-' || r == '.') {
+			ok = false
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,382 @@
+package xsd
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQNameString(t *testing.T) {
+	tests := []struct {
+		name string
+		q    QName
+		want string
+	}{
+		{"full", QName{Space: "http://ns/", Local: "foo"}, "{http://ns/}foo"},
+		{"local only", QName{Local: "foo"}, "foo"},
+		{"zero", QName{}, ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.q.String(); got != tt.want {
+				t.Errorf("String() = %q, want %q", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestQNameIsZero(t *testing.T) {
+	if !(QName{}).IsZero() {
+		t.Error("empty QName should be zero")
+	}
+	if (QName{Local: "x"}).IsZero() {
+		t.Error("QName with local name should not be zero")
+	}
+	if (QName{Space: "ns"}).IsZero() {
+		t.Error("QName with namespace should not be zero")
+	}
+}
+
+func TestIsBuiltin(t *testing.T) {
+	tests := []struct {
+		q    QName
+		want bool
+	}{
+		{TypeString, true},
+		{TypeInt, true},
+		{TypeDateTime, true},
+		{XSD("schema"), false}, // xs:schema is an element, not a type
+		{QName{Space: "http://other/", Local: "string"}, false},
+		{QName{Space: NamespaceXSD, Local: "noSuchType"}, false},
+	}
+	for _, tt := range tests {
+		if got := IsBuiltin(tt.q); got != tt.want {
+			t.Errorf("IsBuiltin(%s) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+}
+
+func TestIsStandardFacet(t *testing.T) {
+	for _, name := range []string{"pattern", "enumeration", "minLength", "totalDigits"} {
+		if !IsStandardFacet(name) {
+			t.Errorf("IsStandardFacet(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{"jaxb-format", "cxf-format", ""} {
+		if IsStandardFacet(name) {
+			t.Errorf("IsStandardFacet(%q) = true, want false", name)
+		}
+	}
+}
+
+func testSchema() *Schema {
+	return &Schema{
+		TargetNamespace:    "http://example.test/",
+		ElementFormDefault: "qualified",
+		ComplexTypes: []ComplexType{
+			{
+				Name: "Widget",
+				Sequence: []Element{
+					{Name: "name", Type: TypeString, Occurs: Optional},
+					{Name: "size", Type: TypeInt, Occurs: Once},
+					{Name: "child", Type: QName{Space: "http://example.test/", Local: "Part"}, Occurs: Optional},
+				},
+			},
+			{
+				Name: "Part",
+				Sequence: []Element{
+					{Name: "id", Type: TypeLong, Occurs: Once},
+				},
+			},
+		},
+		Elements: []Element{
+			{
+				Name: "echo",
+				Inline: &ComplexType{
+					Sequence: []Element{
+						{Name: "input", Type: QName{Space: "http://example.test/", Local: "Widget"}, Occurs: Once},
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestSchemaSetLookups(t *testing.T) {
+	set := NewSchemaSet(testSchema())
+	tns := "http://example.test/"
+
+	if _, ok := set.ComplexType(QName{Space: tns, Local: "Widget"}); !ok {
+		t.Error("ComplexType(Widget) not found")
+	}
+	if _, ok := set.ComplexType(QName{Space: tns, Local: "Gadget"}); ok {
+		t.Error("ComplexType(Gadget) unexpectedly found")
+	}
+	if _, ok := set.Element(QName{Space: tns, Local: "echo"}); !ok {
+		t.Error("Element(echo) not found")
+	}
+	if _, ok := set.Element(QName{Space: "http://other/", Local: "echo"}); ok {
+		t.Error("Element in foreign namespace unexpectedly found")
+	}
+	if !set.TypeExists(TypeString) {
+		t.Error("TypeExists(xs:string) = false")
+	}
+	if !set.TypeExists(QName{Space: tns, Local: "Part"}) {
+		t.Error("TypeExists(Part) = false")
+	}
+}
+
+func TestResolveCleanSchema(t *testing.T) {
+	set := NewSchemaSet(testSchema())
+	unresolved, err := set.Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(unresolved) != 0 {
+		t.Errorf("expected no unresolved references, got %v", unresolved)
+	}
+}
+
+func TestResolveEmptySet(t *testing.T) {
+	if _, err := NewSchemaSet().Resolve(); err != ErrEmptySchemaSet {
+		t.Errorf("Resolve on empty set = %v, want ErrEmptySchemaSet", err)
+	}
+}
+
+func TestResolveDanglingElementRef(t *testing.T) {
+	sch := testSchema()
+	sch.ComplexTypes[0].Sequence = append(sch.ComplexTypes[0].Sequence, Element{
+		Ref: QName{Space: "http://www.w3.org/2005/08/addressing", Local: "EndpointReference"},
+	})
+	unresolved, err := NewSchemaSet(sch).Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(unresolved) != 1 {
+		t.Fatalf("expected 1 unresolved reference, got %d", len(unresolved))
+	}
+	if unresolved[0].Kind != "element" {
+		t.Errorf("unresolved kind = %q, want element", unresolved[0].Kind)
+	}
+	if !strings.Contains(unresolved[0].Error(), "EndpointReference") {
+		t.Errorf("error message %q should name the reference", unresolved[0].Error())
+	}
+}
+
+func TestResolveImportWithLocationVouches(t *testing.T) {
+	sch := testSchema()
+	sch.Imports = []Import{{Namespace: "http://external/", SchemaLocation: "http://external/schema.xsd"}}
+	sch.ComplexTypes[0].Sequence = append(sch.ComplexTypes[0].Sequence, Element{
+		Ref: QName{Space: "http://external/", Local: "Thing"},
+	})
+	unresolved, err := NewSchemaSet(sch).Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(unresolved) != 0 {
+		t.Errorf("located import should vouch for the reference; got %v", unresolved)
+	}
+}
+
+func TestResolveImportWithoutLocationDoesNotVouch(t *testing.T) {
+	sch := testSchema()
+	sch.Imports = []Import{{Namespace: "http://external/"}}
+	sch.ComplexTypes[0].Sequence = append(sch.ComplexTypes[0].Sequence, Element{
+		Ref: QName{Space: "http://external/", Local: "Thing"},
+	})
+	unresolved, err := NewSchemaSet(sch).Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(unresolved) != 1 {
+		t.Errorf("import without location must not vouch; got %v", unresolved)
+	}
+}
+
+func TestResolveSchemaElementRefNeverResolves(t *testing.T) {
+	// The WCF DataSet construct: a reference to xs:schema must stay
+	// unresolved even when an import with a location names the XSD
+	// namespace.
+	sch := testSchema()
+	sch.Imports = []Import{{Namespace: NamespaceXSD, SchemaLocation: "http://www.w3.org/2001/XMLSchema.xsd"}}
+	sch.ComplexTypes[0].Sequence = append(sch.ComplexTypes[0].Sequence, Element{
+		Ref: QName{Space: NamespaceXSD, Local: "schema"},
+	})
+	unresolved, err := NewSchemaSet(sch).Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(unresolved) != 1 {
+		t.Errorf("xs:schema element reference must be unresolved, got %v", unresolved)
+	}
+}
+
+func TestResolveDanglingTypeRef(t *testing.T) {
+	sch := testSchema()
+	sch.ComplexTypes[0].Sequence[2].Type = QName{Space: "http://example.test/", Local: "Missing"}
+	unresolved, err := NewSchemaSet(sch).Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(unresolved) != 1 || unresolved[0].Kind != "type" {
+		t.Errorf("expected 1 unresolved type, got %v", unresolved)
+	}
+}
+
+func TestResolveForeignAttributeRef(t *testing.T) {
+	sch := testSchema()
+	// xml:lang is special-cased: structurally resolvable (the xml
+	// namespace is built in) so it is not an unresolved reference —
+	// the WS-I layer flags it instead.
+	sch.ComplexTypes[0].Attributes = []Attribute{
+		{Ref: QName{Space: NamespaceXML, Local: "lang"}},
+	}
+	unresolved, err := NewSchemaSet(sch).Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(unresolved) != 0 {
+		t.Errorf("xml:lang should resolve structurally, got %v", unresolved)
+	}
+
+	sch.ComplexTypes[0].Attributes = []Attribute{
+		{Ref: QName{Space: "http://foreign/", Local: "attr"}},
+	}
+	unresolved, err = NewSchemaSet(sch).Resolve()
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	if len(unresolved) != 1 || unresolved[0].Kind != "attribute" {
+		t.Errorf("expected 1 unresolved attribute, got %v", unresolved)
+	}
+}
+
+func TestHasNonStandardFacets(t *testing.T) {
+	sch := testSchema()
+	set := NewSchemaSet(sch)
+	if set.HasNonStandardFacets() {
+		t.Error("clean schema should have no non-standard facets")
+	}
+	sch.SimpleTypes = append(sch.SimpleTypes, SimpleType{
+		Name: "Odd", Base: TypeString,
+		Facets: []Facet{{Name: "jaxb-format", Value: "x"}},
+	})
+	if !set.HasNonStandardFacets() {
+		t.Error("jaxb-format facet should be detected")
+	}
+}
+
+func TestHasWildcard(t *testing.T) {
+	sch := testSchema()
+	set := NewSchemaSet(sch)
+	if set.HasWildcard() {
+		t.Error("clean schema should have no wildcard")
+	}
+	sch.ComplexTypes[1].Any = []AnyParticle{{Namespace: "##any"}}
+	if !set.HasWildcard() {
+		t.Error("wildcard should be detected")
+	}
+}
+
+func TestHasWildcardNestedInline(t *testing.T) {
+	sch := testSchema()
+	sch.Elements[0].Inline.Sequence[0] = Element{
+		Name: "wrapped",
+		Inline: &ComplexType{
+			Any: []AnyParticle{{Namespace: "##any"}},
+		},
+	}
+	if !NewSchemaSet(sch).HasWildcard() {
+		t.Error("wildcard nested in an inline type should be detected")
+	}
+}
+
+func TestSchemaClone(t *testing.T) {
+	orig := testSchema()
+	cp := orig.Clone()
+	cp.ComplexTypes[0].Sequence[0].Name = "mutated"
+	cp.ComplexTypes[0].Name = "Mutated"
+	if orig.ComplexTypes[0].Sequence[0].Name != "name" {
+		t.Error("Clone aliases sequence storage")
+	}
+	if orig.ComplexTypes[0].Name != "Widget" {
+		t.Error("Clone aliases complex type storage")
+	}
+}
+
+func TestSchemaCloneInline(t *testing.T) {
+	orig := testSchema()
+	cp := orig.Clone()
+	cp.Elements[0].Inline.Sequence[0].Name = "mutated"
+	if orig.Elements[0].Inline.Sequence[0].Name != "input" {
+		t.Error("Clone aliases inline type storage")
+	}
+}
+
+func TestGlobalNamesSorted(t *testing.T) {
+	set := NewSchemaSet(testSchema())
+	names := set.GlobalNames()
+	want := []string{"Part", "Widget", "echo"}
+	if len(names) != len(want) {
+		t.Fatalf("GlobalNames = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("GlobalNames[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestSanitizeNCName(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"EchoService", "EchoService"},
+		{"java.util.BitSet", "java.util.BitSet"},
+		{"has space", "has_space"},
+		{"9starts", "_starts"},
+		{"", "_"},
+		{"-leading", "_leading"},
+	}
+	for _, tt := range tests {
+		if got := SanitizeNCName(tt.in); got != tt.want {
+			t.Errorf("SanitizeNCName(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+// TestSanitizeNCNameAlwaysValid is a property test: the output must
+// always be a valid NCName regardless of input.
+func TestSanitizeNCNameAlwaysValid(t *testing.T) {
+	valid := func(s string) bool {
+		out := SanitizeNCName(s)
+		if out == "" {
+			return false
+		}
+		for i, r := range out {
+			ok := r == '_' || r == '-' || r == '.' ||
+				(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+				(r >= '0' && r <= '9')
+			if i == 0 && (r >= '0' && r <= '9' || r == '-' || r == '.') {
+				return false
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(valid, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOccursValues(t *testing.T) {
+	if Once != (Occurs{Min: 1, Max: 1}) {
+		t.Error("Once should be 1..1")
+	}
+	if Optional != (Occurs{Min: 0, Max: 1}) {
+		t.Error("Optional should be 0..1")
+	}
+	if Unbounded.Max >= 0 {
+		t.Error("Unbounded.Max should be negative")
+	}
+}

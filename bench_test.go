@@ -39,14 +39,45 @@ func runCampaign(b *testing.B, cfg campaign.Config) *campaign.Result {
 	return res
 }
 
+// reportTestsPerSec attaches the campaign throughput metric so the
+// bench trajectory tracks tests/s alongside ns/op.
+func reportTestsPerSec(b *testing.B, totalTests int) {
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(totalTests)/s, "tests/s")
+	}
+}
+
 // BenchmarkFig4Campaign regenerates the Fig. 4 overview (experiment
 // E1) at benchmark scale.
 func BenchmarkFig4Campaign(b *testing.B) {
+	tests := 0
 	for i := 0; i < b.N; i++ {
 		res := runCampaign(b, campaign.Config{Limit: benchLimit})
+		tests += res.TotalTests
 		if err := report.Fig4(io.Discard, res); err != nil {
 			b.Fatal(err)
 		}
+	}
+	reportTestsPerSec(b, tests)
+}
+
+// BenchmarkAnalysisCache is the shared-analysis ablation (DESIGN.md
+// §6.4): the scaled campaign with each published document parsed and
+// analyzed once per service (cached) vs once per client test
+// (reparse) — the two paths TestReparseEquivalence proves identical.
+func BenchmarkAnalysisCache(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		reparse bool
+	}{{"cached", false}, {"reparse", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			tests := 0
+			for i := 0; i < b.N; i++ {
+				res := runCampaign(b, campaign.Config{Limit: benchLimit, Reparse: mode.reparse})
+				tests += res.TotalTests
+			}
+			reportTestsPerSec(b, tests)
+		})
 	}
 }
 
@@ -81,6 +112,7 @@ func BenchmarkFullCampaign(b *testing.B) {
 			b.Fatalf("tests = %d, want 79629", res.TotalTests)
 		}
 	}
+	reportTestsPerSec(b, b.N*79629)
 }
 
 // BenchmarkServiceDescriptionGeneration measures the description step

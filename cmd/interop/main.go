@@ -5,6 +5,7 @@
 //
 //	interop [-report fig4|chart|table3|findings|deploy|failures|compare|comm|json|all]
 //	        [-limit N] [-workers N] [-server NAME] [-client NAME]
+//	        [-reparse] [-cpuprofile FILE]
 //
 // With no flags it runs the full campaign (22 024 services, 79 629
 // tests) and prints every textual report. -report comm additionally
@@ -18,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"wsinterop/internal/campaign"
@@ -44,11 +46,26 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	serverName := fs.String("server", "", "restrict to one server framework (substring match)")
 	clientName := fs.String("client", "", "restrict to one client framework (substring match)")
+	reparse := fs.Bool("reparse", false,
+		"re-parse the WSDL bytes in every client test instead of sharing one analysis per service (the cache ablation)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	cfg := campaign.Config{Limit: *limit, Workers: *workers}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := campaign.Config{Limit: *limit, Workers: *workers, Reparse: *reparse}
 	allServers := framework.Servers()
 	if *extended {
 		allServers = append(allServers, framework.NewAxis2Server())

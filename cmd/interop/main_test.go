@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -67,6 +69,38 @@ func TestRunServerClientFilters(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "Apache Axis1") || strings.Contains(out, "gSOAP") {
 		t.Errorf("filtering broken:\n%s", out)
+	}
+}
+
+func TestRunReparseMatchesCached(t *testing.T) {
+	var cached, reparsed bytes.Buffer
+	if err := run([]string{"-limit", "80", "-report", "findings"}, &cached); err != nil {
+		t.Fatalf("cached run: %v", err)
+	}
+	if err := run([]string{"-limit", "80", "-report", "findings", "-reparse"}, &reparsed); err != nil {
+		t.Fatalf("reparse run: %v", err)
+	}
+	if cached.String() != reparsed.String() {
+		t.Errorf("reparse ablation changed the findings:\n--- cached ---\n%s--- reparse ---\n%s",
+			cached.String(), reparsed.String())
+	}
+}
+
+func TestRunCPUProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.prof")
+	var buf bytes.Buffer
+	if err := run([]string{"-limit", "40", "-report", "findings", "-cpuprofile", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if info.Size() == 0 {
+		t.Error("profile file is empty")
+	}
+	if err := run([]string{"-limit", "10", "-cpuprofile", filepath.Join(t.TempDir(), "no", "such", "dir", "x.prof")}, &buf); err == nil {
+		t.Error("unwritable profile path should fail")
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"wsinterop/internal/artifact"
 	"wsinterop/internal/framework"
@@ -104,6 +105,35 @@ type PublishedService struct {
 	Flagged bool
 	// Compliant reports WS-I (official profile) compliance.
 	Compliant bool
+
+	// analysis is the lazily computed shared document analysis; the
+	// cell pointer (not the cell) is copied with the service, so every
+	// copy shares one memoized parse. Nil for services constructed
+	// outside the runner — those analyze per call.
+	analysis *sharedAnalysis
+}
+
+// sharedAnalysis memoizes the parsed analysis of one published
+// document so all clients testing a service share a single
+// wsdl.Unmarshal + analyze pass instead of re-doing it once per
+// client.
+type sharedAnalysis struct {
+	once sync.Once
+	a    *framework.Analysis
+	err  error
+}
+
+// Analysis returns the service's shared document analysis, computing
+// it on first use. The result is immutable and safe for concurrent
+// use by every client framework.
+func (s *PublishedService) Analysis() (*framework.Analysis, error) {
+	if s.analysis == nil {
+		return framework.Analyze(s.Doc)
+	}
+	s.analysis.once.Do(func() {
+		s.analysis.a, s.analysis.err = framework.Analyze(s.Doc)
+	})
+	return s.analysis.a, s.analysis.err
 }
 
 // TestResult is the classified outcome of one (service × client)
@@ -235,16 +265,26 @@ type Config struct {
 	// KeepFailures retains per-test detail for every errored test in
 	// Result.Failures (the Table III footnote data).
 	KeepFailures bool
+	// Reparse forces the byte-level client path: every client re-parses
+	// the serialized WSDL per test, exactly as the real tools do (the
+	// DESIGN.md §6.3 ablation). When false — the default — each
+	// published document is parsed and analyzed once and the immutable
+	// analysis is shared across all clients, which produces an
+	// identical Result (see TestReparseEquivalence) at a fraction of
+	// the cost.
+	Reparse bool
 	// Variant selects the service interface complexity (the paper's
 	// future-work extension); zero means services.VariantSimple.
 	Variant services.Variant
 	// Style selects the SOAP binding style the default servers emit
 	// (document/literal when empty); ignored when Servers is set.
 	Style wsdl.Style
-	// Progress, when non-nil, receives coarse progress notifications
-	// from the classification loop: the current stage (server name)
-	// and services classified so far out of the stage total. Called
-	// from a single goroutine.
+	// Progress, when non-nil, receives live progress notifications as
+	// services complete testing: the current stage (server name) and
+	// services fully resolved so far — every client test finished, or
+	// rejected at the description step — out of the stage's created
+	// total. Calls are serialized (never concurrent) and done is
+	// strictly monotonic within a stage.
 	Progress func(stage string, done, total int)
 	// Checker overrides the compliance checker; nil uses the default
 	// (extended assertions enabled).
@@ -307,17 +347,9 @@ func (r *Runner) catalog(lang typesys.Language) *typesys.Catalog {
 // framework over its catalog, returning the published services and
 // the created-service count.
 func (r *Runner) Publish(ctx context.Context, server framework.ServerFramework) ([]PublishedService, int, error) {
-	cat := r.catalog(server.Language())
-	if cat == nil {
-		return nil, 0, fmt.Errorf("campaign: no catalog for language %s", server.Language())
-	}
-	variant := r.cfg.Variant
-	if variant == 0 {
-		variant = services.VariantSimple
-	}
-	defs := services.GenerateVariant(cat, variant)
-	if r.cfg.Limit > 0 && len(defs) > r.cfg.Limit {
-		defs = defs[:r.cfg.Limit]
+	defs, err := r.defsFor(server)
+	if err != nil {
+		return nil, 0, err
 	}
 
 	type slot struct {
@@ -389,6 +421,7 @@ func (r *Runner) publishOne(server framework.ServerFramework, def services.Defin
 		Doc:       raw,
 		Flagged:   len(report.Violations) > 0,
 		Compliant: report.Compliant(),
+		analysis:  &sharedAnalysis{},
 	}
 	return s
 }
@@ -401,10 +434,16 @@ func (r *Runner) workers() int {
 }
 
 // RunTest executes steps 2–3 for one published service against one
-// client framework.
+// client framework, sharing the service's memoized document analysis
+// when the runner attached one (Config.Reparse selects the byte-level
+// path instead).
 func RunTest(client framework.ClientFramework, svc PublishedService) TestResult {
+	return runTest(client, &svc, false)
+}
+
+func runTest(client framework.ClientFramework, svc *PublishedService, reparse bool) TestResult {
 	t := TestResult{Server: svc.Server, Client: client.Name(), Class: svc.Class}
-	gen := client.Generate(svc.Doc)
+	gen := generationFor(client, svc, reparse)
 	t.Gen.mergeIssues(gen.Issues)
 	if gen.Unit == nil {
 		return t
@@ -414,27 +453,31 @@ func RunTest(client framework.ClientFramework, svc PublishedService) TestResult 
 	return t
 }
 
-// Run executes the full campaign.
+// generationFor runs the artifact generation step through the shared
+// analysis when available. A document the shared parse rejects falls
+// back to the byte path, so each client reports the parse failure in
+// its own voice — identical to Reparse mode.
+func generationFor(client framework.ClientFramework, svc *PublishedService, reparse bool) framework.GenerationResult {
+	if !reparse {
+		if a, err := svc.Analysis(); err == nil {
+			return client.GenerateAnalyzed(a)
+		}
+	}
+	return client.Generate(svc.Doc)
+}
+
+// Run executes the full campaign. Each server stage is a streaming
+// pipeline: publish workers feed published services directly into the
+// test worker pool — description generation overlaps artifact
+// generation and compilation — and every test worker folds classified
+// outcomes into a private Result shard as services complete. A
+// deterministic per-server merge then re-establishes the aggregate, so
+// the Result is identical to a sequential run regardless of worker
+// count or scheduling.
 func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	res := newResult(r)
-
 	for _, server := range r.servers {
-		published, created, err := r.Publish(ctx, server)
-		if err != nil {
-			return nil, fmt.Errorf("publish on %s: %w", server.Name(), err)
-		}
-		sum := res.Servers[server.Name()]
-		sum.Created = created
-		sum.Deployed = len(published)
-		res.TotalServices += created
-		res.TotalPublished += len(published)
-		for i := range published {
-			if published[i].Flagged {
-				sum.DescriptionWarnings++
-				res.FlaggedServices++
-			}
-		}
-		if err := r.runClients(ctx, published, res); err != nil {
+		if err := r.runServer(ctx, server, res); err != nil {
 			return nil, err
 		}
 	}
@@ -463,103 +506,304 @@ func newResult(r *Runner) *Result {
 	return res
 }
 
-// runClients fans the published services of one server out over every
-// client framework using a bounded worker pool, then folds the
-// classified outcomes into the aggregate result.
-func (r *Runner) runClients(ctx context.Context, published []PublishedService, res *Result) error {
-	type job struct{ svc, cli int }
-	jobs := make(chan job)
-	results := make([]TestResult, len(published)*len(r.clients))
+// svcState tracks one published service through the streaming test
+// stage: a result slot per client plus the count of outstanding
+// client tests. Each worker writes only its own slot; the worker
+// completing the last test observes the counter hit zero (which
+// orders it after every slot write) and folds the whole service into
+// its shard, so per-service classification happens exactly once with
+// all client results visible.
+type svcState struct {
+	svc       PublishedService
+	results   []TestResult
+	remaining atomic.Int32
+}
 
-	var wg sync.WaitGroup
-	for w := 0; w < r.workers(); w++ {
-		wg.Add(1)
+// testJob is one (published service × client) test in the stream.
+type testJob struct {
+	st     *svcState
+	svcIdx int
+	cli    int
+}
+
+// shard is one test worker's private partial Result for the current
+// server stage: the Fig. 4 / Table III counters folded locally, with
+// no cross-worker synchronization. Shards replace the serial
+// classification loop; the per-server merge restores the totals.
+type shard struct {
+	server                   ServerSummary
+	clients                  []ClientSummary
+	cells                    []Cell
+	interopErrors            int
+	sameFrameworkErrors      int
+	flaggedCleanServices     int
+	unflaggedFailingServices int
+}
+
+// progress serializes Config.Progress callbacks for one server stage;
+// a nil progress (no callback configured) is a no-op.
+type progress struct {
+	mu    sync.Mutex
+	fn    func(stage string, done, total int)
+	stage string
+	done  int
+	total int
+}
+
+// serviceDone reports one more service resolved: fully tested, or
+// rejected at the description step.
+func (p *progress) serviceDone() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	p.fn(p.stage, p.done, p.total)
+	p.mu.Unlock()
+}
+
+// defsFor generates the (possibly limited) service definition list
+// for one server framework's catalog.
+func (r *Runner) defsFor(server framework.ServerFramework) ([]services.Definition, error) {
+	cat := r.catalog(server.Language())
+	if cat == nil {
+		return nil, fmt.Errorf("campaign: no catalog for language %s", server.Language())
+	}
+	variant := r.cfg.Variant
+	if variant == 0 {
+		variant = services.VariantSimple
+	}
+	defs := services.GenerateVariant(cat, variant)
+	if r.cfg.Limit > 0 && len(defs) > r.cfg.Limit {
+		defs = defs[:r.cfg.Limit]
+	}
+	return defs, nil
+}
+
+// runServer executes one server's full stage as a streaming pipeline
+// and merges the outcome into res.
+func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework, res *Result) error {
+	defs, err := r.defsFor(server)
+	if err != nil {
+		return fmt.Errorf("publish on %s: %w", server.Name(), err)
+	}
+	workers := r.workers()
+	states := make([]*svcState, len(defs))
+	pubErrs := make([]error, len(defs))
+	var failures [][]TestResult
+	if r.cfg.KeepFailures {
+		failures = make([][]TestResult, len(defs))
+	}
+	var prog *progress
+	if r.cfg.Progress != nil {
+		prog = &progress{fn: r.cfg.Progress, stage: server.Name(), total: len(defs)}
+	}
+
+	shards := make([]*shard, workers)
+	pubCh := make(chan int)
+	testCh := make(chan testJob, workers*len(r.clients))
+
+	var pubWG, testWG sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sh := &shard{
+			clients: make([]ClientSummary, len(r.clients)),
+			cells:   make([]Cell, len(r.clients)),
+		}
+		shards[w] = sh
+		testWG.Add(1)
 		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				results[j.svc*len(r.clients)+j.cli] = RunTest(r.clients[j.cli], published[j.svc])
+			defer testWG.Done()
+			for j := range testCh {
+				j.st.results[j.cli] = runTest(r.clients[j.cli], &j.st.svc, r.cfg.Reparse)
+				if j.st.remaining.Add(-1) == 0 {
+					fails := r.foldService(j.st, sh)
+					if failures != nil {
+						failures[j.svcIdx] = fails
+					}
+					prog.serviceDone()
+				}
 			}
 		}()
 	}
-feed:
-	for si := range published {
-		for ci := range r.clients {
-			select {
-			case <-ctx.Done():
-				break feed
-			case jobs <- job{svc: si, cli: ci}:
+	for w := 0; w < workers; w++ {
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			for i := range pubCh {
+				slot := r.publishOne(server, defs[i])
+				switch {
+				case slot.err != nil:
+					pubErrs[i] = slot.err
+					prog.serviceDone()
+				case !slot.ok:
+					// Not deployable: resolved with no client tests.
+					prog.serviceDone()
+				default:
+					st := &svcState{svc: slot.svc, results: make([]TestResult, len(r.clients))}
+					st.remaining.Store(int32(len(r.clients)))
+					states[i] = st
+					// Feed the tests straight into the streaming pool;
+					// test workers drain testCh until it closes, so this
+					// send cannot deadlock.
+					for ci := range r.clients {
+						testCh <- testJob{st: st, svcIdx: i, cli: ci}
+					}
+				}
 			}
+		}()
+	}
+
+feed:
+	for i := range defs {
+		select {
+		case <-ctx.Done():
+			break feed
+		case pubCh <- i:
 		}
 	}
-	close(jobs)
-	wg.Wait()
+	close(pubCh)
+	pubWG.Wait()
+	close(testCh)
+	testWG.Wait()
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-
-	// Classification: fold each test into the Fig. 4 and Table III
-	// aggregates, plus the headline statistics.
-	for si := range published {
-		if r.cfg.Progress != nil {
-			r.cfg.Progress(published[si].Server, si+1, len(published))
-		}
-		svc := &published[si]
-		cleanEverywhere := true
-		for ci := range r.clients {
-			t := &results[si*len(r.clients)+ci]
-			cell := res.Matrix[t.Client][t.Server]
-			sum := res.Servers[t.Server]
-			cli := res.Clients[t.Client]
-
-			cell.Tests++
-			sum.Tests++
-			cli.Tests++
-			res.TotalTests++
-			if t.Gen.Warning {
-				cell.GenWarnings++
-				sum.GenWarnings++
-				cli.GenWarnings++
-			}
-			if t.Gen.Error {
-				cell.GenErrors++
-				sum.GenErrors++
-				cli.GenErrors++
-				res.InteropErrors++
-			}
-			if t.CompileRan {
-				if t.Compile.Warning {
-					cell.CompileWarnings++
-					sum.CompileWarnings++
-					cli.CompileWarnings++
-				}
-				if t.Compile.Error {
-					cell.CompileErrors++
-					sum.CompileErrors++
-					cli.CompileErrors++
-					res.InteropErrors++
-				}
-			}
-			if t.ErrorAnywhere() {
-				cleanEverywhere = false
-				if svc.Flagged {
-					cli.ErrorsOnFlagged++
-				} else {
-					cli.ErrorsOnClean++
-				}
-				if r.sameFramework[t.Client] == t.Server {
-					res.SameFrameworkErrors++
-				}
-				if r.cfg.KeepFailures {
-					res.Failures = append(res.Failures, *t)
-				}
-			}
-		}
-		if svc.Flagged && cleanEverywhere {
-			res.FlaggedCleanServices++
-		}
-		if !svc.Flagged && !cleanEverywhere {
-			res.UnflaggedFailingServices++
+	for _, perr := range pubErrs {
+		if perr != nil {
+			return fmt.Errorf("publish on %s: %w", server.Name(), perr)
 		}
 	}
+	r.mergeServer(res, server.Name(), len(defs), states, shards, failures)
 	return nil
+}
+
+// foldService classifies one fully tested service into a shard — the
+// per-service body of the classification fold, applied by whichever
+// worker completed the service's last test. It returns the service's
+// errored tests in client roster order for the Failures index (nil
+// unless Config.KeepFailures).
+func (r *Runner) foldService(st *svcState, sh *shard) []TestResult {
+	svc := &st.svc
+	cleanEverywhere := true
+	var fails []TestResult
+	for ci := range r.clients {
+		t := &st.results[ci]
+		cell := &sh.cells[ci]
+		sum := &sh.server
+		cli := &sh.clients[ci]
+
+		cell.Tests++
+		sum.Tests++
+		cli.Tests++
+		if t.Gen.Warning {
+			cell.GenWarnings++
+			sum.GenWarnings++
+			cli.GenWarnings++
+		}
+		if t.Gen.Error {
+			cell.GenErrors++
+			sum.GenErrors++
+			cli.GenErrors++
+			sh.interopErrors++
+		}
+		if t.CompileRan {
+			if t.Compile.Warning {
+				cell.CompileWarnings++
+				sum.CompileWarnings++
+				cli.CompileWarnings++
+			}
+			if t.Compile.Error {
+				cell.CompileErrors++
+				sum.CompileErrors++
+				cli.CompileErrors++
+				sh.interopErrors++
+			}
+		}
+		if t.ErrorAnywhere() {
+			cleanEverywhere = false
+			if svc.Flagged {
+				cli.ErrorsOnFlagged++
+			} else {
+				cli.ErrorsOnClean++
+			}
+			if r.sameFramework[t.Client] == t.Server {
+				sh.sameFrameworkErrors++
+			}
+			if r.cfg.KeepFailures {
+				fails = append(fails, *t)
+			}
+		}
+	}
+	if svc.Flagged && cleanEverywhere {
+		sh.flaggedCleanServices++
+	}
+	if !svc.Flagged && !cleanEverywhere {
+		sh.unflaggedFailingServices++
+	}
+	return fails
+}
+
+// add accumulates another partial cell.
+func (c *Cell) add(o *Cell) {
+	c.Tests += o.Tests
+	c.GenWarnings += o.GenWarnings
+	c.GenErrors += o.GenErrors
+	c.CompileWarnings += o.CompileWarnings
+	c.CompileErrors += o.CompileErrors
+}
+
+// add accumulates another partial client summary.
+func (c *ClientSummary) add(o *ClientSummary) {
+	c.Tests += o.Tests
+	c.GenWarnings += o.GenWarnings
+	c.GenErrors += o.GenErrors
+	c.CompileWarnings += o.CompileWarnings
+	c.CompileErrors += o.CompileErrors
+	c.ErrorsOnFlagged += o.ErrorsOnFlagged
+	c.ErrorsOnClean += o.ErrorsOnClean
+}
+
+// mergeServer folds one stage's shards and publish outcomes into the
+// aggregate. Counter sums are order-independent and failures are
+// concatenated by service definition index, so the merged Result is
+// identical to the serial fold's.
+func (r *Runner) mergeServer(res *Result, serverName string, created int,
+	states []*svcState, shards []*shard, failures [][]TestResult) {
+	sum := res.Servers[serverName]
+	sum.Created = created
+	res.TotalServices += created
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		sum.Deployed++
+		res.TotalPublished++
+		if st.svc.Flagged {
+			sum.DescriptionWarnings++
+			res.FlaggedServices++
+		}
+	}
+	for ci, c := range r.clients {
+		cell := res.Matrix[c.Name()][serverName]
+		cli := res.Clients[c.Name()]
+		for _, sh := range shards {
+			cell.add(&sh.cells[ci])
+			cli.add(&sh.clients[ci])
+		}
+	}
+	for _, sh := range shards {
+		sum.Tests += sh.server.Tests
+		sum.GenWarnings += sh.server.GenWarnings
+		sum.GenErrors += sh.server.GenErrors
+		sum.CompileWarnings += sh.server.CompileWarnings
+		sum.CompileErrors += sh.server.CompileErrors
+		res.TotalTests += sh.server.Tests
+		res.InteropErrors += sh.interopErrors
+		res.SameFrameworkErrors += sh.sameFrameworkErrors
+		res.FlaggedCleanServices += sh.flaggedCleanServices
+		res.UnflaggedFailingServices += sh.unflaggedFailingServices
+	}
+	for _, fails := range failures {
+		res.Failures = append(res.Failures, fails...)
+	}
 }

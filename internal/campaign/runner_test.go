@@ -207,23 +207,31 @@ func TestStepString(t *testing.T) {
 
 func TestProgressCallback(t *testing.T) {
 	var stages []string
-	var last int
+	var last, lastTotal int
 	cfg := limitedConfig(100)
 	cfg.Workers = 1
 	cfg.Progress = func(stage string, done, total int) {
 		if len(stages) == 0 || stages[len(stages)-1] != stage {
+			if len(stages) > 0 && last != lastTotal {
+				t.Fatalf("stage %s ended at %d of %d", stages[len(stages)-1], last, lastTotal)
+			}
 			stages = append(stages, stage)
 			last = 0
 		}
 		if done != last+1 || done > total {
 			t.Fatalf("non-monotonic progress: stage %s done %d after %d (total %d)", stage, done, last, total)
 		}
-		last = done
+		last, lastTotal = done, total
 	}
 	if _, err := NewRunner(cfg).Run(context.Background()); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if len(stages) != 3 {
 		t.Errorf("stages = %v, want one per server", stages)
+	}
+	// The streaming runner reports every created service as resolved —
+	// tested or rejected — so each stage must end complete.
+	if last != lastTotal || lastTotal != 100 {
+		t.Errorf("final stage ended at %d of %d, want 100 of 100", last, lastTotal)
 	}
 }

@@ -71,7 +71,15 @@ func (c *dotNetClient) Generate(doc []byte) GenerationResult {
 	if err != nil {
 		return parseFailure(err)
 	}
+	return c.generate(f)
+}
 
+// GenerateAnalyzed implements ClientFramework.
+func (c *dotNetClient) GenerateAnalyzed(a *Analysis) GenerationResult {
+	return c.generate(a.features)
+}
+
+func (c *dotNetClient) generate(f *docFeatures) GenerationResult {
 	var issues []Issue
 	if c.lang == artifact.LangJScript && f.style == styleJava {
 		issues = append(issues, warn(CodeEmptySoapAction,

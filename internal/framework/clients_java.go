@@ -168,6 +168,15 @@ func (c *javaClient) Generate(doc []byte) GenerationResult {
 	if err != nil {
 		return parseFailure(err)
 	}
+	return c.generate(f)
+}
+
+// GenerateAnalyzed implements ClientFramework.
+func (c *javaClient) GenerateAnalyzed(a *Analysis) GenerationResult {
+	return c.generate(a.features)
+}
+
+func (c *javaClient) generate(f *docFeatures) GenerationResult {
 	p := &c.policy
 
 	var issues []Issue

@@ -41,6 +41,15 @@ func (c *gsoapClient) Generate(doc []byte) GenerationResult {
 	if err != nil {
 		return parseFailure(err)
 	}
+	return c.generate(f)
+}
+
+// GenerateAnalyzed implements ClientFramework.
+func (c *gsoapClient) GenerateAnalyzed(a *Analysis) GenerationResult {
+	return c.generate(a.features)
+}
+
+func (c *gsoapClient) generate(f *docFeatures) GenerationResult {
 	var issues []Issue
 	if f.vendorFacet == "jaxb-format" {
 		// wsdl2h maps the facet to a typedef that soapcpp2 rejects.
@@ -102,6 +111,15 @@ func (c *zendClient) Generate(doc []byte) GenerationResult {
 	if err != nil {
 		return parseFailure(err)
 	}
+	return c.generate(f)
+}
+
+// GenerateAnalyzed implements ClientFramework.
+func (c *zendClient) GenerateAnalyzed(a *Analysis) GenerationResult {
+	return c.generate(a.features)
+}
+
+func (c *zendClient) generate(f *docFeatures) GenerationResult {
 	var issues []Issue
 	if f.zeroOperations {
 		issues = append(issues, warn(CodeNoMethods,
@@ -163,6 +181,15 @@ func (c *sudsClient) Generate(doc []byte) GenerationResult {
 	if err != nil {
 		return parseFailure(err)
 	}
+	return c.generate(f)
+}
+
+// GenerateAnalyzed implements ClientFramework.
+func (c *sudsClient) GenerateAnalyzed(a *Analysis) GenerationResult {
+	return c.generate(a.features)
+}
+
+func (c *sudsClient) generate(f *docFeatures) GenerationResult {
 	var issues []Issue
 	if len(f.foreignRefs) > 0 && !f.importWithoutLocation {
 		issues = append(issues, errIssue(CodeUnresolvableRef,

@@ -127,10 +127,37 @@ type ClientFramework interface {
 	// the XML; handing over in-memory models would hide parser-level
 	// interoperability issues).
 	Generate(doc []byte) GenerationResult
+	// GenerateAnalyzed is the shared-analysis fast path of Generate: it
+	// consumes a pre-computed Analysis of the same document instead of
+	// re-parsing the serialized XML, and produces an identical result.
+	// All behavioural quirks key on the analysis, so skipping the
+	// redundant parse hides no parser-level issue as long as the
+	// analysis came from Analyze on the exact bytes Generate would see.
+	GenerateAnalyzed(a *Analysis) GenerationResult
 	// Verify performs the third step for this framework's artifacts:
 	// compilation for compiled languages, dynamic instantiation
 	// otherwise.
 	Verify(u *artifact.Unit) []artifact.Diagnostic
+}
+
+// Analysis is an immutable parsed-and-analyzed view of one serialized
+// WSDL document. After Analyze returns, every field is only ever read,
+// so a single Analysis may be shared by many client frameworks across
+// goroutines — the memoization contract behind the campaign runner's
+// analysis cache.
+type Analysis struct {
+	features *docFeatures
+}
+
+// Analyze parses and inspects a serialized WSDL document once, for use
+// with ClientFramework.GenerateAnalyzed. It fails exactly when the
+// clients' own re-parse of the same bytes would fail.
+func Analyze(doc []byte) (*Analysis, error) {
+	f, err := analyze(doc)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{features: f}, nil
 }
 
 // Servers returns the three server-side subsystems of the study, in

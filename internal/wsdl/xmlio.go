@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"wsinterop/internal/xsd"
 )
@@ -41,9 +42,27 @@ func (e *ParseError) Unwrap() error { return e.Err }
 // not wsdl:definitions.
 var ErrNoDefinitions = errors.New("root element is not wsdl:definitions")
 
+// marshalBufs recycles serialization buffers across Marshal calls;
+// the campaign's publish workers serialize tens of thousands of
+// documents, and reusing the grown buffers removes most of the
+// allocation churn on that path.
+var marshalBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Marshal renders the document as WSDL 1.1 XML.
 func Marshal(d *Definitions) ([]byte, error) {
-	var buf bytes.Buffer
+	buf := marshalBufs.Get().(*bytes.Buffer)
+	defer marshalBufs.Put(buf)
+	buf.Reset()
+	if err := marshalTo(buf, d); err != nil {
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// marshalTo writes the document into a caller-owned buffer.
+func marshalTo(buf *bytes.Buffer, d *Definitions) error {
 	buf.WriteString(xml.Header)
 
 	pt := xsd.NewPrefixTable(d.TargetNamespace)
@@ -82,12 +101,12 @@ func Marshal(d *Definitions) ([]byte, error) {
 			continue
 		}
 		seen[a.name] = true
-		fmt.Fprintf(&buf, " %s=%q", a.name, a.value)
+		fmt.Fprintf(buf, " %s=%q", a.name, a.value)
 	}
 	buf.WriteString(">\n")
 
 	if d.Documentation != "" {
-		fmt.Fprintf(&buf, "  <%s:documentation>%s</%s:documentation>\n", wsdlPrefix, escape(d.Documentation), wsdlPrefix)
+		fmt.Fprintf(buf, "  <%s:documentation>%s</%s:documentation>\n", wsdlPrefix, escape(d.Documentation), wsdlPrefix)
 	}
 
 	// <types>
@@ -96,7 +115,7 @@ func Marshal(d *Definitions) ([]byte, error) {
 		for _, sch := range d.Types.Schemas {
 			b, err := xsd.MarshalSchema(sch, nil)
 			if err != nil {
-				return nil, fmt.Errorf("marshal embedded schema %q: %w", sch.TargetNamespace, err)
+				return fmt.Errorf("marshal embedded schema %q: %w", sch.TargetNamespace, err)
 			}
 			buf.Write(indent(b, "    "))
 			buf.WriteByte('\n')
@@ -106,42 +125,42 @@ func Marshal(d *Definitions) ([]byte, error) {
 
 	// <message>
 	for _, m := range d.Messages {
-		fmt.Fprintf(&buf, "  <%s:message name=%q>\n", wsdlPrefix, m.Name)
+		fmt.Fprintf(buf, "  <%s:message name=%q>\n", wsdlPrefix, m.Name)
 		for _, p := range m.Parts {
-			fmt.Fprintf(&buf, "    <%s:part name=%q", wsdlPrefix, p.Name)
+			fmt.Fprintf(buf, "    <%s:part name=%q", wsdlPrefix, p.Name)
 			if !p.Element.IsZero() {
-				fmt.Fprintf(&buf, " element=%q", pt.Ref(p.Element))
+				fmt.Fprintf(buf, " element=%q", pt.Ref(p.Element))
 			}
 			if !p.Type.IsZero() {
-				fmt.Fprintf(&buf, " type=%q", pt.Ref(p.Type))
+				fmt.Fprintf(buf, " type=%q", pt.Ref(p.Type))
 			}
 			buf.WriteString("/>\n")
 		}
-		fmt.Fprintf(&buf, "  </%s:message>\n", wsdlPrefix)
+		fmt.Fprintf(buf, "  </%s:message>\n", wsdlPrefix)
 	}
 
 	// <portType>
 	for _, ptype := range d.PortTypes {
-		fmt.Fprintf(&buf, "  <%s:portType name=%q>\n", wsdlPrefix, ptype.Name)
+		fmt.Fprintf(buf, "  <%s:portType name=%q>\n", wsdlPrefix, ptype.Name)
 		for _, op := range ptype.Operations {
-			fmt.Fprintf(&buf, "    <%s:operation name=%q>\n", wsdlPrefix, op.Name)
+			fmt.Fprintf(buf, "    <%s:operation name=%q>\n", wsdlPrefix, op.Name)
 			if op.Input.Message != "" {
-				fmt.Fprintf(&buf, "      <%s:input message=\"tns:%s\"/>\n", wsdlPrefix, op.Input.Message)
+				fmt.Fprintf(buf, "      <%s:input message=\"tns:%s\"/>\n", wsdlPrefix, op.Input.Message)
 			}
 			if op.Output.Message != "" {
-				fmt.Fprintf(&buf, "      <%s:output message=\"tns:%s\"/>\n", wsdlPrefix, op.Output.Message)
+				fmt.Fprintf(buf, "      <%s:output message=\"tns:%s\"/>\n", wsdlPrefix, op.Output.Message)
 			}
 			for _, f := range op.Faults {
-				fmt.Fprintf(&buf, "      <%s:fault name=%q message=\"tns:%s\"/>\n", wsdlPrefix, f.Name, f.Message)
+				fmt.Fprintf(buf, "      <%s:fault name=%q message=\"tns:%s\"/>\n", wsdlPrefix, f.Name, f.Message)
 			}
-			fmt.Fprintf(&buf, "    </%s:operation>\n", wsdlPrefix)
+			fmt.Fprintf(buf, "    </%s:operation>\n", wsdlPrefix)
 		}
-		fmt.Fprintf(&buf, "  </%s:portType>\n", wsdlPrefix)
+		fmt.Fprintf(buf, "  </%s:portType>\n", wsdlPrefix)
 	}
 
 	// <binding>
 	for _, b := range d.Bindings {
-		fmt.Fprintf(&buf, "  <%s:binding name=%q type=\"tns:%s\">\n", wsdlPrefix, b.Name, b.PortType)
+		fmt.Fprintf(buf, "  <%s:binding name=%q type=\"tns:%s\">\n", wsdlPrefix, b.Name, b.PortType)
 		style := b.Style
 		if style == "" {
 			style = StyleDocument
@@ -150,10 +169,10 @@ func Marshal(d *Definitions) ([]byte, error) {
 		if transport == "" {
 			transport = NamespaceSOAPHTTP
 		}
-		fmt.Fprintf(&buf, "    <%s:binding transport=%q style=%q/>\n", soapPrefix, transport, style)
+		fmt.Fprintf(buf, "    <%s:binding transport=%q style=%q/>\n", soapPrefix, transport, style)
 		for _, bop := range b.Operations {
-			fmt.Fprintf(&buf, "    <%s:operation name=%q>\n", wsdlPrefix, bop.Name)
-			fmt.Fprintf(&buf, "      <%s:operation soapAction=%q/>\n", soapPrefix, bop.SOAPAction)
+			fmt.Fprintf(buf, "    <%s:operation name=%q>\n", wsdlPrefix, bop.Name)
+			fmt.Fprintf(buf, "      <%s:operation soapAction=%q/>\n", soapPrefix, bop.SOAPAction)
 			inUse, outUse := bop.InputUse, bop.OutputUse
 			if inUse == "" {
 				inUse = UseLiteral
@@ -165,26 +184,26 @@ func Marshal(d *Definitions) ([]byte, error) {
 			if bop.BodyNamespace != "" {
 				nsAttr = fmt.Sprintf(" namespace=%q", bop.BodyNamespace)
 			}
-			fmt.Fprintf(&buf, "      <%s:input><%s:body use=%q%s/></%s:input>\n", wsdlPrefix, soapPrefix, inUse, nsAttr, wsdlPrefix)
-			fmt.Fprintf(&buf, "      <%s:output><%s:body use=%q%s/></%s:output>\n", wsdlPrefix, soapPrefix, outUse, nsAttr, wsdlPrefix)
-			fmt.Fprintf(&buf, "    </%s:operation>\n", wsdlPrefix)
+			fmt.Fprintf(buf, "      <%s:input><%s:body use=%q%s/></%s:input>\n", wsdlPrefix, soapPrefix, inUse, nsAttr, wsdlPrefix)
+			fmt.Fprintf(buf, "      <%s:output><%s:body use=%q%s/></%s:output>\n", wsdlPrefix, soapPrefix, outUse, nsAttr, wsdlPrefix)
+			fmt.Fprintf(buf, "    </%s:operation>\n", wsdlPrefix)
 		}
-		fmt.Fprintf(&buf, "  </%s:binding>\n", wsdlPrefix)
+		fmt.Fprintf(buf, "  </%s:binding>\n", wsdlPrefix)
 	}
 
 	// <service>
 	for _, svc := range d.Services {
-		fmt.Fprintf(&buf, "  <%s:service name=%q>\n", wsdlPrefix, svc.Name)
+		fmt.Fprintf(buf, "  <%s:service name=%q>\n", wsdlPrefix, svc.Name)
 		for _, p := range svc.Ports {
-			fmt.Fprintf(&buf, "    <%s:port name=%q binding=\"tns:%s\">\n", wsdlPrefix, p.Name, p.Binding)
-			fmt.Fprintf(&buf, "      <%s:address location=%q/>\n", soapPrefix, p.Location)
-			fmt.Fprintf(&buf, "    </%s:port>\n", wsdlPrefix)
+			fmt.Fprintf(buf, "    <%s:port name=%q binding=\"tns:%s\">\n", wsdlPrefix, p.Name, p.Binding)
+			fmt.Fprintf(buf, "      <%s:address location=%q/>\n", soapPrefix, p.Location)
+			fmt.Fprintf(buf, "    </%s:port>\n", wsdlPrefix)
 		}
-		fmt.Fprintf(&buf, "  </%s:service>\n", wsdlPrefix)
+		fmt.Fprintf(buf, "  </%s:service>\n", wsdlPrefix)
 	}
 
 	buf.WriteString("</" + wsdlPrefix + ":definitions>\n")
-	return buf.Bytes(), nil
+	return nil
 }
 
 func escape(s string) string {

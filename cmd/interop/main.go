@@ -3,14 +3,15 @@
 //
 // Usage:
 //
-//	interop [-report fig4|chart|table3|findings|deploy|failures|compare|comm|json|all]
+//	interop [-report fig4|chart|table3|findings|deploy|failures|compare|comm|robust|json|all]
 //	        [-limit N] [-workers N] [-server NAME] [-client NAME]
-//	        [-reparse] [-cpuprofile FILE]
+//	        [-faults] [-reparse] [-cpuprofile FILE]
 //
 // With no flags it runs the full campaign (22 024 services, 79 629
 // tests) and prints every textual report. -report comm additionally
-// runs the communication/execution extension; -report json emits a
-// machine-readable dump of everything.
+// runs the communication/execution extension; -faults (or -report
+// robust) runs the fault-injection robustness matrix on top of it;
+// -report json emits a machine-readable dump of everything.
 package main
 
 import (
@@ -37,7 +38,9 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("interop", flag.ContinueOnError)
 	reportKind := fs.String("report", "all",
-		"report to print: fig4, chart, table3, findings, deploy, failures, compare, comm, json, markdown, all")
+		"report to print: fig4, chart, table3, findings, deploy, failures, compare, comm, robust, json, markdown, all")
+	faults := fs.Bool("faults", false,
+		"run the fault-injection robustness matrix (server × client × fault) and print its report")
 	explainClass := fs.String("explain", "",
 		"print the drill-down narrative for one class (combine with -server to restrict)")
 	extended := fs.Bool("extended", false,
@@ -111,11 +114,17 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	var robust *campaign.RobustResult
+	if *faults || *reportKind == "robust" {
+		if robust, err = runner.RunRobustness(context.Background()); err != nil {
+			return err
+		}
+	}
 	switch *reportKind {
 	case "json":
-		return report.JSON(out, res, comm)
+		return report.JSON(out, res, comm, robust)
 	case "markdown":
-		return report.Markdown(out, res, comm)
+		return report.Markdown(out, res, comm, robust)
 	}
 
 	sections := []struct {
@@ -136,6 +145,9 @@ func run(args []string, out io.Writer) error {
 		{"comm", "Communication & Execution extension (steps 4–5)", func() error {
 			return report.Communication(out, comm)
 		}},
+		{"robust", "Robustness extension (fault injection, steps 4–5)", func() error {
+			return report.Robustness(out, robust)
+		}},
 	}
 	printed := false
 	for _, s := range sections {
@@ -144,6 +156,9 @@ func run(args []string, out io.Writer) error {
 		}
 		if s.name == "comm" && comm == nil {
 			continue // the extension runs only when requested explicitly
+		}
+		if s.name == "robust" && robust == nil {
+			continue // runs only with -faults or -report robust
 		}
 		printed = true
 		fmt.Fprintf(out, "== %s ==\n", s.title)

@@ -61,6 +61,39 @@ func TestRunCommReport(t *testing.T) {
 	}
 }
 
+func TestRunFaultsReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-limit", "40", "-report", "robust"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Robustness extension", "status-500", "abort-once",
+		"wrong-success cells: 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("robust report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunFaultsDeterministicOutput is the CLI-level acceptance check:
+// `interop -faults` must print a byte-identical matrix at any worker
+// count.
+func TestRunFaultsDeterministicOutput(t *testing.T) {
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"-limit", "40", "-workers", "1", "-faults", "-report", "robust"}, &serial); err != nil {
+		t.Fatalf("serial run: %v", err)
+	}
+	if err := run([]string{"-limit", "40", "-workers", "8", "-faults", "-report", "robust"}, &parallel); err != nil {
+		t.Fatalf("parallel run: %v", err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("fault matrix differs across worker counts:\n--- workers=1 ---\n%s--- workers=8 ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
 func TestRunServerClientFilters(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-limit", "60", "-server", "metro", "-client", "axis1", "-report", "table3"}, &buf); err != nil {

@@ -86,6 +86,10 @@ type CommSummary struct {
 	// message-assertion findings among them.
 	Exchanges         int
 	MessageViolations int
+	// PathCollisions counts deployed services whose derived HTTP path
+	// collided with an earlier endpoint and needed a deterministic
+	// numeric suffix to stay reachable.
+	PathCollisions int
 }
 
 // Add folds one outcome into the summary.
@@ -131,6 +135,7 @@ func (r *CommResult) Totals() CommSummary {
 		t.Succeeded += s.Succeeded
 		t.Exchanges += s.Exchanges
 		t.MessageViolations += s.MessageViolations
+		t.PathCollisions += s.PathCollisions
 	}
 	return t
 }
@@ -170,22 +175,12 @@ func (r *Runner) runCommunicationServer(ctx context.Context, server framework.Se
 	sniffer := transport.NewSniffer(host, r.checker)
 	bridge := transport.NewLocalBridge(sniffer)
 
-	// Deploy every invocable service once; zero-operation documents
-	// are rejected by the runtime exactly as FromWSDL defines.
-	endpoints := make(map[string]*transport.Endpoint, len(published)) // class → endpoint
-	for i := range published {
-		doc, err := wsdl.Unmarshal(published[i].Doc)
-		if err != nil {
-			return nil, fmt.Errorf("reparse %s: %w", published[i].Class, err)
-		}
-		ep, err := host.DeployWSDL(doc)
-		if err != nil {
-			continue // zero-operation services stay undeployed
-		}
-		endpoints[published[i].Class] = ep
+	endpoints, collisions, err := r.deployPublished(host, published)
+	if err != nil {
+		return nil, err
 	}
 
-	sum := &CommSummary{Server: server.Name()}
+	sum := &CommSummary{Server: server.Name(), PathCollisions: collisions}
 	outcomes := make([]CommOutcome, len(published)*len(r.clients))
 
 	var wg sync.WaitGroup
@@ -196,8 +191,8 @@ func (r *Runner) runCommunicationServer(ctx context.Context, server framework.Se
 			defer wg.Done()
 			for idx := range jobs {
 				si, ci := idx/len(r.clients), idx%len(r.clients)
-				outcomes[idx] = communicate(ctx, bridge, r.clients[ci], published[si],
-					endpoints[published[si].Class])
+				outcomes[idx] = communicate(ctx, bridge, r.clients[ci], &published[si],
+					endpoints[published[si].Class], r.cfg.Reparse)
 			}
 		}()
 	}
@@ -225,28 +220,58 @@ feed:
 	return sum, nil
 }
 
-// communicate executes steps 2–5 for one combination and classifies
-// the result. The request payload is built from the endpoint's field
-// specifications (lexically valid samples for scalar fields, a probe
-// string for the parameter bean) so the Execution step's payload
-// validation is genuinely exercised.
-func communicate(ctx context.Context, bridge *transport.LocalBridge,
-	client framework.ClientFramework, svc PublishedService, ep *transport.Endpoint) CommOutcome {
-	gen := client.Generate(svc.Doc)
-	if gen.Failed() || gen.Unit == nil {
-		return CommBlocked
+// deployPublished deploys every invocable service once, reusing the
+// shared document analysis for the endpoint derivation (Config.Reparse
+// restores the per-deploy wsdl.Unmarshal the pre-cache runner did).
+// Zero-operation documents are rejected by the runtime exactly as
+// FromWSDL defines. A path collision between two services is resolved
+// with a deterministic numeric suffix and counted, so the summary can
+// surface it instead of silently dropping an endpoint.
+func (r *Runner) deployPublished(host *transport.Host,
+	published []PublishedService) (map[string]*transport.Endpoint, int, error) {
+	endpoints := make(map[string]*transport.Endpoint, len(published)) // class → endpoint
+	collisions := 0
+	for i := range published {
+		var doc *wsdl.Definitions
+		if r.cfg.Reparse {
+			d, err := wsdl.Unmarshal(published[i].Doc)
+			if err != nil {
+				return nil, 0, fmt.Errorf("reparse %s: %w", published[i].Class, err)
+			}
+			doc = d
+		} else {
+			a, err := published[i].Analysis()
+			if err != nil {
+				return nil, 0, fmt.Errorf("analyze %s: %w", published[i].Class, err)
+			}
+			doc = a.Definitions()
+		}
+		ep, err := transport.FromWSDL(doc)
+		if err != nil {
+			continue // zero-operation services stay undeployed
+		}
+		if err := host.Deploy(ep); err != nil {
+			collisions++
+			base := ep.Path
+			for n := 2; ; n++ {
+				ep.Path = fmt.Sprintf("%s-%d", base, n)
+				if host.Deploy(ep) == nil {
+					break
+				}
+			}
+		}
+		endpoints[published[i].Class] = ep
 	}
-	if diags := client.Verify(gen.Unit); len(artifact.Errors(diags)) > 0 {
-		return CommBlocked
-	}
-	port := gen.Unit.PortClass()
-	if port == nil || len(port.Methods) == 0 || ep == nil {
-		// Artifacts with nothing to invoke: the silent failures.
-		return CommNoOperations
-	}
+	return endpoints, collisions, nil
+}
 
-	op := port.Methods[0].Name
-	probe := "probe:" + svc.Class
+// buildEchoRequest builds the invocation payload for one operation
+// from the endpoint's field specifications (lexically valid samples
+// for scalar fields, a probe string for the parameter bean) so the
+// Execution step's payload validation is genuinely exercised. It
+// returns the request and the field whose echo proves the round trip.
+func buildEchoRequest(ep *transport.Endpoint, op, class string) (*soap.Message, string) {
+	probe := "probe:" + class
 	fields := make(map[string]string, 2)
 	probeField := ""
 	for _, spec := range ep.Inputs[op] {
@@ -262,13 +287,50 @@ func communicate(ctx context.Context, bridge *transport.LocalBridge,
 	if probeField == "" {
 		probeField = ep.Inputs[op][0].Name
 	}
+	return &soap.Message{Namespace: ep.Namespace, Local: op, Fields: fields}, probeField
+}
 
-	req := &soap.Message{Namespace: ep.Namespace, Local: op, Fields: fields}
+// invocable runs steps 2–3 for one combination through the shared
+// analysis (Config.Reparse selects the byte path, matching the static
+// campaign) and returns the operation to invoke. ok is false for
+// blocked combinations; an empty op marks the silent no-operation
+// stubs.
+func invocable(client framework.ClientFramework, svc *PublishedService,
+	ep *transport.Endpoint, reparse bool) (op string, ok bool) {
+	gen := generationFor(client, svc, reparse)
+	if gen.Failed() || gen.Unit == nil {
+		return "", false
+	}
+	if diags := client.Verify(gen.Unit); len(artifact.Errors(diags)) > 0 {
+		return "", false
+	}
+	port := gen.Unit.PortClass()
+	if port == nil || len(port.Methods) == 0 || ep == nil {
+		return "", true
+	}
+	return port.Methods[0].Name, true
+}
+
+// communicate executes steps 2–5 for one combination and classifies
+// the result.
+func communicate(ctx context.Context, bridge *transport.LocalBridge,
+	client framework.ClientFramework, svc *PublishedService,
+	ep *transport.Endpoint, reparse bool) CommOutcome {
+	op, ok := invocable(client, svc, ep, reparse)
+	if !ok {
+		return CommBlocked
+	}
+	if op == "" {
+		// Artifacts with nothing to invoke: the silent failures.
+		return CommNoOperations
+	}
+
+	req, probeField := buildEchoRequest(ep, op, svc.Class)
 	resp, err := bridge.Invoke(ctx, ep.Path, req)
 	if err != nil {
 		return CommFault
 	}
-	if echoed, _ := resp.Field(probeField); echoed != fields[probeField] {
+	if echoed, _ := resp.Field(probeField); echoed != req.Fields[probeField] {
 		return CommEchoMismatch
 	}
 	if resp.Local != op+"Response" {

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"wsinterop/internal/framework"
@@ -84,6 +85,25 @@ func TestCommOutcomeString(t *testing.T) {
 		if s := o.String(); s == "" || s[0] == 'C' {
 			t.Errorf("outcome %d has no friendly name: %q", o, s)
 		}
+	}
+}
+
+// TestCommunicationReparseEquivalence checks that routing the
+// communication extension through the shared WSDL analysis cache
+// (the default) and re-parsing the published bytes per step
+// (Config.Reparse, the ablation) classify every combination the same.
+func TestCommunicationReparseEquivalence(t *testing.T) {
+	run := func(reparse bool) *CommResult {
+		res, err := NewRunner(Config{Limit: 100, Workers: 4, Reparse: reparse}).RunCommunication(context.Background())
+		if err != nil {
+			t.Fatalf("run (reparse=%v): %v", reparse, err)
+		}
+		return res
+	}
+	cached, reparsed := run(false), run(true)
+	if !reflect.DeepEqual(cached, reparsed) {
+		t.Errorf("outcomes differ between shared-analysis and reparse modes:\ncached:   %+v\nreparsed: %+v",
+			cached.Totals(), reparsed.Totals())
 	}
 }
 

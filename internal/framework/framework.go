@@ -149,6 +149,11 @@ type Analysis struct {
 	features *docFeatures
 }
 
+// Definitions exposes the parsed document behind the analysis, so the
+// transport layer can derive endpoints from the same single parse the
+// clients share. Callers must treat it as read-only.
+func (a *Analysis) Definitions() *wsdl.Definitions { return a.features.def }
+
 // Analyze parses and inspects a serialized WSDL document once, for use
 // with ClientFramework.GenerateAnalyzed. It fails exactly when the
 // clients' own re-parse of the same bytes would fail.

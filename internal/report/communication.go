@@ -12,11 +12,11 @@ import (
 // (experiment E6 at scale — the paper's future work).
 func Communication(w io.Writer, res *campaign.CommResult) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "server\tcombinations\tblocked\tno-operations\tfaults\tmismatches\tsucceeded\texchanges\tmsg-violations")
+	fmt.Fprintln(tw, "server\tcombinations\tblocked\tno-operations\tfaults\tmismatches\tsucceeded\texchanges\tmsg-violations\tpath-collisions")
 	write := func(s *campaign.CommSummary) {
-		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
 			s.Server, s.Combinations, s.Blocked, s.NoOperations,
-			s.Faults, s.Mismatches, s.Succeeded, s.Exchanges, s.MessageViolations)
+			s.Faults, s.Mismatches, s.Succeeded, s.Exchanges, s.MessageViolations, s.PathCollisions)
 	}
 	for _, name := range res.ServerOrder {
 		write(res.Servers[name])

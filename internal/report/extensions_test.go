@@ -104,14 +104,18 @@ func TestJSONExport(t *testing.T) {
 		t.Fatalf("communication: %v", err)
 	}
 	var buf bytes.Buffer
-	if err := JSON(&buf, res, comm); err != nil {
+	robust, err := campaign.NewRunner(campaign.Config{Limit: 60}).RunRobustness(context.Background())
+	if err != nil {
+		t.Fatalf("robustness: %v", err)
+	}
+	if err := JSON(&buf, res, comm, robust); err != nil {
 		t.Fatalf("JSON: %v", err)
 	}
 	var decoded map[string]any
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	for _, key := range []string{"totalTests", "servers", "matrix", "failures", "paperComparison", "communication"} {
+	for _, key := range []string{"totalTests", "servers", "matrix", "failures", "paperComparison", "communication", "robustness"} {
 		if _, ok := decoded[key]; !ok {
 			t.Errorf("JSON missing key %q", key)
 		}
@@ -123,11 +127,14 @@ func TestJSONExport(t *testing.T) {
 
 func TestJSONWithoutCommunication(t *testing.T) {
 	var buf bytes.Buffer
-	if err := JSON(&buf, sharedResult(t), nil); err != nil {
+	if err := JSON(&buf, sharedResult(t), nil, nil); err != nil {
 		t.Fatalf("JSON: %v", err)
 	}
 	if strings.Contains(buf.String(), `"communication"`) {
 		t.Error("communication section should be omitted when absent")
+	}
+	if strings.Contains(buf.String(), `"robustness"`) {
+		t.Error("robustness section should be omitted when absent")
 	}
 }
 
@@ -154,7 +161,7 @@ func TestMarkdownRendering(t *testing.T) {
 		t.Fatalf("communication: %v", err)
 	}
 	var buf bytes.Buffer
-	if err := Markdown(&buf, sharedResult(t), comm); err != nil {
+	if err := Markdown(&buf, sharedResult(t), comm, nil); err != nil {
 		t.Fatalf("Markdown: %v", err)
 	}
 	out := buf.String()
@@ -177,11 +184,39 @@ func TestMarkdownRendering(t *testing.T) {
 
 func TestMarkdownWithoutCommunication(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Markdown(&buf, sharedResult(t), nil); err != nil {
+	if err := Markdown(&buf, sharedResult(t), nil, nil); err != nil {
 		t.Fatalf("Markdown: %v", err)
 	}
 	if strings.Contains(buf.String(), "Communication & Execution") {
 		t.Error("communication section should be omitted when absent")
+	}
+	if strings.Contains(buf.String(), "Robustness extension") {
+		t.Error("robustness section should be omitted when absent")
+	}
+}
+
+func TestRobustnessRendering(t *testing.T) {
+	robust, err := campaign.NewRunner(campaign.Config{Limit: 60}).RunRobustness(context.Background())
+	if err != nil {
+		t.Fatalf("robustness: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Robustness(&buf, robust); err != nil {
+		t.Fatalf("Robustness: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"fault", "detected", "masked", "wrong-success", "retry-recovered",
+		"total", "wrong-success cells:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("robustness report missing %q:\n%s", want, out)
+		}
+	}
+	for _, fault := range robust.Faults {
+		if !strings.Contains(out, fault) {
+			t.Errorf("robustness report missing fault row %q", fault)
+		}
 	}
 }
 

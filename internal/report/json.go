@@ -23,6 +23,19 @@ type jsonResult struct {
 	Failures            []jsonFailure          `json:"failures,omitempty"`
 	PaperComparisonRows []jsonComparison       `json:"paperComparison"`
 	Communication       []campaign.CommSummary `json:"communication,omitempty"`
+	Robustness          []jsonRobust           `json:"robustness,omitempty"`
+}
+
+// jsonRobust is one (server × fault) row of the robustness matrix.
+type jsonRobust struct {
+	Server       string `json:"server"`
+	Fault        string `json:"fault"`
+	Cells        int    `json:"cells"`
+	Skipped      int    `json:"skipped"`
+	Detected     int    `json:"detected"`
+	Masked       int    `json:"masked"`
+	WrongSuccess int    `json:"wrongSuccess"`
+	Recovered    int    `json:"retryRecovered"`
 }
 
 type jsonServer struct {
@@ -61,8 +74,8 @@ type jsonComparison struct {
 }
 
 // JSON writes the complete campaign result (and optional
-// communication summary) as indented JSON.
-func JSON(w io.Writer, res *campaign.Result, comm *campaign.CommResult) error {
+// communication and robustness summaries) as indented JSON.
+func JSON(w io.Writer, res *campaign.Result, comm *campaign.CommResult, robust *campaign.RobustResult) error {
 	out := jsonResult{
 		TotalServices:   res.TotalServices,
 		TotalPublished:  res.TotalPublished,
@@ -102,6 +115,18 @@ func JSON(w io.Writer, res *campaign.Result, comm *campaign.CommResult) error {
 	if comm != nil {
 		for _, name := range comm.ServerOrder {
 			out.Communication = append(out.Communication, *comm.Servers[name])
+		}
+	}
+	if robust != nil {
+		for _, server := range robust.ServerOrder {
+			for _, fault := range robust.Faults {
+				c := robust.Servers[server][fault]
+				out.Robustness = append(out.Robustness, jsonRobust{
+					Server: server, Fault: fault, Cells: c.Cells,
+					Skipped: c.Skipped, Detected: c.Detected, Masked: c.Masked,
+					WrongSuccess: c.WrongSuccess, Recovered: c.Recovered,
+				})
+			}
 		}
 	}
 	enc := json.NewEncoder(w)

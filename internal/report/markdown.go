@@ -11,7 +11,7 @@ import (
 // Markdown renders the complete campaign result as GitHub-flavoured
 // markdown — the format used by EXPERIMENTS.md, so CI runs can
 // regenerate the record verbatim (`cmd/interop -report markdown`).
-func Markdown(w io.Writer, res *campaign.Result, comm *campaign.CommResult) error {
+func Markdown(w io.Writer, res *campaign.Result, comm *campaign.CommResult, robust *campaign.RobustResult) error {
 	mw := &markdownWriter{w: w}
 
 	mw.heading(2, "Campaign result")
@@ -96,6 +96,30 @@ func Markdown(w io.Writer, res *campaign.Result, comm *campaign.CommResult) erro
 		}
 		totals := comm.Totals()
 		writeRow(&totals)
+	}
+
+	if robust != nil {
+		mw.heading(3, "Robustness extension (fault injection)")
+		mw.tableHeader([]string{"server", "fault", "cells", "skipped", "detected",
+			"masked", "wrong-success", "retry-recovered"})
+		writeRobust := func(server, fault string, c *campaign.RobustCounts) {
+			mw.tableRow([]string{server, fault,
+				fmt.Sprintf("%d", c.Cells), fmt.Sprintf("%d", c.Skipped),
+				fmt.Sprintf("%d", c.Detected), fmt.Sprintf("%d", c.Masked),
+				fmt.Sprintf("%d", c.WrongSuccess), fmt.Sprintf("%d", c.Recovered)})
+		}
+		for _, server := range robust.ServerOrder {
+			for _, fault := range robust.Faults {
+				writeRobust(server, fault, robust.Servers[server][fault])
+			}
+		}
+		faultTotals := robust.FaultTotals()
+		for _, fault := range robust.Faults {
+			writeRobust("total", fault, faultTotals[fault])
+		}
+		totals := robust.Totals()
+		mw.printf("\nwrong-success cells: %d · retry-recovered: %d\n",
+			totals.WrongSuccess, totals.Recovered)
 	}
 	return mw.err
 }

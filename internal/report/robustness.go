@@ -1,0 +1,56 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"wsinterop/internal/campaign"
+)
+
+// Robustness writes the fault-injection extension summary: the
+// (server × fault) matrix of robustness outcomes, the per-client
+// attribution, and the wrong-success verdict line.
+func Robustness(w io.Writer, res *campaign.RobustResult) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "server\tfault\tcells\tskipped\tdetected\tmasked\twrong-success\tretry-recovered")
+	write := func(server, fault string, c *campaign.RobustCounts) {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			server, fault, c.Cells, c.Skipped, c.Detected, c.Masked, c.WrongSuccess, c.Recovered)
+	}
+	for _, server := range res.ServerOrder {
+		for _, fault := range res.Faults {
+			write(server, fault, res.Servers[server][fault])
+		}
+	}
+	faultTotals := res.FaultTotals()
+	for _, fault := range res.Faults {
+		write("total", fault, faultTotals[fault])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if len(res.ClientOrder) > 0 {
+		fmt.Fprintln(w)
+		ct := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(ct, "client\tcells\tskipped\tdetected\tmasked\twrong-success\tretry-recovered")
+		for _, name := range res.ClientOrder {
+			c := res.Clients[name]
+			fmt.Fprintf(ct, "%s\t%d\t%d\t%d\t%d\t%d\t%d\n",
+				name, c.Cells, c.Skipped, c.Detected, c.Masked, c.WrongSuccess, c.Recovered)
+		}
+		if err := ct.Flush(); err != nil {
+			return err
+		}
+	}
+
+	totals := res.Totals()
+	if res.PathCollisions > 0 {
+		fmt.Fprintf(w, "%d endpoint path collisions resolved with deterministic suffixes\n", res.PathCollisions)
+	}
+	_, err := fmt.Fprintf(w,
+		"wrong-success cells: %d (0 means the client surfaces every wire-signaled failure); %d recovered by retry\n",
+		totals.WrongSuccess, totals.Recovered)
+	return err
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"unicode"
 )
 
 // Namespace constants for SOAP 1.1.
@@ -86,11 +87,41 @@ func (e *DecodeError) Error() string {
 // Unwrap exposes the wrapped cause.
 func (e *DecodeError) Unwrap() error { return e.Err }
 
+// ValidNCName reports whether s can be used as an XML element name:
+// a non-colonized name starting with a letter or underscore. Marshal
+// refuses names that fail this check — interpolating them into markup
+// would emit a malformed (or, worse, differently-structured) envelope.
+func ValidNCName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if r == '_' || unicode.IsLetter(r) {
+			continue
+		}
+		if i > 0 && (r == '-' || r == '.' || unicode.IsDigit(r)) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
 // Marshal serializes a message into a SOAP 1.1 envelope. Children are
-// written in sorted field order so output is deterministic.
+// written in sorted field order so output is deterministic. The
+// wrapper and every field name must be valid XML NCNames: values are
+// escaped, but names are structural markup and cannot be.
 func Marshal(m *Message) ([]byte, error) {
 	if m.Local == "" {
 		return nil, errors.New("soap: message has no wrapper element name")
+	}
+	if !ValidNCName(m.Local) {
+		return nil, fmt.Errorf("soap: wrapper name %q is not a valid XML NCName", m.Local)
+	}
+	for name := range m.Fields {
+		if !ValidNCName(name) {
+			return nil, fmt.Errorf("soap: field name %q is not a valid XML NCName", name)
+		}
 	}
 	var buf bytes.Buffer
 	buf.WriteString(xml.Header)
@@ -163,6 +194,11 @@ type child struct {
 
 // Unmarshal parses a SOAP 1.1 envelope. It returns the message, or a
 // *Fault as the error when the body carries a fault.
+//
+// Duplicate payload children are rejected with a DecodeError: Message
+// carries one value per field name, and silently keeping the last
+// occurrence would let a corrupted (or attacker-duplicated) envelope
+// masquerade as a clean one.
 func Unmarshal(data []byte) (*Message, error) {
 	var env envelope
 	if err := xml.Unmarshal(data, &env); err != nil {
@@ -180,6 +216,9 @@ func Unmarshal(data []byte) (*Message, error) {
 		Fields:    make(map[string]string, len(env.Body.Payload.Children)),
 	}
 	for _, c := range env.Body.Payload.Children {
+		if _, dup := m.Fields[c.XMLName.Local]; dup {
+			return nil, &DecodeError{Reason: fmt.Sprintf("duplicate payload element %q", c.XMLName.Local)}
+		}
 		m.Fields[c.XMLName.Local] = c.Value
 	}
 	return m, nil

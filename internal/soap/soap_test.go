@@ -55,6 +55,58 @@ func TestMarshalRejectsAnonymous(t *testing.T) {
 	}
 }
 
+func TestMarshalRejectsHostileNames(t *testing.T) {
+	hostile := []string{
+		"", " ", "1leading", "-dash", ".dot", "a b",
+		"a><b", "a/><x", "a\"", "a&b", "name>inject</name><evil",
+		"ns:qualified", "tab\tname", "new\nline",
+	}
+	for _, name := range hostile {
+		if _, err := Marshal(&Message{Namespace: "urn:x", Local: "echo",
+			Fields: map[string]string{name: "v"}}); err == nil {
+			t.Errorf("field name %q accepted; markup injection possible", name)
+		}
+		if name == "" {
+			continue // covered by TestMarshalRejectsAnonymous
+		}
+		if _, err := Marshal(&Message{Namespace: "urn:x", Local: name}); err == nil {
+			t.Errorf("wrapper name %q accepted; markup injection possible", name)
+		}
+	}
+}
+
+func TestValidNCName(t *testing.T) {
+	for _, ok := range []string{"a", "_x", "input", "Foo-bar.baz_2", "éléphant", "字段"} {
+		if !ValidNCName(ok) {
+			t.Errorf("ValidNCName(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "9a", "-a", ".a", "a b", "a:b", "a<b", "a>b", "a&b", `a"b`} {
+		if ValidNCName(bad) {
+			t.Errorf("ValidNCName(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestUnmarshalRejectsDuplicateChildren(t *testing.T) {
+	doc := `<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+  <soap:Body>
+    <m:echo xmlns:m="urn:x">
+      <m:input>first</m:input>
+      <m:input>second</m:input>
+    </m:echo>
+  </soap:Body>
+</soap:Envelope>`
+	var de *DecodeError
+	_, err := Unmarshal([]byte(doc))
+	if !errors.As(err, &de) {
+		t.Fatalf("duplicate children accepted (last-wins would mask corruption), got %v", err)
+	}
+	if !strings.Contains(de.Reason, "duplicate") {
+		t.Errorf("reason = %q, want a duplicate-element rejection", de.Reason)
+	}
+}
+
 func TestFaultRoundTrip(t *testing.T) {
 	f := &Fault{Code: FaultClient, String: "bad request", Detail: "missing element"}
 	data, err := MarshalFault(f)

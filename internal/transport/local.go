@@ -1,12 +1,11 @@
 package transport
 
 import (
+	"bytes"
 	"context"
-	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"strings"
 
 	"wsinterop/internal/soap"
 )
@@ -16,9 +15,11 @@ import (
 // construction, dispatch, fault mapping), so behaviour is identical to
 // the networked path minus the socket. The communication-step
 // campaign extension uses this bridge to drive tens of thousands of
-// invocations cheaply — optionally through a Sniffer middleware.
+// invocations cheaply — optionally through a Sniffer or fault
+// injector middleware.
 type LocalBridge struct {
 	handler http.Handler
+	retry   *RetryPolicy
 }
 
 // Local returns an in-process bridge to the host. The host does not
@@ -26,35 +27,54 @@ type LocalBridge struct {
 func (h *Host) Local() *LocalBridge { return NewLocalBridge(h) }
 
 // NewLocalBridge builds a bridge over any SOAP-speaking handler
-// (typically a Host, or a Sniffer wrapping one).
+// (typically a Host, or middleware wrapping one).
 func NewLocalBridge(h http.Handler) *LocalBridge { return &LocalBridge{handler: h} }
 
+// WithRetry returns a copy of the bridge that invokes under the given
+// retry policy, mirroring Client.WithRetry.
+func (b *LocalBridge) WithRetry(p *RetryPolicy) *LocalBridge {
+	cp := *b
+	cp.retry = p
+	return &cp
+}
+
 // Invoke sends a request message to the endpoint path and returns the
-// response message. SOAP faults are returned as *soap.Fault errors,
-// mirroring Client.Invoke.
+// response message. SOAP faults are returned as *soap.Fault errors and
+// non-2xx responses as *HTTPError, mirroring Client.Invoke.
 func (b *LocalBridge) Invoke(ctx context.Context, path string, req *soap.Message) (*soap.Message, error) {
 	body, err := soap.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("encode request: %w", err)
 	}
-	httpReq := httptest.NewRequest("POST", path, strings.NewReader(string(body)))
-	httpReq.Header.Set("Content-Type", soap.ContentType)
-	httpReq.Header.Set("SOAPAction", `""`)
-	httpReq = httpReq.WithContext(ctx)
+	return invokeWithRetry(ctx, b.retry, func(ctx context.Context, n int) (*soap.Message, error) {
+		httpReq := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+		httpReq.Header.Set("Content-Type", soap.ContentType)
+		httpReq.Header.Set("SOAPAction", `""`)
+		b.retry.annotate(n, httpReq.Header)
+		httpReq = httpReq.WithContext(ctx)
 
-	rec := httptest.NewRecorder()
-	b.handler.ServeHTTP(rec, httpReq)
-
-	if rec.Code == 404 {
-		return nil, fmt.Errorf("no endpoint deployed at %s", path)
-	}
-	msg, err := soap.Unmarshal(rec.Body.Bytes())
-	if err != nil {
-		var fault *soap.Fault
-		if errors.As(err, &fault) {
-			return nil, fault
+		rec := httptest.NewRecorder()
+		if err := b.serve(rec, httpReq); err != nil {
+			return nil, err
 		}
-		return nil, fmt.Errorf("decode response (HTTP %d): %w", rec.Code, err)
-	}
-	return msg, nil
+		return decodeResponse(rec.Code, rec.Header().Get("Content-Type"), rec.Body.Bytes())
+	})
+}
+
+// serve runs the handler, mapping an http.ErrAbortHandler panic — the
+// stdlib convention for "drop the connection mid-response", which a
+// real http.Server swallows by closing the socket — to the same
+// ErrAborted a networked client would observe.
+func (b *LocalBridge) serve(w http.ResponseWriter, r *http.Request) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler {
+				err = ErrAborted
+				return
+			}
+			panic(rec)
+		}
+	}()
+	b.handler.ServeHTTP(w, r)
+	return nil
 }

@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"wsinterop/internal/soap"
+)
+
+// ErrAborted reports a connection the server dropped mid-exchange
+// before a complete response could be read.
+var ErrAborted = errors.New("transport: connection aborted")
+
+// maxResponseBytes is the response read budget shared by Client and
+// LocalBridge. A response padded past it is truncated mid-document,
+// which the decode then rejects.
+const maxResponseBytes = 1 << 20
+
+// HTTPError is the typed transport error for an HTTP response whose
+// status code contradicts success: a non-2xx status whose body is not
+// a SOAP fault envelope. It covers both plain-text error pages (the
+// 404/405 http.Error bodies that used to surface as a confusing
+// "malformed envelope" decode error) and — the status-blind client
+// bug — error statuses whose body happens to parse as a message.
+type HTTPError struct {
+	// Status is the HTTP status code.
+	Status int
+	// ContentType is the response's declared media type.
+	ContentType string
+	// Snippet is a bounded prefix of the response body, for diagnosis.
+	Snippet string
+}
+
+// Error implements the error interface.
+func (e *HTTPError) Error() string {
+	if e.Snippet == "" {
+		return fmt.Sprintf("transport: HTTP %d (%s)", e.Status, e.ContentType)
+	}
+	return fmt.Sprintf("transport: HTTP %d (%s): %s", e.Status, e.ContentType, e.Snippet)
+}
+
+// snippet bounds a body prefix for HTTPError diagnostics.
+func snippet(body []byte) string {
+	s := strings.TrimSpace(string(body))
+	if len(s) > 120 {
+		s = s[:120] + "..."
+	}
+	return s
+}
+
+// decodeResponse is the status-aware decode shared by Client and
+// LocalBridge:
+//
+//   - a fault envelope is returned as *soap.Fault whatever the status
+//     (the SOAP 1.1 binding sends faults with HTTP 500);
+//   - a non-2xx status is an *HTTPError — even when the body parses as
+//     a message, success is not success if the wire said otherwise;
+//   - a 2xx body that fails to parse stays a decode error.
+func decodeResponse(status int, contentType string, body []byte) (*soap.Message, error) {
+	ok := status >= 200 && status <= 299
+	if len(body) > maxResponseBytes {
+		// The reader fetched one byte past the budget: the response is
+		// oversized and necessarily incomplete. Reject it without paying
+		// for a parse of megabytes of padding.
+		return nil, &soap.DecodeError{
+			Reason: fmt.Sprintf("response exceeds the %d-byte read budget", maxResponseBytes)}
+	}
+	msg, err := soap.Unmarshal(body)
+	if err != nil {
+		var fault *soap.Fault
+		if errors.As(err, &fault) {
+			return nil, fault
+		}
+		if !ok {
+			return nil, &HTTPError{Status: status, ContentType: contentType, Snippet: snippet(body)}
+		}
+		return nil, fmt.Errorf("decode response (HTTP %d): %w", status, err)
+	}
+	if !ok {
+		return nil, &HTTPError{Status: status, ContentType: contentType, Snippet: snippet(body)}
+	}
+	return msg, nil
+}
+
+// RetryPolicy bounds and paces invocation retries: a deadline over the
+// whole invocation, a capped number of attempts, and exponential
+// backoff between them. The Jitter, Sleep and Annotate hooks keep the
+// policy deterministic and testable — a fake clock slots into Sleep,
+// a seeded spread into Jitter, and per-attempt request stamping (the
+// fault-injection harness uses it) into Annotate.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts; values below 2 mean
+	// a single attempt (no retry).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles
+	// per retry. Zero means no pause.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff when positive.
+	MaxDelay time.Duration
+	// Deadline, when positive, bounds the whole invocation (all
+	// attempts and backoffs) via a derived context.
+	Deadline time.Duration
+	// Jitter, when non-nil, maps the computed backoff of an attempt to
+	// the delay actually slept. Keeping it a hook (rather than baked-in
+	// randomness) is what makes campaign runs reproducible.
+	Jitter func(attempt int, d time.Duration) time.Duration
+	// Sleep, when non-nil, replaces the real timer between attempts.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Annotate, when non-nil, is called with each attempt's number and
+	// request headers before the request is sent.
+	Annotate func(attempt int, h http.Header)
+}
+
+// maxAttempts normalizes the attempt budget; a nil policy means one.
+func (p *RetryPolicy) maxAttempts() int {
+	if p == nil || p.MaxAttempts < 2 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// annotate stamps one attempt's request headers.
+func (p *RetryPolicy) annotate(attempt int, h http.Header) {
+	if p != nil && p.Annotate != nil {
+		p.Annotate(attempt, h)
+	}
+}
+
+// backoff computes the pause after a failed attempt (1-based).
+func (p *RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if p.Jitter != nil {
+		d = p.Jitter(attempt, d)
+	}
+	return d
+}
+
+// sleep pauses between attempts, honoring the Sleep hook and context.
+func (p *RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Retryable reports whether an invocation error may succeed on a
+// fresh attempt. SOAP faults and client-side HTTP errors (4xx) are
+// definitive answers from the peer; server errors, aborted
+// connections, malformed bodies and network failures are transient
+// wire conditions worth retrying.
+func Retryable(err error) bool {
+	var fault *soap.Fault
+	if errors.As(err, &fault) {
+		return false
+	}
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Status >= 500
+	}
+	var de *soap.DecodeError
+	if errors.As(err, &de) {
+		return true
+	}
+	if errors.Is(err, ErrAborted) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	var ue *url.Error
+	return errors.As(err, &ue)
+}
+
+// invokeWithRetry drives one attempt function under a policy. The
+// final error is the last attempt's (a deadline hit during backoff
+// surfaces the invocation error, not the context error).
+func invokeWithRetry(ctx context.Context, p *RetryPolicy,
+	attempt func(ctx context.Context, n int) (*soap.Message, error)) (*soap.Message, error) {
+	if p != nil && p.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Deadline)
+		defer cancel()
+	}
+	budget := p.maxAttempts()
+	var err error
+	for n := 1; n <= budget; n++ {
+		var msg *soap.Message
+		msg, err = attempt(ctx, n)
+		if err == nil {
+			return msg, nil
+		}
+		if n == budget || !Retryable(err) {
+			return nil, err
+		}
+		if ctx.Err() != nil || p.sleep(ctx, p.backoff(n)) != nil {
+			return nil, err
+		}
+	}
+	return nil, err
+}

@@ -203,12 +203,24 @@ func NewHost() *Host {
 	return &Host{endpoints: make(map[string]*Endpoint, 8)}
 }
 
-// Deploy registers an endpoint. Deploying the same path twice
-// replaces the previous endpoint.
-func (h *Host) Deploy(ep *Endpoint) {
+// ErrPathCollision is wrapped by Deploy when two endpoints derive the
+// same HTTP path (FromWSDL strips spaces from service names, so "My
+// Service" and "MyService" collide). Silently replacing the earlier
+// endpoint would make one of the two services unreachable without any
+// trace in the results.
+var ErrPathCollision = errors.New("transport: endpoint path already deployed")
+
+// Deploy registers an endpoint. Deploying a path that is already
+// serving a different endpoint is an error; the earlier endpoint is
+// kept.
+func (h *Host) Deploy(ep *Endpoint) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if _, taken := h.endpoints[ep.Path]; taken {
+		return fmt.Errorf("%w: %s", ErrPathCollision, ep.Path)
+	}
 	h.endpoints[ep.Path] = ep
+	return nil
 }
 
 // DeployWSDL derives an endpoint from a description and deploys it.
@@ -217,7 +229,9 @@ func (h *Host) DeployWSDL(d *wsdl.Definitions) (*Endpoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	h.Deploy(ep)
+	if err := h.Deploy(ep); err != nil {
+		return nil, err
+	}
 	return ep, nil
 }
 
@@ -344,6 +358,7 @@ func writeFault(w http.ResponseWriter, f *soap.Fault) {
 // Client invokes deployed SOAP endpoints.
 type Client struct {
 	httpClient *http.Client
+	retry      *RetryPolicy
 }
 
 // NewClient creates a SOAP client. Pass nil to use a default HTTP
@@ -355,38 +370,44 @@ func NewClient(hc *http.Client) *Client {
 	return &Client{httpClient: hc}
 }
 
+// WithRetry returns a copy of the client that invokes under the given
+// retry policy.
+func (c *Client) WithRetry(p *RetryPolicy) *Client {
+	cp := *c
+	cp.retry = p
+	return &cp
+}
+
 // Invoke sends a request message to url and returns the response
-// message. A SOAP fault is returned as a *soap.Fault error.
+// message. A SOAP fault is returned as a *soap.Fault error; a non-2xx
+// response without a fault envelope as an *HTTPError. A configured
+// RetryPolicy re-attempts transient failures (see Retryable).
 func (c *Client) Invoke(ctx context.Context, url, soapAction string, req *soap.Message) (*soap.Message, error) {
 	body, err := soap.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("encode request: %w", err)
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
-	if err != nil {
-		return nil, fmt.Errorf("build request: %w", err)
-	}
-	httpReq.Header.Set("Content-Type", soap.ContentType)
-	httpReq.Header.Set("SOAPAction", fmt.Sprintf("%q", soapAction))
-
-	httpResp, err := c.httpClient.Do(httpReq)
-	if err != nil {
-		return nil, fmt.Errorf("invoke %s: %w", url, err)
-	}
-	defer func() { _ = httpResp.Body.Close() }()
-
-	respBody, err := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
-	if err != nil {
-		return nil, fmt.Errorf("read response: %w", err)
-	}
-	msg, err := soap.Unmarshal(respBody)
-	if err != nil {
-		// Faults come back typed; other decode failures wrap.
-		var fault *soap.Fault
-		if errors.As(err, &fault) {
-			return nil, fault
+	return invokeWithRetry(ctx, c.retry, func(ctx context.Context, n int) (*soap.Message, error) {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
+		if err != nil {
+			return nil, fmt.Errorf("build request: %w", err)
 		}
-		return nil, fmt.Errorf("decode response (HTTP %d): %w", httpResp.StatusCode, err)
-	}
-	return msg, nil
+		httpReq.Header.Set("Content-Type", soap.ContentType)
+		httpReq.Header.Set("SOAPAction", fmt.Sprintf("%q", soapAction))
+		c.retry.annotate(n, httpReq.Header)
+
+		httpResp, err := c.httpClient.Do(httpReq)
+		if err != nil {
+			return nil, fmt.Errorf("invoke %s: %w", url, err)
+		}
+		defer func() { _ = httpResp.Body.Close() }()
+
+		// One byte past the budget lets the decode distinguish an
+		// exactly-full response from an oversized one.
+		respBody, err := io.ReadAll(io.LimitReader(httpResp.Body, maxResponseBytes+1))
+		if err != nil {
+			return nil, fmt.Errorf("read response: %w", err)
+		}
+		return decodeResponse(httpResp.StatusCode, httpResp.Header.Get("Content-Type"), respBody)
+	})
 }

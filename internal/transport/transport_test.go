@@ -183,14 +183,19 @@ func TestShutdownIdempotentOnFreshHost(t *testing.T) {
 	}
 }
 
-func TestDeployReplaces(t *testing.T) {
+func TestDeployCollisionIsError(t *testing.T) {
 	h := NewHost()
-	h.Deploy(&Endpoint{Path: "/svc", Namespace: "urn:a", Operations: map[string]string{"op": "opResponse"}})
-	h.Deploy(&Endpoint{Path: "/svc", Namespace: "urn:b", Operations: map[string]string{"op": "opResponse"}})
+	if err := h.Deploy(&Endpoint{Path: "/svc", Namespace: "urn:a", Operations: map[string]string{"op": "opResponse"}}); err != nil {
+		t.Fatalf("first deploy: %v", err)
+	}
+	err := h.Deploy(&Endpoint{Path: "/svc", Namespace: "urn:b", Operations: map[string]string{"op": "opResponse"}})
+	if !errors.Is(err, ErrPathCollision) {
+		t.Fatalf("second deploy on same path: err = %v, want ErrPathCollision", err)
+	}
 	h.mu.RLock()
 	defer h.mu.RUnlock()
-	if h.endpoints["/svc"].Namespace != "urn:b" {
-		t.Error("redeploy should replace the endpoint")
+	if h.endpoints["/svc"].Namespace != "urn:a" {
+		t.Error("collision must keep the earlier endpoint, not silently replace it")
 	}
 }
 

@@ -1,0 +1,34 @@
+# Build/verify/benchmark entry points for the wsinterop study.
+
+GO ?= go
+# Benchmarks recorded in the machine-readable trajectory. FullCampaign
+# runs the complete 79 629-test study once; drop it (make bench-json
+# BENCH='Fig4Campaign|TableIII$$|ShapeDedup') for a quicker refresh.
+BENCH ?= Fig4Campaign|TableIII$$|FullCampaign|ShapeDedup|AnalysisCache
+
+.PHONY: build test test-short bench bench-json bench-smoke vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench prints the campaign benchmarks to the terminal.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime 3x -count 1 .
+
+# bench-json records the benchmark trajectory to BENCH_campaign.json,
+# giving later changes a perf baseline to diff against.
+bench-json:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchtime 3x -count 1 . | $(GO) run ./cmd/benchjson -o BENCH_campaign.json
+
+# bench-smoke is the CI guard: every campaign benchmark must still run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Fig4Campaign|ShapeDedup|AnalysisCache' -benchtime 1x -count 1 .

@@ -81,6 +81,32 @@ func BenchmarkAnalysisCache(b *testing.B) {
 	}
 }
 
+// BenchmarkShapeDedup is the structural-shape memo ablation (DESIGN.md
+// §6.6): the scaled campaign with the memo on (default) vs off
+// (Config.NoDedup, the -dedup=false CLI ablation) — the two paths
+// TestDedupEquivalenceFull proves identical. The dedup run also
+// reports the corpus's compression as classes per structural shape.
+func BenchmarkShapeDedup(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		nodedup bool
+	}{{"dedup", false}, {"nodedup", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			tests := 0
+			var stats campaign.DedupStats
+			for i := 0; i < b.N; i++ {
+				res := runCampaign(b, campaign.Config{Limit: benchLimit, NoDedup: mode.nodedup})
+				tests += res.TotalTests
+				stats = *res.Dedup
+			}
+			reportTestsPerSec(b, tests)
+			if stats.Enabled && stats.Shapes > 0 {
+				b.ReportMetric(float64(stats.PublishTotal)/float64(stats.Shapes), "classes/shape")
+			}
+		})
+	}
+}
+
 // BenchmarkTableIII regenerates the Table III matrix (experiment E2)
 // at benchmark scale.
 func BenchmarkTableIII(b *testing.B) {

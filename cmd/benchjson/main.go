@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable benchmark trajectory file, so successive changes
+// have a stable perf baseline to compare against.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Fig4|TableIII|FullCampaign' . | go run ./cmd/benchjson -o BENCH_campaign.json
+//
+// Every metric the benchmarks report is preserved: ns/op, the
+// campaign's tests/s throughput, the shape memo's classes/shape
+// compression, allocation counters, and any future b.ReportMetric
+// additions — the tool is schema-free on the metric axis.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -cpu suffix stripped
+	// (BenchmarkShapeDedup/dedup-8 → ShapeDedup/dedup).
+	Name string `json:"name"`
+	// Iterations is b.N for the recorded run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value for every reported metric (ns/op,
+	// tests/s, classes/shape, B/op, allocs/op, ...).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Trajectory is the file layout of BENCH_campaign.json.
+type Trajectory struct {
+	// Recorded is the RFC 3339 timestamp of the conversion.
+	Recorded string `json:"recorded"`
+	// Goos/Goarch/CPU/Pkg echo the `go test` environment header.
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	// Benchmarks holds one entry per benchmark line, in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_campaign.json", "output file path")
+	flag.Parse()
+	traj, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(traj.Benchmarks), *out)
+}
+
+// parse reads `go test -bench` output and collects header metadata
+// and benchmark result lines. Non-benchmark lines (test output, PASS,
+// ok) are ignored, so the tool can sit directly behind `go test`.
+func parse(r io.Reader) (*Trajectory, error) {
+	traj := &Trajectory{Recorded: time.Now().UTC().Format(time.RFC3339)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			traj.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			traj.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			traj.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			traj.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			bm, ok := parseBenchLine(line)
+			if ok {
+				traj.Benchmarks = append(traj.Benchmarks, bm)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(traj.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return traj, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkFig4Campaign-8   10   79370513 ns/op   124455 tests/s
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	bm := Benchmark{
+		Name:       trimCPUSuffix(strings.TrimPrefix(fields[0], "Benchmark")),
+		Iterations: iters,
+		Metrics:    make(map[string]float64, (len(fields)-2)/2),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		bm.Metrics[fields[i+1]] = v
+	}
+	return bm, true
+}
+
+// trimCPUSuffix drops the trailing -N GOMAXPROCS marker from the last
+// path segment of a benchmark name.
+func trimCPUSuffix(name string) string {
+	slash := strings.LastIndexByte(name, '/')
+	dash := strings.LastIndexByte(name, '-')
+	if dash <= slash {
+		return name
+	}
+	if _, err := strconv.Atoi(name[dash+1:]); err != nil {
+		return name
+	}
+	return name[:dash]
+}

@@ -5,7 +5,7 @@
 //
 //	interop [-report fig4|chart|table3|findings|deploy|failures|compare|comm|robust|json|all]
 //	        [-limit N] [-workers N] [-server NAME] [-client NAME]
-//	        [-faults] [-reparse] [-cpuprofile FILE]
+//	        [-faults] [-reparse] [-dedup=false] [-cpuprofile FILE]
 //
 // With no flags it runs the full campaign (22 024 services, 79 629
 // tests) and prints every textual report. -report comm additionally
@@ -38,7 +38,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("interop", flag.ContinueOnError)
 	reportKind := fs.String("report", "all",
-		"report to print: fig4, chart, table3, findings, deploy, failures, compare, comm, robust, json, markdown, all")
+		"report to print: fig4, chart, table3, findings, dedup, deploy, failures, compare, comm, robust, json, markdown, all")
 	faults := fs.Bool("faults", false,
 		"run the fault-injection robustness matrix (server × client × fault) and print its report")
 	explainClass := fs.String("explain", "",
@@ -51,6 +51,8 @@ func run(args []string, out io.Writer) error {
 	clientName := fs.String("client", "", "restrict to one client framework (substring match)")
 	reparse := fs.Bool("reparse", false,
 		"re-parse the WSDL bytes in every client test instead of sharing one analysis per service (the cache ablation)")
+	dedup := fs.Bool("dedup", true,
+		"memoize publish/WS-I/client-test work per structural shape; -dedup=false runs every class individually (the shape-memo ablation)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,7 +70,7 @@ func run(args []string, out io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := campaign.Config{Limit: *limit, Workers: *workers, Reparse: *reparse}
+	cfg := campaign.Config{Limit: *limit, Workers: *workers, Reparse: *reparse, NoDedup: !*dedup}
 	allServers := framework.Servers()
 	if *extended {
 		allServers = append(allServers, framework.NewAxis2Server())
@@ -138,6 +140,7 @@ func run(args []string, out io.Writer) error {
 		{"table3", "Table III — client × server issue matrix", func() error { return report.TableIII(out, res) }},
 		{"failures", "Failure index (Table III footnotes)", func() error { return report.Failures(out, res, 12) }},
 		{"findings", "Main findings (§IV)", func() error { return report.Findings(out, res) }},
+		{"dedup", "Shape memoization statistics", func() error { return report.Dedup(out, res) }},
 		{"maturity", "Client tool maturity (§IV.A)", func() error { return report.Maturity(out, res) }},
 		{"compare", "Paper vs measured", func() error {
 			return report.WriteComparisons(out, report.Comparisons(res))

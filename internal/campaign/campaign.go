@@ -111,6 +111,11 @@ type PublishedService struct {
 	// copy shares one memoized parse. Nil for services constructed
 	// outside the runner — those analyze per call.
 	analysis *sharedAnalysis
+	// memo is the service's verified structural-shape entry; same-shape
+	// services share one and serve their client tests from it. Nil when
+	// the memo layer is off, the class failed the shape.Memoizable
+	// guard, or the shape failed template verification.
+	memo *shapeEntry
 }
 
 // sharedAnalysis memoizes the parsed analysis of one published
@@ -246,6 +251,12 @@ type Result struct {
 	// the data behind the Table III footnotes (1 588 entries at full
 	// scale).
 	Failures []TestResult
+
+	// Dedup reports the structural-shape memo layer's statistics for
+	// this run: Enabled=false (all other fields zero) when
+	// Config.NoDedup was set. It is bookkeeping, not campaign outcome —
+	// the equivalence tests exclude it when comparing Results.
+	Dedup *DedupStats
 }
 
 // Config parameterizes a campaign run.
@@ -273,6 +284,15 @@ type Config struct {
 	// identical Result (see TestReparseEquivalence) at a fraction of
 	// the cost.
 	Reparse bool
+	// NoDedup disables the structural-shape memo layer (DESIGN.md
+	// §6.6): every class then publishes, marshals, WS-I checks, and
+	// client-tests individually, exactly as the real study would. When
+	// false — the default — the runner content-addresses classes by
+	// shape fingerprint and performs that work once per (server, shape),
+	// rehydrating per-class output by name substitution. The Result is
+	// identical either way (see TestDedupEquivalenceFull); Result.Dedup
+	// reports the layer's statistics.
+	NoDedup bool
 	// Variant selects the service interface complexity (the paper's
 	// future-work extension); zero means services.VariantSimple.
 	Variant services.Variant
@@ -300,11 +320,18 @@ type Runner struct {
 	// sameFramework maps client name → server name of the same
 	// framework, for the same-framework failure statistic.
 	sameFramework map[string]string
+	// dedup is the structural-shape memo table (dedup.go); entries
+	// persist for the runner's lifetime, so repeated Publish/Run calls
+	// reuse shapes already built.
+	dedup *dedupState
 }
 
 // NewRunner builds a runner from the configuration.
 func NewRunner(cfg Config) *Runner {
-	r := &Runner{cfg: cfg, servers: cfg.Servers, clients: cfg.Clients, checker: cfg.Checker}
+	r := &Runner{
+		cfg: cfg, servers: cfg.Servers, clients: cfg.Clients, checker: cfg.Checker,
+		dedup: &dedupState{entries: make(map[shapeKey]*shapeEntry)},
+	}
 	if r.servers == nil {
 		var opts []framework.ServerOption
 		if cfg.Style != "" {
@@ -352,12 +379,7 @@ func (r *Runner) Publish(ctx context.Context, server framework.ServerFramework) 
 		return nil, 0, err
 	}
 
-	type slot struct {
-		ok  bool
-		svc PublishedService
-		err error
-	}
-	slots := make([]slot, len(defs))
+	slots := make([]publishSlot, len(defs))
 
 	workers := r.workers()
 	var wg sync.WaitGroup
@@ -397,11 +419,18 @@ feed:
 	return published, len(defs), nil
 }
 
-func (r *Runner) publishOne(server framework.ServerFramework, def services.Definition) (s struct {
+// publishSlot is the outcome of the description step for one service
+// definition: rejected (ok=false), published, or errored.
+type publishSlot struct {
 	ok  bool
 	svc PublishedService
 	err error
-}) {
+}
+
+// publishDirect runs the description step for one definition without
+// the shape memo — the per-class path every memoized outcome is
+// verified against.
+func (r *Runner) publishDirect(server framework.ServerFramework, def services.Definition) (s publishSlot) {
 	doc, err := server.Publish(def)
 	if err != nil {
 		// Not deployable: excluded from further testing (the paper's
@@ -476,10 +505,16 @@ func generationFor(client framework.ClientFramework, svc *PublishedService, repa
 // count or scheduling.
 func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	res := newResult(r)
+	before := r.dedup.snapshot()
 	for _, server := range r.servers {
 		if err := r.runServer(ctx, server, res); err != nil {
 			return nil, err
 		}
+	}
+	if r.dedupOn() {
+		res.Dedup = r.dedup.statsSince(before)
+	} else {
+		res.Dedup = &DedupStats{}
 	}
 	return res, nil
 }
@@ -614,7 +649,7 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 		go func() {
 			defer testWG.Done()
 			for j := range testCh {
-				j.st.results[j.cli] = runTest(r.clients[j.cli], &j.st.svc, r.cfg.Reparse)
+				j.st.results[j.cli] = r.testFor(&j.st.svc, j.cli)
 				if j.st.remaining.Add(-1) == 0 {
 					fails := r.foldService(j.st, sh)
 					if failures != nil {

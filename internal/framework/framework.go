@@ -165,6 +165,16 @@ func Analyze(doc []byte) (*Analysis, error) {
 	return &Analysis{features: f}, nil
 }
 
+// AnalyzeDoc inspects an already-parsed (or freshly published)
+// document, skipping the serialize→re-parse round trip of Analyze.
+// The caller must guarantee the document is what a client would see —
+// the campaign's shape memo uses it on documents whose serialized
+// form has been verified byte-for-byte against the per-class marshal
+// (DESIGN.md §6.6) — and must not mutate the document afterwards.
+func AnalyzeDoc(def *wsdl.Definitions) *Analysis {
+	return &Analysis{features: analyzeDef(def)}
+}
+
 // Servers returns the three server-side subsystems of the study, in
 // the paper's order, emitting document/literal descriptions.
 func Servers() []ServerFramework {
@@ -264,6 +274,11 @@ func analyze(doc []byte) (*docFeatures, error) {
 	if err != nil {
 		return nil, err
 	}
+	return analyzeDef(def), nil
+}
+
+// analyzeDef inspects a parsed document.
+func analyzeDef(def *wsdl.Definitions) *docFeatures {
 	f := &docFeatures{def: def}
 
 	f.style = styleJava
@@ -317,7 +332,7 @@ func analyze(doc []byte) (*docFeatures, error) {
 			inspectSchemaStructure(sch, f)
 		}
 	}
-	return f, nil
+	return f
 }
 
 // inspectSchemaStructure walks one schema block collecting the

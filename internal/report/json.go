@@ -24,6 +24,18 @@ type jsonResult struct {
 	PaperComparisonRows []jsonComparison       `json:"paperComparison"`
 	Communication       []campaign.CommSummary `json:"communication,omitempty"`
 	Robustness          []jsonRobust           `json:"robustness,omitempty"`
+	Dedup               *jsonDedup             `json:"dedup,omitempty"`
+}
+
+// jsonDedup exports the structural-shape memoization statistics.
+type jsonDedup struct {
+	Enabled         bool `json:"enabled"`
+	Shapes          int  `json:"shapes"`
+	PublishTotal    int  `json:"publishTotal"`
+	PublishMemoized int  `json:"publishMemoized"`
+	TestTotal       int  `json:"testTotal"`
+	TestMemoized    int  `json:"testMemoized"`
+	Fallbacks       int  `json:"fallbacks"`
 }
 
 // jsonRobust is one (server × fault) row of the robustness matrix.
@@ -106,6 +118,14 @@ func JSON(w io.Writer, res *campaign.Result, comm *campaign.CommResult, robust *
 	}
 	for _, g := range GroupFailures(res) {
 		out.Failures = append(out.Failures, jsonFailure(g))
+	}
+	if d := res.Dedup; d != nil {
+		out.Dedup = &jsonDedup{
+			Enabled: d.Enabled, Shapes: d.Shapes,
+			PublishTotal: d.PublishTotal, PublishMemoized: d.PublishMemoized,
+			TestTotal: d.TestTotal, TestMemoized: d.TestMemoized,
+			Fallbacks: d.Fallbacks,
+		}
 	}
 	for _, c := range Comparisons(res) {
 		out.PaperComparisonRows = append(out.PaperComparisonRows, jsonComparison{

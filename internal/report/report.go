@@ -106,6 +106,40 @@ func Findings(w io.Writer, res *campaign.Result) error {
 	return nil
 }
 
+// Dedup writes the structural-shape memoization statistics: how many
+// distinct shapes the campaign saw and how much publish/WS-I/test
+// work the memo layer absorbed.
+func Dedup(w io.Writer, res *campaign.Result) error {
+	d := res.Dedup
+	if d == nil || !d.Enabled {
+		_, err := fmt.Fprintln(w, "shape memoization disabled (-dedup=false)")
+		return err
+	}
+	rate := func(hits, total int) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(hits) / float64(total)
+	}
+	classes := 0.0
+	if d.Shapes > 0 {
+		classes = float64(d.PublishTotal) / float64(d.Shapes)
+	}
+	lines := []string{
+		fmt.Sprintf("distinct structural shapes:         %d", d.Shapes),
+		fmt.Sprintf("classes per shape:                  %.2f", classes),
+		fmt.Sprintf("publishes memoized:                 %d of %d (%.1f%%)", d.PublishMemoized, d.PublishTotal, rate(d.PublishMemoized, d.PublishTotal)),
+		fmt.Sprintf("client tests memoized:              %d of %d (%.1f%%)", d.TestMemoized, d.TestTotal, rate(d.TestMemoized, d.TestTotal)),
+		fmt.Sprintf("template fallbacks (per-class):     %d", d.Fallbacks),
+	}
+	for _, ln := range lines {
+		if _, err := fmt.Fprintln(w, ln); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Deploy writes the Preparation Phase / description-step filtering
 // summary (services created vs published per server).
 func Deploy(w io.Writer, res *campaign.Result) error {

@@ -1,0 +1,130 @@
+package shape
+
+import (
+	"testing"
+
+	"wsinterop/internal/services"
+	"wsinterop/internal/typesys"
+)
+
+func defFor(cls *typesys.Class) services.Definition {
+	return services.ForClass(cls)
+}
+
+func sampleClass() *typesys.Class {
+	return &typesys.Class{
+		Language: typesys.Java,
+		Package:  "com.example.pkg",
+		Simple:   "Sample",
+		Name:     "com.example.pkg.Sample",
+		Kind:     typesys.KindBean,
+		Fields: []typesys.Field{
+			{Name: "alpha", Kind: typesys.FieldString},
+			{Name: "beta", Kind: typesys.FieldInt},
+		},
+	}
+}
+
+func TestFingerprintIgnoresNames(t *testing.T) {
+	a := sampleClass()
+	b := sampleClass()
+	b.Package = "org.other.deep.pkg"
+	b.Simple = "Renamed"
+	b.Name = "org.other.deep.pkg.Renamed"
+	fa, fb := Of(defFor(a)), Of(defFor(b))
+	if fa != fb {
+		t.Errorf("fingerprint depends on class name: %s != %s", fa, fb)
+	}
+}
+
+func TestFingerprintCoversTraits(t *testing.T) {
+	base := Of(defFor(sampleClass()))
+	mutations := map[string]func(*typesys.Class){
+		"kind":        func(c *typesys.Class) { c.Kind = typesys.KindBeanVendor },
+		"hints":       func(c *typesys.Class) { c.Hints |= 1 },
+		"field name":  func(c *typesys.Class) { c.Fields[0].Name = "gamma" },
+		"field kind":  func(c *typesys.Class) { c.Fields[0].Kind = typesys.FieldDouble },
+		"field ref":   func(c *typesys.Class) { c.Fields[0].Ref = "Other" },
+		"field order": func(c *typesys.Class) { c.Fields[0], c.Fields[1] = c.Fields[1], c.Fields[0] },
+		"field count": func(c *typesys.Class) { c.Fields = c.Fields[:1] },
+		"language":    func(c *typesys.Class) { c.Language = typesys.CSharp },
+	}
+	for name, mutate := range mutations {
+		cls := sampleClass()
+		mutate(cls)
+		if Of(defFor(cls)) == base {
+			t.Errorf("fingerprint blind to %s", name)
+		}
+	}
+}
+
+func TestFingerprintStable(t *testing.T) {
+	def := defFor(sampleClass())
+	want := Of(def)
+	for i := 0; i < 100; i++ {
+		if got := Of(def); got != want {
+			t.Fatalf("fingerprint unstable at iteration %d: %s != %s", i, got, want)
+		}
+	}
+}
+
+func TestSentinelPreservesShape(t *testing.T) {
+	def := defFor(sampleClass())
+	sdef, svars := Sentinel(def)
+	if Of(sdef) != Of(def) {
+		t.Error("sentinel definition changed the structural fingerprint")
+	}
+	if len(svars) != numSlots {
+		t.Fatalf("sentinel vars = %d, want %d", len(svars), numSlots)
+	}
+	seen := map[string]bool{}
+	for i, v := range svars {
+		if v == "" {
+			t.Errorf("sentinel slot %d empty", i)
+		}
+		if seen[v] {
+			t.Errorf("sentinel slot %d duplicates value %q", i, v)
+		}
+		seen[v] = true
+	}
+	if !Memoizable(sdef) {
+		t.Error("sentinel definition must itself be memoizable")
+	}
+}
+
+func TestVarsSlotOrder(t *testing.T) {
+	def := defFor(sampleClass())
+	vars := Vars(def)
+	if vars[SlotService] != def.Name {
+		t.Errorf("SlotService = %q, want %q", vars[SlotService], def.Name)
+	}
+	if vars[SlotNamespace] != typesys.NamespaceFor(typesys.Java, "com.example.pkg") {
+		t.Errorf("SlotNamespace = %q", vars[SlotNamespace])
+	}
+	if vars[SlotSimple] != "Sample" {
+		t.Errorf("SlotSimple = %q, want Sample", vars[SlotSimple])
+	}
+}
+
+func TestMemoizableGuard(t *testing.T) {
+	if !Memoizable(defFor(sampleClass())) {
+		t.Fatal("plain class should be memoizable")
+	}
+	hostile := map[string]func(*typesys.Class){
+		"quote in simple":   func(c *typesys.Class) { c.Simple = `Sam"ple` },
+		"angle in simple":   func(c *typesys.Class) { c.Simple = "Sam<ple" },
+		"ampersand":         func(c *typesys.Class) { c.Simple = "Sam&ple" },
+		"non-ascii":         func(c *typesys.Class) { c.Simple = "Sämple" },
+		"control char":      func(c *typesys.Class) { c.Simple = "Sam\tple" },
+		"sanitized differs": func(c *typesys.Class) { c.Simple = "Sample$Inner" },
+		"space in simple":   func(c *typesys.Class) { c.Simple = "Sam ple" },
+	}
+	for name, mutate := range hostile {
+		cls := sampleClass()
+		mutate(cls)
+		cls.Name = cls.Package + "." + cls.Simple
+		if Memoizable(defFor(cls)) {
+			t.Errorf("%s: hostile name accepted by guard", name)
+		}
+	}
+}

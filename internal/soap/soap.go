@@ -15,8 +15,15 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"unicode"
 )
+
+// envelopeBufs recycles envelope serialization buffers across Marshal
+// and MarshalFault calls — the same pattern as wsdl.Marshal, since the
+// communication and fault-injection campaigns serialize one envelope
+// pair per exchange.
+var envelopeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // Namespace constants for SOAP 1.1.
 const (
@@ -123,11 +130,13 @@ func Marshal(m *Message) ([]byte, error) {
 			return nil, fmt.Errorf("soap: field name %q is not a valid XML NCName", name)
 		}
 	}
-	var buf bytes.Buffer
+	buf := envelopeBufs.Get().(*bytes.Buffer)
+	defer envelopeBufs.Put(buf)
+	buf.Reset()
 	buf.WriteString(xml.Header)
 	buf.WriteString(`<soap:Envelope xmlns:soap="` + NamespaceEnvelope + `">` + "\n")
 	buf.WriteString("  <soap:Body>\n")
-	fmt.Fprintf(&buf, "    <m:%s xmlns:m=%q>\n", m.Local, m.Namespace)
+	fmt.Fprintf(buf, "    <m:%s xmlns:m=%q>\n", m.Local, m.Namespace)
 
 	names := make([]string, 0, len(m.Fields))
 	for k := range m.Fields {
@@ -135,34 +144,40 @@ func Marshal(m *Message) ([]byte, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Fprintf(&buf, "      <m:%s>%s</m:%s>\n", name, escape(m.Fields[name]), name)
+		fmt.Fprintf(buf, "      <m:%s>%s</m:%s>\n", name, escape(m.Fields[name]), name)
 	}
 
-	fmt.Fprintf(&buf, "    </m:%s>\n", m.Local)
+	fmt.Fprintf(buf, "    </m:%s>\n", m.Local)
 	buf.WriteString("  </soap:Body>\n")
 	buf.WriteString("</soap:Envelope>\n")
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
 }
 
 // MarshalFault serializes a fault envelope.
 func MarshalFault(f *Fault) ([]byte, error) {
-	var buf bytes.Buffer
+	buf := envelopeBufs.Get().(*bytes.Buffer)
+	defer envelopeBufs.Put(buf)
+	buf.Reset()
 	buf.WriteString(xml.Header)
 	buf.WriteString(`<soap:Envelope xmlns:soap="` + NamespaceEnvelope + `">` + "\n")
 	buf.WriteString("  <soap:Body>\n")
 	buf.WriteString("    <soap:Fault>\n")
-	fmt.Fprintf(&buf, "      <faultcode>%s</faultcode>\n", escape(f.Code))
-	fmt.Fprintf(&buf, "      <faultstring>%s</faultstring>\n", escape(f.String))
+	fmt.Fprintf(buf, "      <faultcode>%s</faultcode>\n", escape(f.Code))
+	fmt.Fprintf(buf, "      <faultstring>%s</faultstring>\n", escape(f.String))
 	if f.Actor != "" {
-		fmt.Fprintf(&buf, "      <faultactor>%s</faultactor>\n", escape(f.Actor))
+		fmt.Fprintf(buf, "      <faultactor>%s</faultactor>\n", escape(f.Actor))
 	}
 	if f.Detail != "" {
-		fmt.Fprintf(&buf, "      <detail>%s</detail>\n", escape(f.Detail))
+		fmt.Fprintf(buf, "      <detail>%s</detail>\n", escape(f.Detail))
 	}
 	buf.WriteString("    </soap:Fault>\n")
 	buf.WriteString("  </soap:Body>\n")
 	buf.WriteString("</soap:Envelope>\n")
-	return buf.Bytes(), nil
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
 }
 
 func escape(s string) string {

@@ -1,0 +1,103 @@
+package wsdl
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// This file implements the template-split half of the campaign's
+// structural-shape memoization (DESIGN.md §6.6): a marshaled document
+// is split at every occurrence of a set of variable strings, yielding
+// an immutable template that can be re-rendered with a different
+// value per variable. Rendering is pure byte concatenation — orders
+// of magnitude cheaper than re-publishing and re-marshaling a
+// same-shape document.
+
+// Template is a marshaled document split at variable occurrences:
+// len(chunks) == len(slots)+1 literal byte runs interleaved with
+// variable slots. A Template is immutable after NewTemplate and safe
+// for concurrent Render calls.
+type Template struct {
+	chunks [][]byte
+	slots  []int
+	// literal is the total literal byte length, for render sizing.
+	literal int
+	// counts tracks occurrences per variable, for sizing and stats.
+	counts []int
+}
+
+// NewTemplate splits raw at every occurrence of the given variable
+// strings. Occurrences are found leftmost-first; where two variables
+// match at the same position the longer wins, so a variable that is a
+// prefix of another cannot shadow it. Variables must be non-empty and
+// pairwise distinct.
+func NewTemplate(raw []byte, vars []string) (*Template, error) {
+	for i, v := range vars {
+		if v == "" {
+			return nil, fmt.Errorf("wsdl template: variable %d is empty", i)
+		}
+		for j := 0; j < i; j++ {
+			if vars[j] == v {
+				return nil, fmt.Errorf("wsdl template: variable %q appears twice", v)
+			}
+		}
+	}
+	t := &Template{counts: make([]int, len(vars))}
+	rest := raw
+	for len(rest) > 0 {
+		slot, pos := -1, len(rest)
+		for i, v := range vars {
+			p := bytes.Index(rest, []byte(v))
+			if p < 0 || p > pos {
+				continue
+			}
+			// Longer match wins at equal positions.
+			if p < pos || len(v) > len(vars[slot]) {
+				slot, pos = i, p
+			}
+		}
+		if slot < 0 {
+			break
+		}
+		t.chunks = append(t.chunks, rest[:pos])
+		t.literal += pos
+		t.slots = append(t.slots, slot)
+		t.counts[slot]++
+		rest = rest[pos+len(vars[slot]):]
+	}
+	t.chunks = append(t.chunks, rest)
+	t.literal += len(rest)
+	return t, nil
+}
+
+// MarshalTemplate marshals the document and splits the output at the
+// variable strings — the shape-memo entry point.
+func MarshalTemplate(d *Definitions, vars []string) (*Template, error) {
+	raw, err := Marshal(d)
+	if err != nil {
+		return nil, err
+	}
+	return NewTemplate(raw, vars)
+}
+
+// Slots returns the number of variable occurrences in the template.
+func (t *Template) Slots() int { return len(t.slots) }
+
+// Render substitutes vals (one per variable, in NewTemplate order)
+// into the template and returns the assembled document.
+func (t *Template) Render(vals []string) ([]byte, error) {
+	if len(vals) != len(t.counts) {
+		return nil, fmt.Errorf("wsdl template: %d values for %d variables", len(vals), len(t.counts))
+	}
+	n := t.literal
+	for i, c := range t.counts {
+		n += c * len(vals[i])
+	}
+	out := make([]byte, 0, n)
+	for i, slot := range t.slots {
+		out = append(out, t.chunks[i]...)
+		out = append(out, vals[slot]...)
+	}
+	out = append(out, t.chunks[len(t.chunks)-1]...)
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package wsdl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTemplateRoundTrip(t *testing.T) {
+	raw := []byte(`<svc name="Alpha" ns="urn:one">Alpha echoes urn:one</svc>`)
+	tmpl, err := NewTemplate(raw, []string{"Alpha", "urn:one"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmpl.Slots() != 4 {
+		t.Errorf("slots = %d, want 4", tmpl.Slots())
+	}
+	same, err := tmpl.Render([]string{"Alpha", "urn:one"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(same, raw) {
+		t.Errorf("identity render differs:\n got %q\nwant %q", same, raw)
+	}
+	got, err := tmpl.Render([]string{"Beta", "urn:two"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `<svc name="Beta" ns="urn:two">Beta echoes urn:two</svc>`
+	if string(got) != want {
+		t.Errorf("render = %q, want %q", got, want)
+	}
+}
+
+// TestTemplateLongerMatchWins covers variables where one value is a
+// prefix of another: the longer occurrence must be split as itself,
+// not shadowed by its prefix.
+func TestTemplateLongerMatchWins(t *testing.T) {
+	raw := []byte("SvcService and Svc")
+	tmpl, err := NewTemplate(raw, []string{"Svc", "SvcService"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tmpl.Render([]string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "B and A" {
+		t.Errorf("render = %q, want %q", got, "B and A")
+	}
+}
+
+func TestTemplateNoOccurrences(t *testing.T) {
+	raw := []byte("nothing to substitute here")
+	tmpl, err := NewTemplate(raw, []string{"Zz9MissingQx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tmpl.Slots() != 0 {
+		t.Errorf("slots = %d, want 0", tmpl.Slots())
+	}
+	got, err := tmpl.Render([]string{"anything"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Errorf("render mutated literal-only template: %q", got)
+	}
+}
+
+func TestTemplateValidation(t *testing.T) {
+	if _, err := NewTemplate([]byte("x"), []string{""}); err == nil {
+		t.Error("empty variable accepted")
+	}
+	if _, err := NewTemplate([]byte("x"), []string{"a", "a"}); err == nil {
+		t.Error("duplicate variable accepted")
+	}
+	tmpl, err := NewTemplate([]byte("a b"), []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmpl.Render([]string{"only-one"}); err == nil {
+		t.Error("arity mismatch accepted by Render")
+	}
+}
+
+// TestTemplateRenderSizing asserts the pre-sized output buffer is
+// exact for value lengths shorter and longer than the originals.
+func TestTemplateRenderSizing(t *testing.T) {
+	raw := []byte(strings.Repeat("pre X mid Y post ", 5))
+	tmpl, err := NewTemplate(raw, []string{"X", "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vals := range [][]string{{"", ""}, {"longer-value", "even-longer-value"}} {
+		got, err := tmpl.Render(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := strings.ReplaceAll(strings.ReplaceAll(string(raw), "X", vals[0]), "Y", vals[1])
+		if string(got) != want {
+			t.Errorf("render with %q = %q, want %q", vals, got, want)
+		}
+		if cap(got) != len(got) {
+			t.Errorf("render over-allocated: len %d cap %d", len(got), cap(got))
+		}
+	}
+}
+
+func TestTemplateConcurrentRender(t *testing.T) {
+	raw := []byte(`<a n="V">V</a>`)
+	tmpl, err := NewTemplate(raw, []string{"V"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			for i := 0; i < 200; i++ {
+				got, err := tmpl.Render([]string{"W"})
+				if err != nil || string(got) != `<a n="W">W</a>` {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,11 +1,18 @@
 package xsd
 
 import (
+	"bytes"
 	"encoding/xml"
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
+
+// schemaBufs recycles schema serialization buffers across
+// MarshalSchema calls — the same pattern as wsdl.Marshal, which
+// serializes one or more schema blocks per published document.
+var schemaBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // This file implements XML serialization and parsing for the schema
 // object model. The wire format follows the conventional layout used
@@ -167,7 +174,17 @@ func MarshalSchema(sch *Schema, pt *PrefixTable) ([]byte, error) {
 	}
 	ws := toWireSchema(sch, pt)
 	ws.Attrs = pt.Declarations()
-	return xml.MarshalIndent(ws, "", "  ")
+	buf := schemaBufs.Get().(*bytes.Buffer)
+	defer schemaBufs.Put(buf)
+	buf.Reset()
+	enc := xml.NewEncoder(buf)
+	enc.Indent("", "  ")
+	if err := enc.Encode(ws); err != nil {
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
 }
 
 func toWireSchema(sch *Schema, pt *PrefixTable) *xmlSchema {

@@ -3,28 +3,42 @@
 //
 // Usage:
 //
-//	interop [-report fig4|chart|table3|findings|deploy|failures|compare|comm|robust|json|all]
+//	interop [-report fig4|chart|table3|findings|deploy|failures|compare|comm|robust|metrics|json|all]
 //	        [-limit N] [-workers N] [-server NAME] [-client NAME]
 //	        [-faults] [-reparse] [-dedup=false] [-cpuprofile FILE]
+//	        [-metrics-json FILE] [-debug ADDR]
 //
 // With no flags it runs the full campaign (22 024 services, 79 629
 // tests) and prints every textual report. -report comm additionally
 // runs the communication/execution extension; -faults (or -report
 // robust) runs the fault-injection robustness matrix on top of it;
 // -report json emits a machine-readable dump of everything.
+//
+// Observability: -report metrics prints the runner's stage-scoped
+// counters and latency histograms as text; -metrics-json FILE exports
+// the same snapshot as JSON (composable with any -report); -debug ADDR
+// serves a live debug endpoint for the duration of the run —
+// /debug/metrics (JSON snapshot), /debug/events (campaign event
+// stream), /debug/vars (expvar) and /debug/pprof/*.
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime/pprof"
 	"strings"
 
 	"wsinterop/internal/campaign"
 	"wsinterop/internal/framework"
+	"wsinterop/internal/obs"
 	"wsinterop/internal/report"
 )
 
@@ -38,7 +52,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("interop", flag.ContinueOnError)
 	reportKind := fs.String("report", "all",
-		"report to print: fig4, chart, table3, findings, dedup, deploy, failures, compare, comm, robust, json, markdown, all")
+		"report to print: fig4, chart, table3, findings, dedup, deploy, failures, compare, comm, robust, metrics, json, markdown, all")
 	faults := fs.Bool("faults", false,
 		"run the fault-injection robustness matrix (server × client × fault) and print its report")
 	explainClass := fs.String("explain", "",
@@ -54,6 +68,9 @@ func run(args []string, out io.Writer) error {
 	dedup := fs.Bool("dedup", true,
 		"memoize publish/WS-I/client-test work per structural shape; -dedup=false runs every class individually (the shape-memo ablation)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	metricsJSON := fs.String("metrics-json", "", "write the observability metrics snapshot as JSON to this file")
+	debugAddr := fs.String("debug", "",
+		"serve the live debug endpoint (/debug/metrics, /debug/events, /debug/vars, /debug/pprof) on this address for the duration of the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,8 +119,37 @@ func run(args []string, out io.Writer) error {
 
 	runner := campaign.NewRunner(cfg)
 
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		obs.PublishExpvar(runner.Obs())
+		srv := &http.Server{Handler: debugMux(runner.Obs())}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "interop: debug endpoint on http://%s/debug/metrics\n", ln.Addr())
+	}
+
+	// finish runs after the selected reports: the snapshot then covers
+	// the static campaign plus any extension that ran.
+	finish := func(err error) error {
+		if err != nil || *metricsJSON == "" {
+			return err
+		}
+		f, err := os.Create(*metricsJSON)
+		if err != nil {
+			return fmt.Errorf("metrics-json: %w", err)
+		}
+		defer f.Close()
+		if err := report.MetricsJSON(f, runner.Metrics()); err != nil {
+			return fmt.Errorf("metrics-json: %w", err)
+		}
+		return nil
+	}
+
 	if *explainClass != "" {
-		return explain(out, runner, cfg, *explainClass)
+		return finish(explain(out, runner, cfg, *explainClass))
 	}
 	res, err := runner.Run(context.Background())
 	if err != nil {
@@ -124,9 +170,9 @@ func run(args []string, out io.Writer) error {
 	}
 	switch *reportKind {
 	case "json":
-		return report.JSON(out, res, comm, robust)
+		return finish(report.JSON(out, res, comm, robust))
 	case "markdown":
-		return report.Markdown(out, res, comm, robust)
+		return finish(report.Markdown(out, res, comm, robust))
 	}
 
 	sections := []struct {
@@ -151,6 +197,11 @@ func run(args []string, out io.Writer) error {
 		{"robust", "Robustness extension (fault injection, steps 4–5)", func() error {
 			return report.Robustness(out, robust)
 		}},
+		{"metrics", "Observability metrics (stage counters & latency histograms)", func() error {
+			// The runner's cumulative registry, so extension stages that
+			// ran above (comm, robust) are included.
+			return report.Metrics(out, runner.Metrics())
+		}},
 	}
 	printed := false
 	for _, s := range sections {
@@ -173,7 +224,31 @@ func run(args []string, out io.Writer) error {
 	if !printed {
 		return fmt.Errorf("unknown report %q", *reportKind)
 	}
-	return nil
+	return finish(nil)
+}
+
+// debugMux builds the live debug endpoint: the obs snapshot and event
+// stream as JSON, expvar, and the pprof handlers (registered on a
+// private mux so the command never touches http.DefaultServeMux).
+func debugMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(reg.Events())
+	})
+	return mux
 }
 
 // explain prints the §IV.B-style drill-down for one class on every

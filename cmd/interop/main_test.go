@@ -2,10 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"wsinterop/internal/obs"
 )
 
 func TestRunScaledAllReports(t *testing.T) {
@@ -150,5 +156,117 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogusflag"}, &buf); err == nil {
 		t.Error("bad flag should fail")
+	}
+}
+
+func TestRunMetricsReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-limit", "40", "-report", "metrics"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Observability metrics", "campaign.publish.total", "campaign.wsi.checks",
+		"campaign.generate.seconds", "campaign.compile.seconds", "histogram",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunMetricsJSONExport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-limit", "40", "-report", "findings", "-metrics-json", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("metrics file not written: %v", err)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+		Histograms []struct {
+			Name  string `json:"name"`
+			Count int64  `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if len(snap.Counters) == 0 || len(snap.Histograms) == 0 {
+		t.Errorf("metrics JSON is empty: %d counters, %d histograms",
+			len(snap.Counters), len(snap.Histograms))
+	}
+	var buf2 bytes.Buffer
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "m.json")
+	if err := run([]string{"-limit", "10", "-report", "findings", "-metrics-json", bad}, &buf2); err == nil {
+		t.Error("unwritable metrics path should fail")
+	}
+}
+
+func TestRunDebugFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-limit", "10", "-report", "findings", "-debug", "127.0.0.1:0"}, &buf); err != nil {
+		t.Fatalf("run with -debug: %v", err)
+	}
+	if err := run([]string{"-limit", "10", "-report", "findings", "-debug", "not-an-address"}, &buf); err == nil {
+		t.Error("unbindable debug address should fail")
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("smoke.counter").Inc()
+	reg.Emit(obs.Event{Trace: "t", Stage: "s"})
+	srv := httptest.NewServer(debugMux(reg))
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer func() { _ = resp.Body.Close() }()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return body
+	}
+
+	var snap struct {
+		Counters []struct {
+			Name string `json:"name"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(get("/debug/metrics"), &snap); err != nil {
+		t.Fatalf("/debug/metrics does not parse: %v", err)
+	}
+	if len(snap.Counters) == 0 || snap.Counters[0].Name != "smoke.counter" {
+		t.Errorf("/debug/metrics counters = %+v", snap.Counters)
+	}
+	var events []struct {
+		Trace string `json:"trace"`
+	}
+	if err := json.Unmarshal(get("/debug/events"), &events); err != nil {
+		t.Fatalf("/debug/events does not parse: %v", err)
+	}
+	if len(events) != 1 || events[0].Trace != "t" {
+		t.Errorf("/debug/events = %+v", events)
+	}
+	if body := get("/debug/vars"); !bytes.Contains(body, []byte("cmdline")) {
+		t.Errorf("/debug/vars missing expvar content: %s", body)
+	}
+	if body := get("/debug/pprof/"); !bytes.Contains(body, []byte("goroutine")) {
+		t.Errorf("/debug/pprof/ missing index content")
 	}
 }

@@ -29,6 +29,7 @@ import (
 
 	"wsinterop/internal/artifact"
 	"wsinterop/internal/framework"
+	"wsinterop/internal/obs"
 	"wsinterop/internal/services"
 	"wsinterop/internal/typesys"
 	"wsinterop/internal/wsdl"
@@ -257,6 +258,15 @@ type Result struct {
 	// Config.NoDedup was set. It is bookkeeping, not campaign outcome —
 	// the equivalence tests exclude it when comparing Results.
 	Dedup *DedupStats
+
+	// Metrics is the observability snapshot taken when Run returned:
+	// per-stage latency histograms, stage counters, memo hit/miss, and
+	// live gauges (DESIGN.md §8). Counter values are deterministic
+	// across worker counts; with a frozen clock injected through
+	// Config.Obs the histograms are too. Like Dedup it is bookkeeping —
+	// equivalence tests exclude it. The snapshot is cumulative for the
+	// Runner, so repeated Run calls on one runner include earlier work.
+	Metrics *obs.Snapshot
 }
 
 // Config parameterizes a campaign run.
@@ -309,6 +319,11 @@ type Config struct {
 	// Checker overrides the compliance checker; nil uses the default
 	// (extended assertions enabled).
 	Checker *wsi.Checker
+	// Obs, when non-nil, is the metrics registry the runner instruments
+	// into; nil creates a private registry on the real clock. Inject a
+	// registry built with obs.NewRegistryWithClock and a frozen clock to
+	// make latency histograms deterministic (the determinism tests do).
+	Obs *obs.Registry
 }
 
 // Runner executes campaigns.
@@ -324,6 +339,10 @@ type Runner struct {
 	// persist for the runner's lifetime, so repeated Publish/Run calls
 	// reuse shapes already built.
 	dedup *dedupState
+	// obs is the metrics registry (Config.Obs or a private one); met
+	// caches its instruments for the hot paths.
+	obs *obs.Registry
+	met *runnerMetrics
 }
 
 // NewRunner builds a runner from the configuration.
@@ -332,6 +351,11 @@ func NewRunner(cfg Config) *Runner {
 		cfg: cfg, servers: cfg.Servers, clients: cfg.Clients, checker: cfg.Checker,
 		dedup: &dedupState{entries: make(map[shapeKey]*shapeEntry)},
 	}
+	r.obs = cfg.Obs
+	if r.obs == nil {
+		r.obs = obs.NewRegistry()
+	}
+	r.met = newRunnerMetrics(r.obs)
 	if r.servers == nil {
 		var opts []framework.ServerOption
 		if cfg.Style != "" {
@@ -427,22 +451,38 @@ type publishSlot struct {
 	err error
 }
 
+// checkDoc runs the WS-I compliance check under the stage timer.
+func (r *Runner) checkDoc(doc *wsdl.Definitions) *wsi.Report {
+	start := r.met.now()
+	report := r.checker.Check(doc)
+	r.met.observe(r.met.wsiSeconds, start)
+	r.met.wsiChecks.Inc()
+	if len(report.Violations) > 0 {
+		r.met.wsiFlagged.Inc()
+	}
+	return report
+}
+
 // publishDirect runs the description step for one definition without
 // the shape memo — the per-class path every memoized outcome is
 // verified against.
 func (r *Runner) publishDirect(server framework.ServerFramework, def services.Definition) (s publishSlot) {
+	start := r.met.now()
 	doc, err := server.Publish(def)
 	if err != nil {
 		// Not deployable: excluded from further testing (the paper's
 		// optimistic assumption at the description step).
+		r.met.observe(r.met.publishSeconds, start)
+		r.met.publishRejected.Inc()
 		return s
 	}
 	raw, err := wsdl.Marshal(doc)
+	r.met.observe(r.met.publishSeconds, start)
 	if err != nil {
 		s.err = fmt.Errorf("marshal WSDL for %s on %s: %w", def.Parameter.Name, server.Name(), err)
 		return s
 	}
-	report := r.checker.Check(doc)
+	report := r.checkDoc(doc)
 	s.ok = true
 	s.svc = PublishedService{
 		Server:    server.Name(),
@@ -467,18 +507,22 @@ func (r *Runner) workers() int {
 // when the runner attached one (Config.Reparse selects the byte-level
 // path instead).
 func RunTest(client framework.ClientFramework, svc PublishedService) TestResult {
-	return runTest(client, &svc, false)
+	return runTest(client, &svc, false, nil)
 }
 
-func runTest(client framework.ClientFramework, svc *PublishedService, reparse bool) TestResult {
+func runTest(client framework.ClientFramework, svc *PublishedService, reparse bool, m *runnerMetrics) TestResult {
 	t := TestResult{Server: svc.Server, Client: client.Name(), Class: svc.Class}
+	start := m.now()
 	gen := generationFor(client, svc, reparse)
 	t.Gen.mergeIssues(gen.Issues)
+	m.recordGen(start, t.Gen.Error)
 	if gen.Unit == nil {
 		return t
 	}
 	t.CompileRan = true
+	start = m.now()
 	t.Compile.mergeDiagnostics(client.Verify(gen.Unit))
+	m.recordCompile(start, t.Compile.Error)
 	return t
 }
 
@@ -516,8 +560,20 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 	} else {
 		res.Dedup = &DedupStats{}
 	}
+	res.Metrics = r.obs.Snapshot()
 	return res, nil
 }
+
+// Metrics snapshots the runner's observability registry, covering
+// every campaign mode executed on it so far (Run, RunCommunication,
+// RunRobustness). Result.Metrics is the same snapshot taken when Run
+// returned.
+func (r *Runner) Metrics() *obs.Snapshot { return r.obs.Snapshot() }
+
+// Obs exposes the runner's metrics registry (Config.Obs, or the
+// private one NewRunner created) — the -debug endpoint serves it live
+// while a campaign runs.
+func (r *Runner) Obs() *obs.Registry { return r.obs }
 
 func newResult(r *Runner) *Result {
 	res := &Result{
@@ -637,6 +693,8 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 	shards := make([]*shard, workers)
 	pubCh := make(chan int)
 	testCh := make(chan testJob, workers*len(r.clients))
+	r.met.workers.Set(int64(workers))
+	stageStart := r.met.now()
 
 	var pubWG, testWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -649,6 +707,7 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 		go func() {
 			defer testWG.Done()
 			for j := range testCh {
+				r.met.queueDepth.Add(-1)
 				j.st.results[j.cli] = r.testFor(&j.st.svc, j.cli)
 				if j.st.remaining.Add(-1) == 0 {
 					fails := r.foldService(j.st, sh)
@@ -681,6 +740,7 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 					// test workers drain testCh until it closes, so this
 					// send cannot deadlock.
 					for ci := range r.clients {
+						r.met.queueDepth.Add(1)
 						testCh <- testJob{st: st, svcIdx: i, cli: ci}
 					}
 				}
@@ -709,6 +769,13 @@ feed:
 		}
 	}
 	r.mergeServer(res, server.Name(), len(defs), states, shards, failures)
+	r.obs.Emit(obs.Event{
+		Trace:        obs.TraceID(server.Name()),
+		Stage:        "server-stage",
+		Server:       server.Name(),
+		Detail:       fmt.Sprintf("%d services", len(defs)),
+		ElapsedNanos: int64(r.met.since(stageStart)),
+	})
 	return nil
 }
 

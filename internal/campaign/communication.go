@@ -7,6 +7,7 @@ import (
 
 	"wsinterop/internal/artifact"
 	"wsinterop/internal/framework"
+	"wsinterop/internal/obs"
 	"wsinterop/internal/soap"
 	"wsinterop/internal/transport"
 	"wsinterop/internal/wsdl"
@@ -172,8 +173,8 @@ func (r *Runner) runCommunicationServer(ctx context.Context, server framework.Se
 	host := transport.NewHost()
 	// Every exchange flows through the message-level conformance
 	// sniffer — the wire-side complement of the step-1 WS-I check.
-	sniffer := transport.NewSniffer(host, r.checker)
-	bridge := transport.NewLocalBridge(sniffer)
+	sniffer := transport.NewSniffer(host, r.checker).WithObs(r.obs)
+	bridge := transport.NewLocalBridge(sniffer).WithObs(r.obs)
 
 	endpoints, collisions, err := r.deployPublished(host, published)
 	if err != nil {
@@ -191,8 +192,25 @@ func (r *Runner) runCommunicationServer(ctx context.Context, server framework.Se
 			defer wg.Done()
 			for idx := range jobs {
 				si, ci := idx/len(r.clients), idx%len(r.clients)
-				outcomes[idx] = communicate(ctx, bridge, r.clients[ci], &published[si],
-					endpoints[published[si].Class], r.cfg.Reparse)
+				svc, cli := &published[si], r.clients[ci]
+				// The cell's trace joins sniffer captures (and any fault
+				// logs) back to this (server, class, client) combination:
+				// the bridge stamps it on the wire as X-Wsinterop-Trace.
+				trace := obs.TraceID(server.Name(), svc.Class, cli.Name())
+				start := r.met.now()
+				outcomes[idx] = communicate(obs.WithTrace(ctx, trace), bridge, cli, svc,
+					endpoints[svc.Class], r.cfg.Reparse)
+				r.met.observe(r.met.commSeconds, start)
+				r.met.commCells.Inc()
+				r.obs.Emit(obs.Event{
+					Trace:        trace,
+					Stage:        "communication",
+					Server:       server.Name(),
+					Client:       cli.Name(),
+					Class:        svc.Class,
+					Detail:       outcomes[idx].String(),
+					ElapsedNanos: int64(r.met.since(start)),
+				})
 			}
 		}()
 	}

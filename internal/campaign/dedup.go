@@ -160,11 +160,13 @@ func (r *Runner) shapeFor(server framework.ServerFramework, def services.Definit
 // publishOne runs the description step for one service definition,
 // through the shape memo when it applies.
 func (r *Runner) publishOne(server framework.ServerFramework, def services.Definition) (s publishSlot) {
+	r.met.publishTotal.Inc()
 	if !r.dedupOn() {
 		return r.publishDirect(server, def)
 	}
 	if !shape.Memoizable(def) {
 		r.dedup.fallbacks.Add(1)
+		r.met.publishFallback.Inc()
 		return r.publishDirect(server, def)
 	}
 	r.dedup.pubTotal.Add(1)
@@ -181,23 +183,28 @@ func (r *Runner) publishOne(server framework.ServerFramework, def services.Defin
 	switch {
 	case e.rejected:
 		r.dedup.pubHits.Add(1)
+		r.met.publishMemoized.Inc()
 		return s
 	case e.err != nil:
 		r.dedup.pubHits.Add(1)
+		r.met.publishMemoized.Inc()
 		s.err = fmt.Errorf("marshal WSDL for %s on %s: %w", def.Parameter.Name, server.Name(), e.err)
 		return s
 	case e.tmpl == nil:
 		// The shape failed template verification: per-class path.
 		r.dedup.fallbacks.Add(1)
+		r.met.publishFallback.Inc()
 		return r.publishDirect(server, def)
 	}
 	raw, err := e.tmpl.Render(shape.Vars(def))
 	if err != nil {
 		// Unreachable (slot arity is fixed); stay correct regardless.
 		r.dedup.fallbacks.Add(1)
+		r.met.publishFallback.Inc()
 		return r.publishDirect(server, def)
 	}
 	r.dedup.pubHits.Add(1)
+	r.met.publishMemoized.Inc()
 	s.ok = true
 	s.svc = PublishedService{
 		Server:    server.Name(),
@@ -216,18 +223,22 @@ func (r *Runner) publishOne(server framework.ServerFramework, def services.Defin
 // per-class path; the split template is admitted only after it
 // reproduces those outputs byte-for-byte.
 func (r *Runner) buildShape(e *shapeEntry, server framework.ServerFramework, def services.Definition) (s publishSlot) {
+	start := r.met.now()
 	doc, err := server.Publish(def)
 	if err != nil {
+		r.met.observe(r.met.publishSeconds, start)
+		r.met.publishRejected.Inc()
 		e.rejected = true
 		return s
 	}
 	raw, err := wsdl.Marshal(doc)
+	r.met.observe(r.met.publishSeconds, start)
 	if err != nil {
 		e.err = err
 		s.err = fmt.Errorf("marshal WSDL for %s on %s: %w", def.Parameter.Name, server.Name(), err)
 		return s
 	}
-	report := r.checker.Check(doc)
+	report := r.checkDoc(doc)
 	e.flagged = len(report.Violations) > 0
 	e.compliant = report.Compliant()
 	e.tmpl = r.splitShape(server, def, raw)
@@ -282,16 +293,22 @@ func (r *Runner) splitShape(server framework.ServerFramework, def services.Defin
 // reaches the client first; clones rewrite only the class name, which
 // is the sole name-dependent field of TestResult.
 func (r *Runner) testFor(svc *PublishedService, ci int) TestResult {
+	r.met.testTotal.Inc()
 	e := svc.memo
 	if e == nil {
-		return runTest(r.clients[ci], svc, r.cfg.Reparse)
+		return runTest(r.clients[ci], svc, r.cfg.Reparse, r.met)
 	}
 	r.dedup.testTotal.Add(1)
 	tm := &e.tests[ci]
+	ran := false
 	tm.once.Do(func() {
+		ran = true
 		r.dedup.testRuns.Add(1)
-		tm.res = runTest(r.clients[ci], &e.rep, r.cfg.Reparse)
+		tm.res = runTest(r.clients[ci], &e.rep, r.cfg.Reparse, r.met)
 	})
+	if !ran {
+		r.met.testMemoized.Inc()
+	}
 	res := tm.res
 	res.Class = svc.Class
 	return res

@@ -1,0 +1,156 @@
+package campaign
+
+import (
+	"time"
+
+	"wsinterop/internal/obs"
+)
+
+// runnerMetrics caches the campaign's observability instruments so the
+// per-cell hot paths pay atomic operations only, never a registry
+// lookup. Every counter increment site is guarded by the same
+// once-per-unit structure (publish slots, shape entries, test memo
+// slots) that makes the Result deterministic, so counter values are
+// identical across worker counts — the obs package determinism
+// contract. A nil *runnerMetrics (only reachable through the exported
+// RunTest convenience API) disables instrumentation.
+type runnerMetrics struct {
+	reg *obs.Registry
+
+	// Per-stage latency histograms.
+	publishSeconds *obs.Histogram // description generation (publish + marshal)
+	wsiSeconds     *obs.Histogram // WS-I compliance check
+	genSeconds     *obs.Histogram // client artifact generation
+	compileSeconds *obs.Histogram // artifact compilation / verification
+	commSeconds    *obs.Histogram // communication round trip (steps 4–5)
+
+	// Stage counters.
+	publishTotal    *obs.Counter // services routed through the description step
+	publishRejected *obs.Counter // not deployable (excluded, the paper's optimistic assumption)
+	publishMemoized *obs.Counter // served by the shape memo instead of a full publish
+	publishFallback *obs.Counter // memo bypasses (hostile names, failed verification)
+	wsiChecks       *obs.Counter // WS-I document checks executed
+	wsiFlagged      *obs.Counter // checks that raised at least one finding
+	genRuns         *obs.Counter // artifact generations executed
+	genErrors       *obs.Counter // generations classified as errors
+	compileRuns     *obs.Counter // compilations executed
+	compileErrors   *obs.Counter // compilations classified as errors
+	testTotal       *obs.Counter // client tests routed (memoized or not)
+	testMemoized    *obs.Counter // tests served by cloning a memoized outcome
+	commCells       *obs.Counter // communication cells exchanged
+
+	// Robustness outcome counters (folded deterministically).
+	robustSkipped      *obs.Counter
+	robustDetected     *obs.Counter
+	robustMasked       *obs.Counter
+	robustWrongSuccess *obs.Counter
+	robustRecovered    *obs.Counter
+
+	// Live gauges — outside the determinism contract.
+	queueDepth *obs.Gauge // outstanding jobs in the streaming test pool
+	workers    *obs.Gauge // configured worker count
+}
+
+// newRunnerMetrics resolves every instrument once.
+func newRunnerMetrics(reg *obs.Registry) *runnerMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &runnerMetrics{
+		reg:                reg,
+		publishSeconds:     reg.Histogram("campaign.publish.seconds"),
+		wsiSeconds:         reg.Histogram("campaign.wsi.seconds"),
+		genSeconds:         reg.Histogram("campaign.generate.seconds"),
+		compileSeconds:     reg.Histogram("campaign.compile.seconds"),
+		commSeconds:        reg.Histogram("campaign.communication.seconds"),
+		publishTotal:       reg.Counter("campaign.publish.total"),
+		publishRejected:    reg.Counter("campaign.publish.rejected"),
+		publishMemoized:    reg.Counter("campaign.publish.memoized"),
+		publishFallback:    reg.Counter("campaign.publish.fallbacks"),
+		wsiChecks:          reg.Counter("campaign.wsi.checks"),
+		wsiFlagged:         reg.Counter("campaign.wsi.flagged"),
+		genRuns:            reg.Counter("campaign.generate.runs"),
+		genErrors:          reg.Counter("campaign.generate.errors"),
+		compileRuns:        reg.Counter("campaign.compile.runs"),
+		compileErrors:      reg.Counter("campaign.compile.errors"),
+		testTotal:          reg.Counter("campaign.test.total"),
+		testMemoized:       reg.Counter("campaign.test.memoized"),
+		commCells:          reg.Counter("campaign.communication.cells"),
+		robustSkipped:      reg.Counter("campaign.robust.skipped"),
+		robustDetected:     reg.Counter("campaign.robust.detected"),
+		robustMasked:       reg.Counter("campaign.robust.masked"),
+		robustWrongSuccess: reg.Counter("campaign.robust.wrong_success"),
+		robustRecovered:    reg.Counter("campaign.robust.recovered"),
+		queueDepth:         reg.Gauge("campaign.queue.depth"),
+		workers:            reg.Gauge("campaign.workers"),
+	}
+}
+
+// now reads the registry clock; the zero time when metering is off.
+func (m *runnerMetrics) now() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return m.reg.Now()
+}
+
+// since measures elapsed stage time on the registry clock.
+func (m *runnerMetrics) since(start time.Time) time.Duration {
+	if m == nil {
+		return 0
+	}
+	return m.reg.Since(start)
+}
+
+// observe folds one stage latency into a histogram.
+func (m *runnerMetrics) observe(h *obs.Histogram, start time.Time) {
+	if m == nil {
+		return
+	}
+	h.Observe(m.reg.Since(start))
+}
+
+// recordGen folds one artifact-generation run.
+func (m *runnerMetrics) recordGen(start time.Time, errored bool) {
+	if m == nil {
+		return
+	}
+	m.genSeconds.Observe(m.reg.Since(start))
+	m.genRuns.Inc()
+	if errored {
+		m.genErrors.Inc()
+	}
+}
+
+// recordCompile folds one compilation run.
+func (m *runnerMetrics) recordCompile(start time.Time, errored bool) {
+	if m == nil {
+		return
+	}
+	m.compileSeconds.Observe(m.reg.Since(start))
+	m.compileRuns.Inc()
+	if errored {
+		m.compileErrors.Inc()
+	}
+}
+
+// recordRobust folds one robustness cell outcome. Called from the
+// deterministic per-server fold, never from workers, so the counters
+// stay inside the determinism contract.
+func (m *runnerMetrics) recordRobust(o RobustOutcome) {
+	if m == nil {
+		return
+	}
+	switch o {
+	case RobustSkipped:
+		m.robustSkipped.Inc()
+	case RobustDetected:
+		m.robustDetected.Inc()
+	case RobustMasked:
+		m.robustMasked.Inc()
+	case RobustWrongSuccess:
+		m.robustWrongSuccess.Inc()
+	case RobustRecovered:
+		m.robustRecovered.Inc()
+	}
+}

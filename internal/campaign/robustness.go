@@ -10,6 +10,7 @@ import (
 
 	"wsinterop/internal/faultinject"
 	"wsinterop/internal/framework"
+	"wsinterop/internal/obs"
 	"wsinterop/internal/soap"
 	"wsinterop/internal/transport"
 )
@@ -257,6 +258,7 @@ func (r *Runner) runRobustnessServer(ctx context.Context, server framework.Serve
 	// what the client does with a slow-but-valid response, not by
 	// actually stalling thousands of cells.
 	injector.Sleep = func(time.Duration) {}
+	injector.Obs = r.obs
 
 	nc, nf := len(r.clients), len(catalog)
 	outcomes := make([]RobustOutcome, len(published)*nc*nf)
@@ -295,6 +297,9 @@ feed:
 	for idx, o := range outcomes {
 		perFault[catalog[idx%nf].Name].Add(o)
 		res.Clients[r.clients[(idx/nf)%nc].Name()].Add(o)
+		// Counters fold here, in the fixed-order merge, not in workers:
+		// the robustness metrics stay inside the determinism contract.
+		r.met.recordRobust(o)
 	}
 	res.Servers[server.Name()] = perFault
 	res.ServerOrder = append(res.ServerOrder, server.Name())
@@ -317,9 +322,14 @@ func (r *Runner) robustCombination(ctx context.Context, handler http.Handler,
 
 	for fi, f := range catalog {
 		req, probeField := buildEchoRequest(ep, op, svc.Class)
+		// The cell's trace carries (server, class, client, fault), so the
+		// injector's fired-fault log joins back to exactly one matrix cell.
+		trace := obs.TraceID(svc.Server, svc.Class, client.Name(), f.Name)
 		attempts := 0
-		bridge := transport.NewLocalBridge(handler).WithRetry(robustRetryPolicy(f.Directive, &attempts))
-		resp, err := bridge.Invoke(ctx, ep.Path, req)
+		bridge := transport.NewLocalBridge(handler).
+			WithRetry(robustRetryPolicy(f.Directive, &attempts)).
+			WithObs(r.obs)
+		resp, err := bridge.Invoke(obs.WithTrace(ctx, trace), ep.Path, req)
 		var x *robustExchange
 		if err == nil {
 			x = &robustExchange{resp: resp, wantLocal: op + "Response", sent: req.Fields, probeField: probeField}

@@ -26,7 +26,10 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
+
+	"wsinterop/internal/obs"
 )
 
 // Request headers steering the injector.
@@ -108,6 +111,16 @@ func Catalog() []Fault {
 // guaranteeing the padded envelope is cut off mid-document.
 const oversizePad = 1<<20 + 1024
 
+// Injection is one fired fault, recorded for post-hoc joining with
+// campaign cells: Trace carries the request's X-Wsinterop-Trace header,
+// minted per (server, class, client, fault) cell by the robustness
+// runner.
+type Injection struct {
+	Kind    Kind
+	Trace   string
+	Attempt int
+}
+
 // Injector is the fault-injecting middleware. A request without the
 // HeaderFault directive passes through untouched, so the injector can
 // stay permanently composed into a handler chain.
@@ -118,10 +131,32 @@ type Injector struct {
 	// Sleep overrides the KindDelay sleeper. The campaign installs a
 	// no-op here to keep the robustness matrix wall-clock-free.
 	Sleep func(d time.Duration)
+	// Obs, when non-nil, counts fired faults (faultinject.injected and
+	// one faultinject.injected.<kind> counter per kind).
+	Obs *obs.Registry
+
+	mu  sync.Mutex
+	log []Injection
 }
 
 // New wraps a handler with an injector.
 func New(next http.Handler) *Injector { return &Injector{next: next} }
+
+// record logs one fired fault and bumps its counters.
+func (i *Injector) record(kind Kind, trace string, attempt int) {
+	i.Obs.Counter("faultinject.injected").Inc()
+	i.Obs.Counter("faultinject.injected." + string(kind)).Inc()
+	i.mu.Lock()
+	i.log = append(i.log, Injection{Kind: kind, Trace: trace, Attempt: attempt})
+	i.mu.Unlock()
+}
+
+// Injections returns a copy of the fired-fault log, in firing order.
+func (i *Injector) Injections() []Injection {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return append([]Injection(nil), i.log...)
+}
 
 var _ http.Handler = (*Injector)(nil)
 
@@ -148,11 +183,19 @@ func (i *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	kind, times := parseDirective(directive)
-	if times > 0 {
-		if n, err := strconv.Atoi(r.Header.Get(HeaderAttempt)); err == nil && n > times {
-			i.next.ServeHTTP(w, r)
-			return
-		}
+	attempt := 1
+	if n, err := strconv.Atoi(r.Header.Get(HeaderAttempt)); err == nil {
+		attempt = n
+	}
+	if times > 0 && attempt > times {
+		i.next.ServeHTTP(w, r)
+		return
+	}
+	switch kind {
+	case KindAbort, KindDelay, KindTruncate, KindHTMLError, KindStatus500,
+		KindWrongContentType, KindEmptyBody, KindOversize,
+		KindDuplicateChild, KindRenameChild:
+		i.record(kind, r.Header.Get(obs.TraceHeader), attempt)
 	}
 	switch kind {
 	case KindAbort:

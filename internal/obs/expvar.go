@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// PublishExpvar exposes the registry's live snapshot under the
+// "wsinterop" expvar name, so the standard /debug/vars endpoint
+// carries the campaign metrics next to memstats. Safe to call more
+// than once (expvar forbids duplicate names): later calls swap which
+// registry the published variable reads.
+func PublishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("wsinterop", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}

@@ -1,0 +1,398 @@
+// Package obs is the campaign observability layer: a lock-cheap,
+// deterministic metrics registry (counters, gauges, fixed-bucket
+// latency histograms), a bounded structured event stream, and the
+// per-cell trace IDs that join wire-level records (fault-injection
+// logs, sniffer captures) back to the (server, client, class) campaign
+// cell that produced them.
+//
+// Determinism contract (DESIGN.md §8): counter values depend only on
+// the work performed, never on worker count or scheduling — every
+// increment site in the campaign is guarded by the same once-per-unit
+// structure that makes the Result itself deterministic. Histogram
+// *counts* inherit the same property; bucket placement depends on the
+// injected clock, so with a frozen clock (every observation lasts
+// zero) complete histograms are byte-identical across worker counts
+// too. Gauges track live state (queue depth, worker count) and are
+// explicitly outside the contract: determinism tests compare counters
+// and histograms only.
+//
+// All registry methods are safe on a nil *Registry and nil instruments
+// are no-ops, so instrumented code needs no "is observability on?"
+// branches.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+)
+
+// DefBuckets is the default latency histogram layout: upper bounds in
+// ascending order, with an implicit +Inf bucket appended. The spread
+// covers the campaign's stage latencies (tens of microseconds for a
+// memoized publish, up to seconds for a full-scale WS-I sweep).
+var DefBuckets = []time.Duration{
+	50 * time.Microsecond, 100 * time.Microsecond,
+	250 * time.Microsecond, 500 * time.Microsecond,
+	time.Millisecond, 2500 * time.Microsecond,
+	5 * time.Millisecond, 10 * time.Millisecond,
+	25 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 250 * time.Millisecond,
+	500 * time.Millisecond, time.Second,
+}
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count; zero on nil.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable level metric that also tracks its high-water
+// mark. Gauges report live state (queue depth, active workers) and are
+// excluded from the determinism contract.
+type Gauge struct {
+	v   atomic.Int64
+	max atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+	g.water(n)
+}
+
+// Add moves the gauge by delta and returns nothing; the high-water
+// mark follows the peak.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.water(g.v.Add(delta))
+}
+
+func (g *Gauge) water(n int64) {
+	for {
+		cur := g.max.Load()
+		if n <= cur || g.max.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Value reads the current level; zero on nil.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Max reads the high-water mark; zero on nil.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.max.Load()
+}
+
+// Histogram is a fixed-bucket latency histogram. Bucket bounds are
+// inclusive upper limits; an observation larger than every bound lands
+// in the implicit +Inf bucket. The zero value is unusable — obtain
+// histograms from a Registry so the bucket layout is fixed once.
+type Histogram struct {
+	bounds []time.Duration
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration. Negative observations clamp to zero
+// (a frozen or rewound clock must not corrupt the distribution).
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count reads the total number of observations; zero on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Registry names and owns instruments. Get-or-create lookups use a
+// sync.Map so steady-state access is lock-free; hot paths should cache
+// the returned instrument pointer and pay only the atomic operation.
+type Registry struct {
+	now        func() time.Time
+	counters   sync.Map // string → *Counter
+	gauges     sync.Map // string → *Gauge
+	histograms sync.Map // string → *Histogram
+	events     EventLog
+}
+
+// NewRegistry builds a registry on the real clock.
+func NewRegistry() *Registry { return NewRegistryWithClock(time.Now) }
+
+// NewRegistryWithClock builds a registry whose latency measurements
+// read the given clock. Injecting a frozen clock makes histograms
+// deterministic across worker counts (every observation is zero).
+func NewRegistryWithClock(now func() time.Time) *Registry {
+	if now == nil {
+		now = time.Now
+	}
+	return &Registry{now: now}
+}
+
+// Now reads the registry clock; the zero time on nil.
+func (r *Registry) Now() time.Time {
+	if r == nil {
+		return time.Time{}
+	}
+	return r.now()
+}
+
+// Since measures elapsed time on the registry clock.
+func (r *Registry) Since(start time.Time) time.Duration {
+	if r == nil {
+		return 0
+	}
+	return r.now().Sub(start)
+}
+
+// Counter returns the named counter, creating it on first use; nil on
+// a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.counters.Load(name); ok {
+		return v.(*Counter)
+	}
+	v, _ := r.counters.LoadOrStore(name, &Counter{})
+	return v.(*Counter)
+}
+
+// Gauge returns the named gauge, creating it on first use; nil on a
+// nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.gauges.Load(name); ok {
+		return v.(*Gauge)
+	}
+	v, _ := r.gauges.LoadOrStore(name, &Gauge{})
+	return v.(*Gauge)
+}
+
+// Histogram returns the named histogram with the default bucket
+// layout, creating it on first use; nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramBuckets(name, DefBuckets)
+}
+
+// HistogramBuckets returns the named histogram, creating it with the
+// given ascending bucket bounds on first use. The layout is fixed at
+// creation; later calls return the existing histogram regardless of
+// the bounds argument.
+func (r *Registry) HistogramBuckets(name string, bounds []time.Duration) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if v, ok := r.histograms.Load(name); ok {
+		return v.(*Histogram)
+	}
+	h := &Histogram{bounds: append([]time.Duration(nil), bounds...)}
+	h.counts = make([]atomic.Int64, len(h.bounds)+1)
+	v, _ := r.histograms.LoadOrStore(name, h)
+	return v.(*Histogram)
+}
+
+// Emit appends one event to the registry's bounded event stream.
+func (r *Registry) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	r.events.Append(e)
+}
+
+// Events returns a copy of the retained event stream, oldest first.
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.events.Events()
+}
+
+// InfBucket marks the +Inf bucket bound in snapshots.
+const InfBucket = int64(math.MaxInt64)
+
+// Snapshot is a point-in-time, deterministic export of a registry:
+// every slice is sorted by name, so two registries that performed the
+// same work marshal to identical JSON.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// CounterSnapshot is one counter's exported state.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's exported state.
+type GaugeSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+	Max   int64  `json:"max"`
+}
+
+// HistogramSnapshot is one histogram's exported state. Bucket counts
+// are cumulative (à la Prometheus); the final bucket's bound is
+// InfBucket and its count equals Count.
+type HistogramSnapshot struct {
+	Name     string        `json:"name"`
+	Count    int64         `json:"count"`
+	SumNanos int64         `json:"sumNanos"`
+	Buckets  []BucketCount `json:"buckets"`
+}
+
+// BucketCount is one cumulative histogram bucket.
+type BucketCount struct {
+	// LENanos is the bucket's inclusive upper bound in nanoseconds;
+	// InfBucket for the overflow bucket.
+	LENanos int64 `json:"leNanos"`
+	// Count is the number of observations at or below the bound.
+	Count int64 `json:"count"`
+}
+
+// Snapshot exports the registry's current state; nil registries export
+// an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.counters.Range(func(k, v any) bool {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: k.(string), Value: v.(*Counter).Value()})
+		return true
+	})
+	r.gauges.Range(func(k, v any) bool {
+		g := v.(*Gauge)
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: k.(string), Value: g.Value(), Max: g.Max()})
+		return true
+	})
+	r.histograms.Range(func(k, v any) bool {
+		h := v.(*Histogram)
+		hs := HistogramSnapshot{Name: k.(string), Count: h.count.Load(), SumNanos: h.sum.Load()}
+		cum := int64(0)
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			bound := InfBucket
+			if i < len(h.bounds) {
+				bound = int64(h.bounds[i])
+			}
+			hs.Buckets = append(hs.Buckets, BucketCount{LENanos: bound, Count: cum})
+		}
+		s.Histograms = append(s.Histograms, hs)
+		return true
+	})
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText writes the snapshot as aligned human-readable tables.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "counter\tvalue")
+	for _, c := range s.Counters {
+		fmt.Fprintf(tw, "%s\t%d\n", c.Name, c.Value)
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(tw, "\ngauge\tvalue\tmax")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(tw, "%s\t%d\t%d\n", g.Name, g.Value, g.Max)
+		}
+	}
+	fmt.Fprintln(tw, "\nhistogram\tcount\ttotal\tdistribution")
+	for _, h := range s.Histograms {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n",
+			h.Name, h.Count, time.Duration(h.SumNanos), bucketLine(h))
+	}
+	return tw.Flush()
+}
+
+// bucketLine compacts a histogram's occupied buckets into one cell:
+// "≤1ms:12 ≤10ms:40 ≤+Inf:41" (cumulative counts, empty prefix
+// buckets elided).
+func bucketLine(h HistogramSnapshot) string {
+	if h.Count == 0 {
+		return "-"
+	}
+	out := ""
+	prev := int64(0)
+	for _, b := range h.Buckets {
+		if b.Count == prev {
+			continue
+		}
+		prev = b.Count
+		bound := "+Inf"
+		if b.LENanos != InfBucket {
+			bound = time.Duration(b.LENanos).String()
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("≤%s:%d", bound, b.Count)
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"wsinterop/internal/campaign"
+	"wsinterop/internal/obs"
 )
 
 // jsonResult is the machine-readable export shape. It is a distinct
@@ -25,6 +26,9 @@ type jsonResult struct {
 	Communication       []campaign.CommSummary `json:"communication,omitempty"`
 	Robustness          []jsonRobust           `json:"robustness,omitempty"`
 	Dedup               *jsonDedup             `json:"dedup,omitempty"`
+	// Metrics carries the runner's observability snapshot as taken at
+	// the end of the static campaign (Result.Metrics).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // jsonDedup exports the structural-shape memoization statistics.
@@ -127,6 +131,7 @@ func JSON(w io.Writer, res *campaign.Result, comm *campaign.CommResult, robust *
 			Fallbacks: d.Fallbacks,
 		}
 	}
+	out.Metrics = res.Metrics
 	for _, c := range Comparisons(res) {
 		out.PaperComparisonRows = append(out.PaperComparisonRows, jsonComparison{
 			Metric: c.Metric, Paper: c.Paper, Measured: c.Measured, Delta: c.Delta(),

@@ -1,0 +1,25 @@
+package report
+
+import (
+	"io"
+
+	"wsinterop/internal/obs"
+)
+
+// Metrics writes a campaign observability snapshot as aligned text
+// tables: counters, live gauges, and per-stage latency histograms.
+func Metrics(w io.Writer, snap *obs.Snapshot) error {
+	if snap == nil {
+		snap = &obs.Snapshot{}
+	}
+	return snap.WriteText(w)
+}
+
+// MetricsJSON writes the snapshot as indented JSON — the same export
+// the -metrics-json flag and the /debug/metrics endpoint serve.
+func MetricsJSON(w io.Writer, snap *obs.Snapshot) error {
+	if snap == nil {
+		snap = &obs.Snapshot{}
+	}
+	return snap.WriteJSON(w)
+}

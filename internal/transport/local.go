@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 
+	"wsinterop/internal/obs"
 	"wsinterop/internal/soap"
 )
 
@@ -20,6 +21,7 @@ import (
 type LocalBridge struct {
 	handler http.Handler
 	retry   *RetryPolicy
+	meters  *invokeMeters
 }
 
 // Local returns an in-process bridge to the host. The host does not
@@ -38,6 +40,14 @@ func (b *LocalBridge) WithRetry(p *RetryPolicy) *LocalBridge {
 	return &cp
 }
 
+// WithObs returns a copy of the bridge that records invoke latency,
+// attempts, retries and error classes, mirroring Client.WithObs.
+func (b *LocalBridge) WithObs(reg *obs.Registry) *LocalBridge {
+	cp := *b
+	cp.meters = newInvokeMeters(reg)
+	return &cp
+}
+
 // Invoke sends a request message to the endpoint path and returns the
 // response message. SOAP faults are returned as *soap.Fault errors and
 // non-2xx responses as *HTTPError, mirroring Client.Invoke.
@@ -46,10 +56,11 @@ func (b *LocalBridge) Invoke(ctx context.Context, path string, req *soap.Message
 	if err != nil {
 		return nil, fmt.Errorf("encode request: %w", err)
 	}
-	return invokeWithRetry(ctx, b.retry, func(ctx context.Context, n int) (*soap.Message, error) {
+	return invokeWithRetry(ctx, b.meters, b.retry, func(ctx context.Context, n int) (*soap.Message, error) {
 		httpReq := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
 		httpReq.Header.Set("Content-Type", soap.ContentType)
 		httpReq.Header.Set("SOAPAction", `""`)
+		stampTrace(ctx, httpReq.Header)
 		b.retry.annotate(n, httpReq.Header)
 		httpReq = httpReq.WithContext(ctx)
 

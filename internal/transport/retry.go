@@ -10,7 +10,9 @@ import (
 	"net/url"
 	"strings"
 	"time"
+	"unicode/utf8"
 
+	"wsinterop/internal/obs"
 	"wsinterop/internal/soap"
 )
 
@@ -46,11 +48,19 @@ func (e *HTTPError) Error() string {
 	return fmt.Sprintf("transport: HTTP %d (%s): %s", e.Status, e.ContentType, e.Snippet)
 }
 
-// snippet bounds a body prefix for HTTPError diagnostics.
+// snippet bounds a body prefix for HTTPError diagnostics. The cut
+// backs up to a rune boundary so a multi-byte UTF-8 sequence spanning
+// the limit is dropped whole rather than split — a byte-offset
+// truncation would put invalid UTF-8 into error messages (and into
+// every log and report that quotes them).
 func snippet(body []byte) string {
 	s := strings.TrimSpace(string(body))
 	if len(s) > 120 {
-		s = s[:120] + "..."
+		cut := 120
+		for cut > 0 && !utf8.RuneStart(s[cut]) {
+			cut--
+		}
+		s = s[:cut] + "..."
 	}
 	return s
 }
@@ -196,10 +206,83 @@ func Retryable(err error) bool {
 	return errors.As(err, &ue)
 }
 
+// invokeMeters caches one registry's transport instruments so the
+// per-attempt hot path pays atomic operations only. A nil *invokeMeters
+// (no registry configured) is a no-op.
+type invokeMeters struct {
+	reg      *obs.Registry
+	latency  *obs.Histogram // transport.invoke.seconds, per attempt
+	attempts *obs.Counter   // transport.attempts
+	retries  *obs.Counter   // transport.retries (attempts beyond the first)
+	faults   *obs.Counter   // transport.errors.fault (definitive SOAP faults)
+	httpErrs *obs.Counter   // transport.errors.http (*HTTPError)
+	decode   *obs.Counter   // transport.errors.decode (malformed bodies)
+	aborted  *obs.Counter   // transport.errors.aborted (dropped connections)
+	other    *obs.Counter   // transport.errors.other (network and the rest)
+}
+
+// newInvokeMeters resolves the instruments; nil registry → nil meters.
+func newInvokeMeters(reg *obs.Registry) *invokeMeters {
+	if reg == nil {
+		return nil
+	}
+	return &invokeMeters{
+		reg:      reg,
+		latency:  reg.Histogram("transport.invoke.seconds"),
+		attempts: reg.Counter("transport.attempts"),
+		retries:  reg.Counter("transport.retries"),
+		faults:   reg.Counter("transport.errors.fault"),
+		httpErrs: reg.Counter("transport.errors.http"),
+		decode:   reg.Counter("transport.errors.decode"),
+		aborted:  reg.Counter("transport.errors.aborted"),
+		other:    reg.Counter("transport.errors.other"),
+	}
+}
+
+// record folds one attempt's outcome into the meters. Error counters
+// classify what the wire surfaced — the "fault detections" the
+// robustness taxonomy keys on.
+func (m *invokeMeters) record(start time.Time, n int, err error) {
+	if m == nil {
+		return
+	}
+	m.latency.Observe(m.reg.Since(start))
+	m.attempts.Inc()
+	if n > 1 {
+		m.retries.Inc()
+	}
+	if err == nil {
+		return
+	}
+	var fault *soap.Fault
+	var he *HTTPError
+	var de *soap.DecodeError
+	switch {
+	case errors.As(err, &fault):
+		m.faults.Inc()
+	case errors.As(err, &he):
+		m.httpErrs.Inc()
+	case errors.As(err, &de):
+		m.decode.Inc()
+	case errors.Is(err, ErrAborted):
+		m.aborted.Inc()
+	default:
+		m.other.Inc()
+	}
+}
+
+// now reads the meters' clock; the zero time when metering is off.
+func (m *invokeMeters) now() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return m.reg.Now()
+}
+
 // invokeWithRetry drives one attempt function under a policy. The
 // final error is the last attempt's (a deadline hit during backoff
 // surfaces the invocation error, not the context error).
-func invokeWithRetry(ctx context.Context, p *RetryPolicy,
+func invokeWithRetry(ctx context.Context, m *invokeMeters, p *RetryPolicy,
 	attempt func(ctx context.Context, n int) (*soap.Message, error)) (*soap.Message, error) {
 	if p != nil && p.Deadline > 0 {
 		var cancel context.CancelFunc
@@ -210,7 +293,9 @@ func invokeWithRetry(ctx context.Context, p *RetryPolicy,
 	var err error
 	for n := 1; n <= budget; n++ {
 		var msg *soap.Message
+		start := m.now()
 		msg, err = attempt(ctx, n)
+		m.record(start, n, err)
 		if err == nil {
 			return msg, nil
 		}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sync"
 
+	"wsinterop/internal/obs"
 	"wsinterop/internal/wsi"
 )
 
@@ -18,9 +19,11 @@ import (
 type Sniffer struct {
 	next    http.Handler
 	checker *wsi.Checker
+	// reg, when non-nil, receives exchange and violation counters.
+	reg *obs.Registry
 
 	mu        sync.Mutex
-	exchanges int
+	exchanges []Exchange
 	findings  []CapturedViolation
 }
 
@@ -29,6 +32,25 @@ type CapturedViolation struct {
 	// Direction is "request" or "response".
 	Direction string
 	Violation wsi.Violation
+	// Trace is the campaign cell's correlation ID, copied from the
+	// request's X-Wsinterop-Trace header; empty for untraced traffic.
+	Trace string
+}
+
+// Exchange is the per-pair capture record: one row per
+// request/response observed, joinable to a campaign cell by trace ID
+// even when the exchange produced no findings.
+type Exchange struct {
+	// Trace is the request's X-Wsinterop-Trace header value.
+	Trace string
+	// Status is the recorded response status; an implicit 200 when the
+	// inner handler wrote a body (or nothing) without calling
+	// WriteHeader.
+	Status int
+	// RequestViolations and ResponseViolations count the exchange's
+	// message-level findings per direction.
+	RequestViolations  int
+	ResponseViolations int
 }
 
 // NewSniffer wraps a handler. A nil checker uses the default.
@@ -39,52 +61,102 @@ func NewSniffer(next http.Handler, checker *wsi.Checker) *Sniffer {
 	return &Sniffer{next: next, checker: checker}
 }
 
+// WithObs sets the registry receiving the sniffer's exchange and
+// violation counters and returns the sniffer for chaining.
+func (s *Sniffer) WithObs(reg *obs.Registry) *Sniffer {
+	s.reg = reg
+	return s
+}
+
 var _ http.Handler = (*Sniffer)(nil)
 
 // recordingWriter captures the response for post-hoc validation.
 type recordingWriter struct {
 	http.ResponseWriter
-	status int
-	body   bytes.Buffer
+	status      int
+	wroteHeader bool
+	body        bytes.Buffer
 }
 
 func (w *recordingWriter) WriteHeader(status int) {
-	w.status = status
+	if !w.wroteHeader {
+		w.status = status
+		w.wroteHeader = true
+	}
 	w.ResponseWriter.WriteHeader(status)
 }
 
 func (w *recordingWriter) Write(p []byte) (int, error) {
+	// A handler that writes without WriteHeader gets the implicit 200
+	// from net/http; record the same, or post-hoc validation would see
+	// status 0 and misclassify the exchange.
+	if !w.wroteHeader {
+		w.status = http.StatusOK
+		w.wroteHeader = true
+	}
 	w.body.Write(p)
 	return w.ResponseWriter.Write(p)
+}
+
+// Flush passes http.Flusher through to the wrapped writer, so a
+// streaming handler behind the sniffer keeps working.
+func (w *recordingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Status returns the recorded status, applying the implicit 200 for a
+// handler that never wrote anything at all.
+func (w *recordingWriter) Status() int {
+	if !w.wroteHeader {
+		return http.StatusOK
+	}
+	return w.status
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Sniffer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	reqBody, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
-	if err == nil {
-		r.Body = io.NopCloser(bytes.NewReader(reqBody))
+	// Hand the inner handler exactly the bytes the capture saw — also
+	// on a read error, where the original body is a half-drained stream
+	// that would otherwise be forwarded silently corrupted. The handler
+	// then sees a cleanly truncated document and fails the exchange
+	// explicitly (a malformed-envelope fault) instead of arbitrarily.
+	r.Body = io.NopCloser(bytes.NewReader(reqBody))
+	if err != nil {
+		s.reg.Counter("sniffer.request.read_errors").Inc()
 	}
 	reqReport := s.checker.CheckMessage(reqBody, wsi.MessageMeta{
 		ContentType: r.Header.Get("Content-Type"),
 		SOAPAction:  r.Header.Get("SOAPAction"),
 	})
 
-	rec := &recordingWriter{ResponseWriter: w, status: http.StatusOK}
+	rec := &recordingWriter{ResponseWriter: w}
 	s.next.ServeHTTP(rec, r)
 
 	respReport := s.checker.CheckMessage(rec.body.Bytes(), wsi.MessageMeta{
 		ContentType: rec.Header().Get("Content-Type"),
-		HTTPStatus:  rec.status,
+		HTTPStatus:  rec.Status(),
 	})
+
+	trace := r.Header.Get(obs.TraceHeader)
+	s.reg.Counter("sniffer.exchanges").Inc()
+	s.reg.Counter("sniffer.violations").Add(int64(len(reqReport.Violations) + len(respReport.Violations)))
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.exchanges++
+	s.exchanges = append(s.exchanges, Exchange{
+		Trace:              trace,
+		Status:             rec.Status(),
+		RequestViolations:  len(reqReport.Violations),
+		ResponseViolations: len(respReport.Violations),
+	})
 	for _, v := range reqReport.Violations {
-		s.findings = append(s.findings, CapturedViolation{Direction: "request", Violation: v})
+		s.findings = append(s.findings, CapturedViolation{Direction: "request", Violation: v, Trace: trace})
 	}
 	for _, v := range respReport.Violations {
-		s.findings = append(s.findings, CapturedViolation{Direction: "response", Violation: v})
+		s.findings = append(s.findings, CapturedViolation{Direction: "response", Violation: v, Trace: trace})
 	}
 }
 
@@ -92,7 +164,14 @@ func (s *Sniffer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (s *Sniffer) Exchanges() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.exchanges
+	return len(s.exchanges)
+}
+
+// ExchangeLog returns a copy of the per-exchange capture records.
+func (s *Sniffer) ExchangeLog() []Exchange {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Exchange(nil), s.exchanges...)
 }
 
 // Findings returns a copy of every captured violation.

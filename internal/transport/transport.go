@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"wsinterop/internal/obs"
 	"wsinterop/internal/soap"
 	"wsinterop/internal/wsdl"
 	"wsinterop/internal/xsd"
@@ -286,7 +287,14 @@ func (h *Host) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.NotFound(w, r)
 			return
 		}
-		if _, ok := r.URL.Query()["wsdl"]; ok && len(ep.Description) > 0 {
+		if _, ok := r.URL.Query()["wsdl"]; ok {
+			if len(ep.Description) == 0 {
+				// The client asked the right question of the right
+				// endpoint; a 405 "accept POST (or GET ?wsdl)" here would
+				// point at the method, not the real problem.
+				http.Error(w, "no description published for this endpoint", http.StatusNotFound)
+				return
+			}
 			w.Header().Set("Content-Type", "text/xml; charset=utf-8")
 			_, _ = w.Write(ep.Description)
 			return
@@ -359,6 +367,7 @@ func writeFault(w http.ResponseWriter, f *soap.Fault) {
 type Client struct {
 	httpClient *http.Client
 	retry      *RetryPolicy
+	meters     *invokeMeters
 }
 
 // NewClient creates a SOAP client. Pass nil to use a default HTTP
@@ -378,6 +387,23 @@ func (c *Client) WithRetry(p *RetryPolicy) *Client {
 	return &cp
 }
 
+// WithObs returns a copy of the client that records invoke latency,
+// attempts, retries and error classes into the registry.
+func (c *Client) WithObs(reg *obs.Registry) *Client {
+	cp := *c
+	cp.meters = newInvokeMeters(reg)
+	return &cp
+}
+
+// stampTrace copies the invocation context's campaign trace ID onto
+// the request, making the exchange joinable to its (server, client,
+// class) cell in sniffer captures and fault-injection logs.
+func stampTrace(ctx context.Context, h http.Header) {
+	if tr := obs.TraceFrom(ctx); tr != "" {
+		h.Set(obs.TraceHeader, tr)
+	}
+}
+
 // Invoke sends a request message to url and returns the response
 // message. A SOAP fault is returned as a *soap.Fault error; a non-2xx
 // response without a fault envelope as an *HTTPError. A configured
@@ -387,13 +413,14 @@ func (c *Client) Invoke(ctx context.Context, url, soapAction string, req *soap.M
 	if err != nil {
 		return nil, fmt.Errorf("encode request: %w", err)
 	}
-	return invokeWithRetry(ctx, c.retry, func(ctx context.Context, n int) (*soap.Message, error) {
+	return invokeWithRetry(ctx, c.meters, c.retry, func(ctx context.Context, n int) (*soap.Message, error) {
 		httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, url, strings.NewReader(string(body)))
 		if err != nil {
 			return nil, fmt.Errorf("build request: %w", err)
 		}
 		httpReq.Header.Set("Content-Type", soap.ContentType)
 		httpReq.Header.Set("SOAPAction", fmt.Sprintf("%q", soapAction))
+		stampTrace(ctx, httpReq.Header)
 		c.retry.annotate(n, httpReq.Header)
 
 		httpResp, err := c.httpClient.Do(httpReq)

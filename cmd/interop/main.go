@@ -3,16 +3,24 @@
 //
 // Usage:
 //
-//	interop [-report fig4|chart|table3|findings|deploy|failures|compare|comm|robust|metrics|json|all]
+//	interop [-report fig4|chart|table3|findings|deploy|failures|dedup|maturity|compare|comm|robust|metrics|json|markdown|all]
 //	        [-limit N] [-workers N] [-server NAME] [-client NAME]
 //	        [-faults] [-reparse] [-dedup=false] [-cpuprofile FILE]
 //	        [-metrics-json FILE] [-debug ADDR]
+//	        [-checkpoint DIR] [-resume]
 //
 // With no flags it runs the full campaign (22 024 services, 79 629
 // tests) and prints every textual report. -report comm additionally
 // runs the communication/execution extension; -faults (or -report
 // robust) runs the fault-injection robustness matrix on top of it;
 // -report json emits a machine-readable dump of everything.
+//
+// Durability: -checkpoint DIR journals every completed cell to DIR as
+// the campaign runs; SIGINT/SIGTERM then drain in-flight work, flush
+// the journal, and exit with resumable state, and a second invocation
+// with -checkpoint DIR -resume replays the journaled cells and
+// finishes the rest — producing output identical to an uninterrupted
+// run (DESIGN.md §9).
 //
 // Observability: -report metrics prints the runner's stage-scoped
 // counters and latency histograms as text; -metrics-json FILE exports
@@ -25,6 +33,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -33,14 +42,25 @@ import (
 	"net/http"
 	httppprof "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime/pprof"
+	"slices"
 	"strings"
+	"syscall"
 
 	"wsinterop/internal/campaign"
 	"wsinterop/internal/framework"
 	"wsinterop/internal/obs"
 	"wsinterop/internal/report"
 )
+
+// validReports are the accepted -report modes, alphabetically, for
+// up-front validation and the error message.
+var validReports = []string{
+	"all", "chart", "comm", "compare", "dedup", "deploy", "failures",
+	"fig4", "findings", "json", "markdown", "maturity", "metrics",
+	"robust", "table3",
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -52,7 +72,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("interop", flag.ContinueOnError)
 	reportKind := fs.String("report", "all",
-		"report to print: fig4, chart, table3, findings, dedup, deploy, failures, compare, comm, robust, metrics, json, markdown, all")
+		"report to print: "+strings.Join(validReports, ", "))
 	faults := fs.Bool("faults", false,
 		"run the fault-injection robustness matrix (server × client × fault) and print its report")
 	explainClass := fs.String("explain", "",
@@ -71,8 +91,21 @@ func run(args []string, out io.Writer) error {
 	metricsJSON := fs.String("metrics-json", "", "write the observability metrics snapshot as JSON to this file")
 	debugAddr := fs.String("debug", "",
 		"serve the live debug endpoint (/debug/metrics, /debug/events, /debug/vars, /debug/pprof) on this address for the duration of the run")
+	checkpoint := fs.String("checkpoint", "",
+		"journal every completed cell to this directory so an interrupted run can be continued with -resume")
+	resume := fs.Bool("resume", false,
+		"replay the cells journaled under -checkpoint DIR instead of re-executing them, then finish the rest")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Validate the report mode before any campaign work runs, so a typo
+	// fails fast with the valid modes listed instead of silently
+	// executing the whole campaign first.
+	if !slices.Contains(validReports, *reportKind) {
+		return fmt.Errorf("unknown report %q (valid modes: %s)", *reportKind, strings.Join(validReports, ", "))
+	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint DIR")
 	}
 
 	if *cpuprofile != "" {
@@ -87,7 +120,10 @@ func run(args []string, out io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := campaign.Config{Limit: *limit, Workers: *workers, Reparse: *reparse, NoDedup: !*dedup}
+	cfg := campaign.Config{
+		Limit: *limit, Workers: *workers, Reparse: *reparse, NoDedup: !*dedup,
+		Checkpoint: *checkpoint, Resume: *resume,
+	}
 	allServers := framework.Servers()
 	if *extended {
 		allServers = append(allServers, framework.NewAxis2Server())
@@ -151,20 +187,39 @@ func run(args []string, out io.Writer) error {
 	if *explainClass != "" {
 		return finish(explain(out, runner, cfg, *explainClass))
 	}
-	res, err := runner.Run(context.Background())
+
+	// With a checkpoint configured, SIGINT/SIGTERM cancel the campaign
+	// context: in-flight workers drain, the journal flushes, and the
+	// command exits non-zero with resumable state. A second signal after
+	// the drain started kills the process the default way.
+	ctx := context.Background()
+	if *checkpoint != "" {
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		go func() {
+			<-ctx.Done()
+			stop()
+		}()
+	}
+	res, err := runner.Run(ctx)
 	if err != nil {
+		if *checkpoint != "" && errors.Is(err, context.Canceled) {
+			return fmt.Errorf("interrupted — journal flushed to %s; rerun with -checkpoint %s -resume to continue",
+				*checkpoint, *checkpoint)
+		}
 		return err
 	}
 
 	var comm *campaign.CommResult
 	if *reportKind == "comm" || *reportKind == "json" || *reportKind == "markdown" {
-		if comm, err = runner.RunCommunication(context.Background()); err != nil {
+		if comm, err = runner.RunCommunication(ctx); err != nil {
 			return err
 		}
 	}
 	var robust *campaign.RobustResult
 	if *faults || *reportKind == "robust" {
-		if robust, err = runner.RunRobustness(context.Background()); err != nil {
+		if robust, err = runner.RunRobustness(ctx); err != nil {
 			return err
 		}
 	}
@@ -222,7 +277,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintln(out)
 	}
 	if !printed {
-		return fmt.Errorf("unknown report %q", *reportKind)
+		// Unreachable: -report is validated up front. Kept as a guard for
+		// future section renames.
+		return fmt.Errorf("unknown report %q (valid modes: %s)", *reportKind, strings.Join(validReports, ", "))
 	}
 	return finish(nil)
 }

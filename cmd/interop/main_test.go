@@ -148,6 +148,9 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-report", "nope", "-limit", "10"}, &buf); err == nil {
 		t.Error("unknown report should fail")
 	}
+	if err := run([]string{"-resume", "-limit", "10"}, &buf); err == nil {
+		t.Error("-resume without -checkpoint should fail")
+	}
 	if err := run([]string{"-server", "zzz"}, &buf); err == nil {
 		t.Error("unknown server should fail")
 	}
@@ -156,6 +159,61 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run([]string{"-bogusflag"}, &buf); err == nil {
 		t.Error("bad flag should fail")
+	}
+}
+
+// TestRunUnknownReportFailsFast: a typo in -report must be rejected
+// before the campaign runs, listing the valid modes — not fall back to
+// a default report or error only after minutes of work.
+func TestRunUnknownReportFailsFast(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-report", "talbe3"}, &buf) // note: no -limit — validation must precede the campaign
+	if err == nil {
+		t.Fatal("unknown report should fail")
+	}
+	for _, want := range []string{"talbe3", "valid modes", "table3", "maturity", "markdown"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("unknown report still printed output:\n%s", buf.String())
+	}
+}
+
+// TestRunCheckpointResume is the CLI-level resume acceptance check: a
+// checkpointed run, a resume replaying it in full, and a plain clean
+// run must print byte-identical reports.
+func TestRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-limit", "40", "-workers", "4", "-report", "table3"}
+	var clean, checkpointed, resumed bytes.Buffer
+	if err := run(args, &clean); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if err := run(append([]string{"-checkpoint", dir}, args...), &checkpointed); err != nil {
+		t.Fatalf("checkpointed run: %v", err)
+	}
+	if checkpointed.String() != clean.String() {
+		t.Error("checkpointed run output differs from clean run")
+	}
+	// Resume at a different worker count: full replay, identical report.
+	resumeArgs := []string{"-checkpoint", dir, "-resume", "-limit", "40", "-workers", "1", "-report", "table3"}
+	if err := run(resumeArgs, &resumed); err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if resumed.String() != clean.String() {
+		t.Errorf("resumed run output differs from clean run:\n--- clean ---\n%s--- resumed ---\n%s",
+			clean.String(), resumed.String())
+	}
+	// Reusing the journal directory without -resume must refuse.
+	var buf bytes.Buffer
+	if err := run(append([]string{"-checkpoint", dir}, args...), &buf); err == nil {
+		t.Error("fresh -checkpoint into a used directory should fail")
+	}
+	// Resuming under a different configuration must refuse.
+	if err := run([]string{"-checkpoint", dir, "-resume", "-limit", "60", "-report", "table3"}, &buf); err == nil {
+		t.Error("resume with a different -limit should fail")
 	}
 }
 

@@ -270,6 +270,12 @@ type Result struct {
 }
 
 // Config parameterizes a campaign run.
+//
+// Prefer constructing runners through New with functional options
+// (options.go) — that is the stable public surface, and new knobs land
+// there first. Populating Config directly and calling NewRunner keeps
+// working for existing callers, but field-by-field struct poking is a
+// compatibility path, not the recommended one.
 type Config struct {
 	// Servers and Clients select the frameworks under test; nil means
 	// the full sets of the study.
@@ -324,6 +330,28 @@ type Config struct {
 	// registry built with obs.NewRegistryWithClock and a frozen clock to
 	// make latency histograms deterministic (the determinism tests do).
 	Obs *obs.Registry
+	// Checkpoint, when non-empty, makes the run durable: every completed
+	// cell — a service's description step plus all of its client tests —
+	// is appended to a JSONL journal in this directory as it completes,
+	// with periodic atomic snapshot compaction (internal/journal,
+	// DESIGN.md §9). An interrupted run — context cancellation, or
+	// SIGINT/SIGTERM through cmd/interop — drains its in-flight workers,
+	// flushes the journal, and leaves resumable state. A directory that
+	// already holds checkpoint state is refused unless Resume is set.
+	Checkpoint string
+	// Resume replays the cells journaled under Checkpoint instead of
+	// re-executing them. The resumed Result — including dedup statistics
+	// and metrics counters — is identical to an uninterrupted run's
+	// (TestResumeEquivalenceFull proves this at full scale). The journal
+	// must have been written by the same campaign configuration: roster,
+	// limit, variant, style, and ablation knobs are fingerprinted and a
+	// mismatch is refused. Worker count is deliberately not part of the
+	// fingerprint. Resume without Checkpoint is an error.
+	Resume bool
+
+	// checkpointProbe, when non-nil, observes every durable journal
+	// append — test instrumentation for kill-point injection.
+	checkpointProbe func(appended int)
 }
 
 // Runner executes campaigns.
@@ -343,6 +371,9 @@ type Runner struct {
 	// caches its instruments for the hot paths.
 	obs *obs.Registry
 	met *runnerMetrics
+	// ckpt is the open journal of the current Run when Config.Checkpoint
+	// is set (checkpoint.go); nil otherwise.
+	ckpt *checkpointState
 }
 
 // NewRunner builds a runner from the configuration.
@@ -413,7 +444,7 @@ func (r *Runner) Publish(ctx context.Context, server framework.ServerFramework) 
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				slots[i] = r.publishOne(server, defs[i])
+				slots[i] = r.publishOne(ctx, server, defs[i])
 			}
 		}()
 	}
@@ -444,11 +475,14 @@ feed:
 }
 
 // publishSlot is the outcome of the description step for one service
-// definition: rejected (ok=false), published, or errored.
+// definition: rejected (ok=false), published, or errored. mode and
+// verified record the route taken, for the cell journal.
 type publishSlot struct {
-	ok  bool
-	svc PublishedService
-	err error
+	ok       bool
+	svc      PublishedService
+	err      error
+	mode     recordMode
+	verified bool
 }
 
 // checkDoc runs the WS-I compliance check under the stage timer.
@@ -507,10 +541,19 @@ func (r *Runner) workers() int {
 // when the runner attached one (Config.Reparse selects the byte-level
 // path instead).
 func RunTest(client framework.ClientFramework, svc PublishedService) TestResult {
-	return runTest(client, &svc, false, nil)
+	return RunTestContext(context.Background(), client, svc)
 }
 
-func runTest(client framework.ClientFramework, svc *PublishedService, reparse bool, m *runnerMetrics) TestResult {
+// RunTestContext is RunTest with a caller-supplied context, for parity
+// with the context-first transport APIs. The generation and
+// compilation steps are in-process and run to completion — a started
+// test is never torn mid-step, which is what makes a drained service a
+// journalable (resumable) unit.
+func RunTestContext(ctx context.Context, client framework.ClientFramework, svc PublishedService) TestResult {
+	return runTest(ctx, client, &svc, false, nil)
+}
+
+func runTest(_ context.Context, client framework.ClientFramework, svc *PublishedService, reparse bool, m *runnerMetrics) TestResult {
 	t := TestResult{Server: svc.Server, Client: client.Name(), Class: svc.Class}
 	start := m.now()
 	gen := generationFor(client, svc, reparse)
@@ -547,7 +590,28 @@ func generationFor(client framework.ClientFramework, svc *PublishedService, repa
 // deterministic per-server merge then re-establishes the aggregate, so
 // the Result is identical to a sequential run regardless of worker
 // count or scheduling.
+//
+// With Config.Checkpoint set the run is durable: completed cells are
+// journaled as they finish, cancellation drains in-flight work and
+// flushes the journal before returning ctx.Err(), and a later run with
+// Config.Resume replays the journal into an identical Result
+// (checkpoint.go, DESIGN.md §9).
 func (r *Runner) Run(ctx context.Context) (*Result, error) {
+	if err := r.openCheckpoint(); err != nil {
+		return nil, err
+	}
+	res, err := r.runCampaign(ctx)
+	if cerr := r.closeCheckpoint(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runCampaign is Run's body, bracketed by the checkpoint lifecycle.
+func (r *Runner) runCampaign(ctx context.Context) (*Result, error) {
 	res := newResult(r)
 	before := r.dedup.snapshot()
 	for _, server := range r.servers {
@@ -605,8 +669,18 @@ func newResult(r *Runner) *Result {
 // its shard, so per-service classification happens exactly once with
 // all client results visible.
 type svcState struct {
-	svc       PublishedService
-	results   []TestResult
+	svc     PublishedService
+	results []TestResult
+	// ran records, per client slot, whether the test actually executed
+	// (as opposed to being served by the shape memo) — the distinction
+	// the cell journal persists so resume reconstructs memo state and
+	// counters exactly. Written under the same last-test ordering as
+	// results.
+	ran []bool
+	// mode and verified record the service's publish route for the
+	// journal (checkpoint.go).
+	mode      recordMode
+	verified  bool
 	remaining atomic.Int32
 }
 
@@ -690,6 +764,47 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 		prog = &progress{fn: r.cfg.Progress, stage: server.Name(), total: len(defs)}
 	}
 
+	// Resume: re-seed the shape memo table from the journal, then
+	// serially replay every journaled cell into a dedicated shard
+	// before the streaming pool starts. The executed remainder then
+	// takes exactly the paths the interrupted run would have taken.
+	plan := r.replayPlan(server, defs)
+	var replayShard *shard
+	if plan != nil {
+		if err := r.seedMemoFromJournal(server, defs, plan); err != nil {
+			return err
+		}
+		replayShard = &shard{
+			clients: make([]ClientSummary, len(r.clients)),
+			cells:   make([]Cell, len(r.clients)),
+		}
+		for i := range defs {
+			rec, ok := plan[i]
+			if !ok {
+				continue
+			}
+			st, err := r.replayService(rec)
+			if err != nil {
+				return err
+			}
+			r.ckpt.resumed.Inc()
+			if st != nil {
+				states[i] = st
+				fails := r.foldService(st, replayShard)
+				if failures != nil {
+					failures[i] = fails
+				}
+			}
+			prog.serviceDone()
+		}
+		r.obs.Emit(obs.Event{
+			Trace:  obs.TraceID(server.Name(), "resume"),
+			Stage:  "resume",
+			Server: server.Name(),
+			Detail: fmt.Sprintf("%d cells replayed from journal", len(plan)),
+		})
+	}
+
 	shards := make([]*shard, workers)
 	pubCh := make(chan int)
 	testCh := make(chan testJob, workers*len(r.clients))
@@ -706,14 +821,20 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 		testWG.Add(1)
 		go func() {
 			defer testWG.Done()
+			// Cancellation drains rather than abandons: testCh is read to
+			// exhaustion so every service whose tests were enqueued
+			// completes, folds, and is journaled — the resumable boundary.
 			for j := range testCh {
 				r.met.queueDepth.Add(-1)
-				j.st.results[j.cli] = r.testFor(&j.st.svc, j.cli)
+				res, ran := r.testFor(ctx, &j.st.svc, j.cli)
+				j.st.results[j.cli] = res
+				j.st.ran[j.cli] = ran
 				if j.st.remaining.Add(-1) == 0 {
 					fails := r.foldService(j.st, sh)
 					if failures != nil {
 						failures[j.svcIdx] = fails
 					}
+					r.journalService(j.st)
 					prog.serviceDone()
 				}
 			}
@@ -724,16 +845,23 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 		go func() {
 			defer pubWG.Done()
 			for i := range pubCh {
-				slot := r.publishOne(server, defs[i])
+				slot := r.publishOne(ctx, server, defs[i])
 				switch {
 				case slot.err != nil:
 					pubErrs[i] = slot.err
 					prog.serviceDone()
 				case !slot.ok:
 					// Not deployable: resolved with no client tests.
+					r.journalRejected(server, defs[i], slot)
 					prog.serviceDone()
 				default:
-					st := &svcState{svc: slot.svc, results: make([]TestResult, len(r.clients))}
+					st := &svcState{
+						svc:      slot.svc,
+						mode:     slot.mode,
+						verified: slot.verified,
+						results:  make([]TestResult, len(r.clients)),
+						ran:      make([]bool, len(r.clients)),
+					}
 					st.remaining.Store(int32(len(r.clients)))
 					states[i] = st
 					// Feed the tests straight into the streaming pool;
@@ -750,6 +878,9 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 
 feed:
 	for i := range defs {
+		if _, replayed := plan[i]; replayed {
+			continue
+		}
 		select {
 		case <-ctx.Done():
 			break feed
@@ -767,6 +898,9 @@ feed:
 		if perr != nil {
 			return fmt.Errorf("publish on %s: %w", server.Name(), perr)
 		}
+	}
+	if replayShard != nil {
+		shards = append(shards, replayShard)
 	}
 	r.mergeServer(res, server.Name(), len(defs), states, shards, failures)
 	r.obs.Emit(obs.Event{

@@ -1,0 +1,463 @@
+package campaign
+
+// This file wires the durable checkpoint store (internal/journal) into
+// the campaign runner: recording one journal record per completed cell
+// from a single writer goroutine, and — on resume — replaying
+// journaled cells into the deterministic merge instead of re-executing
+// them (DESIGN.md §9).
+//
+// The replay contract is exact equivalence: a resumed run's Result,
+// dedup statistics, and metrics counters are identical to an
+// uninterrupted run's. Two properties carry that:
+//
+//   - Every record stores its publish route (recordMode) and, per
+//     client, whether the test actually executed or was served by the
+//     shape memo, so replay re-applies the precise counter and
+//     histogram contributions the original execution made.
+//
+//   - The shape memo table is re-seeded from the journal before the
+//     executed remainder starts (seedMemoFromJournal), so remaining
+//     classes take exactly the memo paths they would have taken had
+//     the run never stopped. The counter totals are invariant under
+//     *which* class of a shape happens to be the builder: the builder
+//     contributes shapes+1 plus the full publish metrics, and every
+//     other same-shape class contributes one memo hit — so a shape
+//     whose builder record was lost is simply rebuilt by the first
+//     executing class, with identical totals.
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"wsinterop/internal/framework"
+	"wsinterop/internal/journal"
+	"wsinterop/internal/obs"
+	"wsinterop/internal/services"
+	"wsinterop/internal/shape"
+)
+
+// recordMode is the publish route a cell took, mirroring the branches
+// of publishOne. Replay dispatches on it to re-apply the route's exact
+// counter contributions.
+type recordMode uint8
+
+const (
+	modeUnknown recordMode = iota
+	modeDirect              // memo layer off (Config.NoDedup)
+	modeFallback            // class failed the shape.Memoizable guard
+	modeBuilt               // first-seen class of its shape: full per-class path
+	modeMemoRejected        // memoized NotDeployable outcome
+	modeMemoFallback        // shape failed template verification: per-class path
+	modeMemoized            // rendered from the shape's verified template
+)
+
+var modeIDs = map[recordMode]string{
+	modeDirect:       "direct",
+	modeFallback:     "fallback",
+	modeBuilt:        "built",
+	modeMemoRejected: "memo-rejected",
+	modeMemoFallback: "memo-fallback",
+	modeMemoized:     "memoized",
+}
+
+func (m recordMode) id() string { return modeIDs[m] }
+
+func parseMode(s string) (recordMode, error) {
+	for m, id := range modeIDs {
+		if id == s {
+			return m, nil
+		}
+	}
+	return modeUnknown, fmt.Errorf("unknown publish mode %q", s)
+}
+
+// memoRouted reports whether a record's client tests went through the
+// shape memo (testFor's memo branch): the shape's verified builder and
+// every template-rendered clone.
+func memoRouted(rec *journal.Record) bool {
+	return rec.Mode == modeMemoized.id() || (rec.Mode == modeBuilt.id() && rec.Verified)
+}
+
+// cellTrace is the journal key of one service cell.
+func cellTrace(server, class string) string { return obs.TraceID(server, class) }
+
+// checkpointState is one Run's open journal plus the serial writer
+// goroutine that owns every append.
+type checkpointState struct {
+	j      *journal.Journal
+	loaded map[string]journal.Record // resume: trace → journaled cell
+	ch     chan journal.Record
+	wg     sync.WaitGroup
+	err    error // writer-goroutine only until wg.Wait
+
+	resumed  *obs.Counter // journal.cells.resumed
+	executed *obs.Counter // journal.cells.executed
+}
+
+// checkpointFingerprint content-addresses everything that shapes the
+// cell set and its outcomes. Workers and KeepFailures are deliberately
+// excluded: a journal written at one worker count resumes at any
+// other, which the equivalence tests exercise.
+func (r *Runner) checkpointFingerprint() string {
+	parts := []string{
+		"wsinterop-campaign-v1",
+		"limit=" + strconv.Itoa(r.cfg.Limit),
+		"reparse=" + strconv.FormatBool(r.cfg.Reparse),
+		"nodedup=" + strconv.FormatBool(r.cfg.NoDedup),
+		"variant=" + strconv.Itoa(int(r.cfg.Variant)),
+		"style=" + string(r.cfg.Style),
+		"custom-catalog=" + strconv.FormatBool(r.cfg.CatalogFor != nil),
+	}
+	for _, s := range r.servers {
+		parts = append(parts, "server="+s.Name())
+	}
+	for _, c := range r.clients {
+		parts = append(parts, "client="+c.Name())
+	}
+	return obs.TraceID(parts...)
+}
+
+// openCheckpoint opens the journal configured by Config.Checkpoint (a
+// no-op without one) and starts the serial writer goroutine.
+func (r *Runner) openCheckpoint() error {
+	if r.cfg.Checkpoint == "" {
+		if r.cfg.Resume {
+			return fmt.Errorf("campaign: Resume requires a Checkpoint directory")
+		}
+		return nil
+	}
+	meta := journal.Meta{Fingerprint: r.checkpointFingerprint()}
+	j, err := journal.Open(r.cfg.Checkpoint, meta, r.cfg.Resume)
+	if err != nil {
+		return err
+	}
+	j.AfterAppend = r.cfg.checkpointProbe
+	cs := &checkpointState{
+		j:        j,
+		ch:       make(chan journal.Record, 256),
+		resumed:  r.obs.Counter("journal.cells.resumed"),
+		executed: r.obs.Counter("journal.cells.executed"),
+	}
+	if r.cfg.Resume {
+		recs := j.Records()
+		cs.loaded = make(map[string]journal.Record, len(recs))
+		for _, rec := range recs {
+			cs.loaded[rec.Trace] = rec
+		}
+	}
+	cs.wg.Add(1)
+	go func() {
+		defer cs.wg.Done()
+		for rec := range cs.ch {
+			if cs.err != nil {
+				continue // keep draining so producers never block
+			}
+			cs.err = cs.j.Append(rec)
+		}
+	}()
+	r.ckpt = cs
+	return nil
+}
+
+// closeCheckpoint stops the writer, flushes, and closes the journal —
+// always called before Run returns, so an interrupted run exits with
+// every completed cell durable.
+func (r *Runner) closeCheckpoint() error {
+	cs := r.ckpt
+	if cs == nil {
+		return nil
+	}
+	r.ckpt = nil
+	close(cs.ch)
+	cs.wg.Wait()
+	if n := cs.j.Compactions(); n > 0 {
+		r.obs.Counter("journal.compactions").Add(int64(n))
+	}
+	err := cs.err
+	if cerr := cs.j.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// append hands one completed cell to the writer goroutine; nil-safe so
+// call sites need no checkpoint-enabled branch.
+func (cs *checkpointState) append(rec journal.Record) {
+	if cs == nil {
+		return
+	}
+	cs.executed.Inc()
+	cs.ch <- rec
+}
+
+// journalService records one fully tested service cell.
+func (r *Runner) journalService(st *svcState) {
+	if r.ckpt == nil {
+		return
+	}
+	svc := &st.svc
+	rec := journal.Record{
+		Trace:     cellTrace(svc.Server, svc.Class),
+		Server:    svc.Server,
+		Class:     svc.Class,
+		Mode:      st.mode.id(),
+		Published: true,
+		Verified:  st.verified,
+		Flagged:   svc.Flagged,
+		Compliant: svc.Compliant,
+		Tests:     make([]journal.TestRecord, len(r.clients)),
+	}
+	if st.mode == modeBuilt {
+		// Only builder records carry the document: resume re-splits the
+		// shape template from it, and clones re-render.
+		rec.Doc = svc.Doc
+	}
+	for ci := range r.clients {
+		t := &st.results[ci]
+		rec.Tests[ci] = journal.TestRecord{
+			Client:         r.clients[ci].Name(),
+			Ran:            st.ran[ci],
+			GenWarning:     t.Gen.Warning,
+			GenError:       t.Gen.Error,
+			CompileRan:     t.CompileRan,
+			CompileWarning: t.Compile.Warning,
+			CompileError:   t.Compile.Error,
+		}
+	}
+	r.ckpt.append(rec)
+}
+
+// journalRejected records a service the description step rejected —
+// also a completed cell: resume must not re-publish it.
+func (r *Runner) journalRejected(server framework.ServerFramework, def services.Definition, slot publishSlot) {
+	if r.ckpt == nil {
+		return
+	}
+	r.ckpt.append(journal.Record{
+		Trace:  cellTrace(server.Name(), def.Parameter.Name),
+		Server: server.Name(),
+		Class:  def.Parameter.Name,
+		Mode:   slot.mode.id(),
+	})
+}
+
+// replayPlan maps this stage's definition indexes to their journaled
+// cells; nil when nothing of this stage was journaled.
+func (r *Runner) replayPlan(server framework.ServerFramework, defs []services.Definition) map[int]journal.Record {
+	cs := r.ckpt
+	if cs == nil || len(cs.loaded) == 0 {
+		return nil
+	}
+	plan := make(map[int]journal.Record)
+	for i := range defs {
+		if rec, ok := cs.loaded[cellTrace(server.Name(), defs[i].Parameter.Name)]; ok {
+			plan[i] = rec
+		}
+	}
+	if len(plan) == 0 {
+		return nil
+	}
+	return plan
+}
+
+// seedMemoFromJournal reconstructs the shape memo table state the
+// journaled cells had established. Builder records rebuild their full
+// entry — template re-split from the journaled document and
+// re-verified byte-for-byte, once consumed so no executing class
+// rebuilds (and double-counts) the shape. Memo-routed records whose
+// builder was not journaled get a skeleton entry (once untouched), so
+// the first executing class becomes the builder exactly as some class
+// was in the interrupted run. Journaled Ran outcomes seed the
+// per-client test memo slots, so each (shape, client) test executes at
+// most once across the whole resumed campaign.
+func (r *Runner) seedMemoFromJournal(server framework.ServerFramework, defs []services.Definition, plan map[int]journal.Record) error {
+	if !r.dedupOn() {
+		return nil
+	}
+	entryFor := func(key shapeKey, e *shapeEntry) *shapeEntry {
+		r.dedup.mu.Lock()
+		defer r.dedup.mu.Unlock()
+		if cur := r.dedup.entries[key]; cur != nil {
+			return cur
+		}
+		r.dedup.entries[key] = e
+		return e
+	}
+	// Pass 1: full entries from builder records (at most one per shape
+	// in any journal, since a session only builds unseeded shapes).
+	for i, rec := range plan {
+		if rec.Mode != modeBuilt.id() || !shape.Memoizable(defs[i]) {
+			continue
+		}
+		key := shapeKey{server: server.Name(), fp: shape.Of(defs[i])}
+		e := &shapeEntry{tests: make([]testMemo, len(r.clients))}
+		e.once.Do(func() {})
+		switch {
+		case !rec.Published:
+			e.rejected = true
+		default:
+			e.flagged, e.compliant = rec.Flagged, rec.Compliant
+			if rec.Verified {
+				if len(rec.Doc) == 0 {
+					return fmt.Errorf("campaign: journal record %s (%s on %s): verified builder without a document", rec.Trace, rec.Class, rec.Server)
+				}
+				e.tmpl = r.splitShape(server, defs[i], rec.Doc)
+				if e.tmpl == nil {
+					return fmt.Errorf("campaign: journal record %s (%s on %s): shape template no longer reproduces the journaled document", rec.Trace, rec.Class, rec.Server)
+				}
+				e.rep = PublishedService{
+					Server:    rec.Server,
+					Class:     rec.Class,
+					Doc:       rec.Doc,
+					Flagged:   rec.Flagged,
+					Compliant: rec.Compliant,
+					analysis:  &sharedAnalysis{},
+					memo:      e,
+				}
+			}
+		}
+		entryFor(key, e)
+	}
+	// Pass 2: seed executed test outcomes from every memo-routed record.
+	for i, rec := range plan {
+		if !rec.Published || !memoRouted(&rec) {
+			continue
+		}
+		if len(rec.Tests) != len(r.clients) {
+			return fmt.Errorf("campaign: journal record %s: %d client tests, roster has %d", rec.Trace, len(rec.Tests), len(r.clients))
+		}
+		key := shapeKey{server: server.Name(), fp: shape.Of(defs[i])}
+		e := entryFor(key, &shapeEntry{tests: make([]testMemo, len(r.clients))})
+		for ci := range rec.Tests {
+			tr := rec.Tests[ci]
+			if tr.Client != r.clients[ci].Name() {
+				return fmt.Errorf("campaign: journal record %s: test %d is for client %q, roster has %q", rec.Trace, ci, tr.Client, r.clients[ci].Name())
+			}
+			if !tr.Ran {
+				continue
+			}
+			tm := &e.tests[ci]
+			res := testResultFrom(&rec, tr)
+			tm.once.Do(func() { tm.res = res })
+		}
+	}
+	return nil
+}
+
+// testResultFrom rehydrates one classified test outcome.
+func testResultFrom(rec *journal.Record, tr journal.TestRecord) TestResult {
+	return TestResult{
+		Server:     rec.Server,
+		Client:     tr.Client,
+		Class:      rec.Class,
+		Gen:        Outcome{Warning: tr.GenWarning, Error: tr.GenError},
+		Compile:    Outcome{Warning: tr.CompileWarning, Error: tr.CompileError},
+		CompileRan: tr.CompileRan,
+	}
+}
+
+// replayService re-applies one journaled cell: the exact counter and
+// histogram contributions its original execution made (stage latencies
+// observe zero, matching a frozen-clock run), and the reconstructed
+// per-client results for the deterministic fold. Returns nil state for
+// a cell rejected at the description step.
+func (r *Runner) replayService(rec journal.Record) (*svcState, error) {
+	mode, err := parseMode(rec.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: journal record %s: %w", rec.Trace, err)
+	}
+	m, d := r.met, r.dedup
+	m.publishTotal.Inc()
+	switch mode {
+	case modeDirect:
+		r.replayDirectPublish(&rec)
+	case modeFallback:
+		d.fallbacks.Add(1)
+		m.publishFallback.Inc()
+		r.replayDirectPublish(&rec)
+	case modeBuilt:
+		d.pubTotal.Add(1)
+		d.shapes.Add(1)
+		r.replayDirectPublish(&rec)
+	case modeMemoFallback:
+		d.pubTotal.Add(1)
+		d.fallbacks.Add(1)
+		m.publishFallback.Inc()
+		r.replayDirectPublish(&rec)
+	case modeMemoRejected, modeMemoized:
+		d.pubTotal.Add(1)
+		d.pubHits.Add(1)
+		m.publishMemoized.Inc()
+	}
+	if !rec.Published {
+		return nil, nil
+	}
+	if len(rec.Tests) != len(r.clients) {
+		return nil, fmt.Errorf("campaign: journal record %s: %d client tests, roster has %d", rec.Trace, len(rec.Tests), len(r.clients))
+	}
+	memoed := memoRouted(&rec)
+	st := &svcState{
+		svc: PublishedService{
+			Server:    rec.Server,
+			Class:     rec.Class,
+			Doc:       rec.Doc,
+			Flagged:   rec.Flagged,
+			Compliant: rec.Compliant,
+			analysis:  &sharedAnalysis{},
+		},
+		mode:     mode,
+		verified: rec.Verified,
+		results:  make([]TestResult, len(r.clients)),
+		ran:      make([]bool, len(r.clients)),
+	}
+	for ci := range rec.Tests {
+		tr := rec.Tests[ci]
+		if tr.Client != r.clients[ci].Name() {
+			return nil, fmt.Errorf("campaign: journal record %s: test %d is for client %q, roster has %q", rec.Trace, ci, tr.Client, r.clients[ci].Name())
+		}
+		m.testTotal.Inc()
+		if memoed {
+			d.testTotal.Add(1)
+			if tr.Ran {
+				d.testRuns.Add(1)
+			} else {
+				m.testMemoized.Inc()
+			}
+		}
+		if tr.Ran {
+			m.genSeconds.Observe(0)
+			m.genRuns.Inc()
+			if tr.GenError {
+				m.genErrors.Inc()
+			}
+			if tr.CompileRan {
+				m.compileSeconds.Observe(0)
+				m.compileRuns.Inc()
+				if tr.CompileError {
+					m.compileErrors.Inc()
+				}
+			}
+		}
+		st.results[ci] = testResultFrom(&rec, tr)
+		st.ran[ci] = tr.Ran
+	}
+	return st, nil
+}
+
+// replayDirectPublish re-applies the publishDirect / buildShape
+// metric contributions: a publish latency observation always, and the
+// WS-I check when the document was published.
+func (r *Runner) replayDirectPublish(rec *journal.Record) {
+	m := r.met
+	m.publishSeconds.Observe(0)
+	if !rec.Published {
+		m.publishRejected.Inc()
+		return
+	}
+	m.wsiSeconds.Observe(0)
+	m.wsiChecks.Inc()
+	if rec.Flagged {
+		m.wsiFlagged.Inc()
+	}
+}

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -158,16 +159,24 @@ func (r *Runner) shapeFor(server framework.ServerFramework, def services.Definit
 }
 
 // publishOne runs the description step for one service definition,
-// through the shape memo when it applies.
-func (r *Runner) publishOne(server framework.ServerFramework, def services.Definition) (s publishSlot) {
+// through the shape memo when it applies. The returned slot carries
+// the route taken (recordMode) so the cell journal can replay the
+// exact same counter contributions on resume; ctx is threaded from the
+// publish workers for parity with the transport APIs (in-process
+// publishing runs to completion — the drain contract).
+func (r *Runner) publishOne(_ context.Context, server framework.ServerFramework, def services.Definition) (s publishSlot) {
 	r.met.publishTotal.Inc()
 	if !r.dedupOn() {
-		return r.publishDirect(server, def)
+		s = r.publishDirect(server, def)
+		s.mode = modeDirect
+		return s
 	}
 	if !shape.Memoizable(def) {
 		r.dedup.fallbacks.Add(1)
 		r.met.publishFallback.Inc()
-		return r.publishDirect(server, def)
+		s = r.publishDirect(server, def)
+		s.mode = modeFallback
+		return s
 	}
 	r.dedup.pubTotal.Add(1)
 	e := r.shapeFor(server, def)
@@ -178,12 +187,15 @@ func (r *Runner) publishOne(server framework.ServerFramework, def services.Defin
 		s = r.buildShape(e, server, def)
 	})
 	if built {
+		s.mode = modeBuilt
+		s.verified = e.tmpl != nil
 		return s
 	}
 	switch {
 	case e.rejected:
 		r.dedup.pubHits.Add(1)
 		r.met.publishMemoized.Inc()
+		s.mode = modeMemoRejected
 		return s
 	case e.err != nil:
 		r.dedup.pubHits.Add(1)
@@ -194,18 +206,23 @@ func (r *Runner) publishOne(server framework.ServerFramework, def services.Defin
 		// The shape failed template verification: per-class path.
 		r.dedup.fallbacks.Add(1)
 		r.met.publishFallback.Inc()
-		return r.publishDirect(server, def)
+		s = r.publishDirect(server, def)
+		s.mode = modeMemoFallback
+		return s
 	}
 	raw, err := e.tmpl.Render(shape.Vars(def))
 	if err != nil {
 		// Unreachable (slot arity is fixed); stay correct regardless.
 		r.dedup.fallbacks.Add(1)
 		r.met.publishFallback.Inc()
-		return r.publishDirect(server, def)
+		s = r.publishDirect(server, def)
+		s.mode = modeMemoFallback
+		return s
 	}
 	r.dedup.pubHits.Add(1)
 	r.met.publishMemoized.Inc()
 	s.ok = true
+	s.mode = modeMemoized
 	s.svc = PublishedService{
 		Server:    server.Name(),
 		Class:     def.Parameter.Name,
@@ -291,12 +308,15 @@ func (r *Runner) splitShape(server framework.ServerFramework, def services.Defin
 // from the shape memo when the service carries a verified entry. The
 // memoized outcome is computed by whichever same-shape service
 // reaches the client first; clones rewrite only the class name, which
-// is the sole name-dependent field of TestResult.
-func (r *Runner) testFor(svc *PublishedService, ci int) TestResult {
+// is the sole name-dependent field of TestResult. The second return
+// value reports whether the test actually executed (false when the
+// memo served it) — the distinction the cell journal persists so
+// resume can re-seed memo slots without double-running tests.
+func (r *Runner) testFor(ctx context.Context, svc *PublishedService, ci int) (TestResult, bool) {
 	r.met.testTotal.Inc()
 	e := svc.memo
 	if e == nil {
-		return runTest(r.clients[ci], svc, r.cfg.Reparse, r.met)
+		return runTest(ctx, r.clients[ci], svc, r.cfg.Reparse, r.met), true
 	}
 	r.dedup.testTotal.Add(1)
 	tm := &e.tests[ci]
@@ -304,12 +324,12 @@ func (r *Runner) testFor(svc *PublishedService, ci int) TestResult {
 	tm.once.Do(func() {
 		ran = true
 		r.dedup.testRuns.Add(1)
-		tm.res = runTest(r.clients[ci], &e.rep, r.cfg.Reparse, r.met)
+		tm.res = runTest(ctx, r.clients[ci], &e.rep, r.cfg.Reparse, r.met)
 	})
 	if !ran {
 		r.met.testMemoized.Inc()
 	}
 	res := tm.res
 	res.Class = svc.Class
-	return res
+	return res, ran
 }

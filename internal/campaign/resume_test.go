@@ -1,0 +1,414 @@
+package campaign
+
+// Tests for the durable checkpoint/resume engine (checkpoint.go,
+// internal/journal): a campaign killed at any journaled boundary and
+// resumed must produce a byte-identical Result, DeepEqual dedup stats,
+// and DeepEqual metrics counters/histograms versus an uninterrupted
+// run — at any worker count on either side of the kill.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wsinterop/internal/obs"
+)
+
+// resumeConfig is the campaign configuration under test. KeepFailures
+// exercises the failure-index path through replay; the frozen-clock
+// registry makes histograms comparable.
+func resumeConfig(limit, workers int) Config {
+	return Config{Limit: limit, Workers: workers, KeepFailures: true, Obs: frozenRegistry()}
+}
+
+// interruptAt runs a checkpointed campaign that cancels its context
+// once the journal holds killAt records — the cooperative-drain
+// equivalent of SIGINT at that boundary. killAt 0 cancels before any
+// cell; killAt < 0 lets the run complete (the 100% journal case).
+func interruptAt(t *testing.T, cfg Config, dir string, killAt int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg.Checkpoint = dir
+	switch {
+	case killAt == 0:
+		cancel()
+	case killAt > 0:
+		cfg.checkpointProbe = func(appended int) {
+			if appended == killAt {
+				cancel()
+			}
+		}
+	}
+	res, err := NewRunner(cfg).Run(ctx)
+	if killAt < 0 {
+		if err != nil {
+			t.Fatalf("uninterrupted checkpointed run: %v", err)
+		}
+		if res == nil {
+			t.Fatal("uninterrupted checkpointed run returned nil result")
+		}
+		return
+	}
+	// A cancellation racing the end of the run may still complete; any
+	// other error is a failure. Either way the journal must be resumable.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	if killAt > 0 && err == nil {
+		t.Fatalf("run completed before reaching kill point %d", killAt)
+	}
+}
+
+// resume re-runs the campaign from the journal in dir and returns the
+// Result plus the resumed session's metrics snapshot.
+func resume(t *testing.T, cfg Config, dir string) (*Result, *obs.Snapshot) {
+	t.Helper()
+	cfg.Checkpoint, cfg.Resume = dir, true
+	reg := frozenRegistry()
+	cfg.Obs = reg
+	res, err := NewRunner(cfg).Run(context.Background())
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	return res, reg.Snapshot()
+}
+
+// resultBytes serializes a Result for byte comparison. Metrics is
+// excluded: it is compared structurally (minus journal bookkeeping) by
+// compareSnapshots, since journal.* counters exist only on
+// checkpointed runs.
+func resultBytes(t *testing.T, res *Result) []byte {
+	t.Helper()
+	clone := *res
+	clone.Metrics = nil
+	data, err := json.Marshal(&clone)
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return data
+}
+
+// stripJournal drops the journal.* bookkeeping counters: how many
+// cells were resumed versus executed necessarily differs between a
+// resumed and a clean run. Like gauges, they are attribution, not
+// campaign outcome, and sit outside the determinism contract.
+func stripJournal(counters []obs.CounterSnapshot) []obs.CounterSnapshot {
+	kept := make([]obs.CounterSnapshot, 0, len(counters))
+	for _, c := range counters {
+		if strings.HasPrefix(c.Name, "journal.") {
+			continue
+		}
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+func compareSnapshots(t *testing.T, label string, clean, resumed *obs.Snapshot) {
+	t.Helper()
+	if a, b := stripJournal(clean.Counters), stripJournal(resumed.Counters); !reflect.DeepEqual(a, b) {
+		t.Errorf("%s: counters differ:\nclean:   %+v\nresumed: %+v", label, a, b)
+	}
+	if !reflect.DeepEqual(clean.Histograms, resumed.Histograms) {
+		t.Errorf("%s: histograms differ:\nclean:   %+v\nresumed: %+v", label, clean.Histograms, resumed.Histograms)
+	}
+}
+
+// runResumeMatrix is the shared kill-point matrix: for each worker
+// count, interrupt at 0%, ~25%, ~75%, and 100% of the journal and
+// verify the resumed run reproduces the clean baseline exactly.
+func runResumeMatrix(t *testing.T, limit int) {
+	cleanCfg := resumeConfig(limit, 4)
+	cleanReg := cleanCfg.Obs
+	clean, err := NewRunner(cleanCfg).Run(context.Background())
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	cleanBytes := resultBytes(t, clean)
+	cleanSnap := cleanReg.Snapshot()
+	// One journal record per created service cell.
+	totalCells := clean.TotalServices
+
+	for _, workers := range []int{1, 8} {
+		for _, frac := range []float64{0, 0.25, 0.75, 1} {
+			killAt := int(frac * float64(totalCells))
+			if frac == 1 {
+				killAt = -1 // run to completion, resume replays everything
+			} else if frac > 0 && killAt == 0 {
+				killAt = 1
+			}
+			name := fmt.Sprintf("workers=%d/kill=%d%%", workers, int(frac*100))
+			t.Run(name, func(t *testing.T) {
+				dir := t.TempDir()
+				interruptAt(t, resumeConfig(limit, workers), dir, killAt)
+				res, snap := resume(t, resumeConfig(limit, workers), dir)
+
+				compareResults(t, clean, res)
+				if !reflect.DeepEqual(clean.Dedup, res.Dedup) {
+					t.Errorf("dedup stats differ:\nclean:   %+v\nresumed: %+v", clean.Dedup, res.Dedup)
+				}
+				if !reflect.DeepEqual(clean.Failures, res.Failures) {
+					t.Errorf("failure index differs: clean %d entries, resumed %d",
+						len(clean.Failures), len(res.Failures))
+				}
+				if got := resultBytes(t, res); string(got) != string(cleanBytes) {
+					t.Error("serialized Result is not byte-identical to the clean run")
+				}
+				compareSnapshots(t, name, cleanSnap, snap)
+			})
+		}
+	}
+}
+
+func TestResumeEquivalenceScaled(t *testing.T) {
+	runResumeMatrix(t, 150)
+}
+
+// TestResumeEquivalenceFull is the acceptance check at full study
+// scale: 22 024 service cells, killed at several journal sizes under
+// workers 1 and 8, resumed, and compared byte-for-byte.
+func TestResumeEquivalenceFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale resume equivalence skipped in -short mode")
+	}
+	cleanCfg := resumeConfig(0, 0)
+	clean, err := NewRunner(cleanCfg).Run(context.Background())
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if clean.TotalServices != 22024 {
+		t.Fatalf("TotalServices = %d, want the study's 22024", clean.TotalServices)
+	}
+	cleanBytes := resultBytes(t, clean)
+	cleanSnap := cleanCfg.Obs.Snapshot()
+	totalCells := clean.TotalServices
+
+	for _, workers := range []int{1, 8} {
+		for _, frac := range []float64{0.25, 0.75} {
+			killAt := int(frac * float64(totalCells))
+			name := fmt.Sprintf("workers=%d/kill=%d", workers, killAt)
+			t.Run(name, func(t *testing.T) {
+				dir := t.TempDir()
+				interruptAt(t, resumeConfig(0, workers), dir, killAt)
+				res, snap := resume(t, resumeConfig(0, workers), dir)
+				compareResults(t, clean, res)
+				if !reflect.DeepEqual(clean.Dedup, res.Dedup) {
+					t.Errorf("dedup stats differ:\nclean:   %+v\nresumed: %+v", clean.Dedup, res.Dedup)
+				}
+				if got := resultBytes(t, res); string(got) != string(cleanBytes) {
+					t.Error("serialized Result is not byte-identical to the clean run")
+				}
+				compareSnapshots(t, name, cleanSnap, snap)
+			})
+		}
+	}
+}
+
+// TestResumeSurvivesSecondInterruption kills a run, resumes, kills the
+// resumed run further in, and resumes again — journals written across
+// sessions must merge into one consistent store.
+func TestResumeSurvivesSecondInterruption(t *testing.T) {
+	const limit = 120
+	cleanCfg := resumeConfig(limit, 4)
+	clean, err := NewRunner(cleanCfg).Run(context.Background())
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	totalCells := clean.TotalServices
+
+	dir := t.TempDir()
+	interruptAt(t, resumeConfig(limit, 8), dir, totalCells/4)
+	// Second session: resume AND interrupt again deeper in.
+	{
+		cfg := resumeConfig(limit, 8)
+		cfg.Checkpoint, cfg.Resume = dir, true
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		cfg.checkpointProbe = func(appended int) {
+			// appended counts this session only; the journal already holds
+			// ~25%, so this lands around 75% overall.
+			if appended == totalCells/2 {
+				cancel()
+			}
+		}
+		if _, err := NewRunner(cfg).Run(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("second interruption: err = %v, want context.Canceled", err)
+		}
+	}
+	res, snap := resume(t, resumeConfig(limit, 2), dir)
+	compareResults(t, clean, res)
+	if !reflect.DeepEqual(clean.Dedup, res.Dedup) {
+		t.Errorf("dedup stats differ after double interruption:\nclean:   %+v\nresumed: %+v", clean.Dedup, res.Dedup)
+	}
+	compareSnapshots(t, "double-interruption", cleanCfg.Obs.Snapshot(), snap)
+}
+
+// TestResumeAfterTornJournalTail appends garbage to the journal (the
+// hard-kill torn-write scenario) and verifies resume still converges
+// to the clean Result: the torn cell is simply re-executed.
+func TestResumeAfterTornJournalTail(t *testing.T) {
+	const limit = 100
+	clean, err := NewRunner(resumeConfig(limit, 4)).Run(context.Background())
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	dir := t.TempDir()
+	interruptAt(t, resumeConfig(limit, 4), dir, clean.TotalServices/2)
+	path := filepath.Join(dir, "journal.jsonl")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatalf("open journal for tearing: %v", err)
+	}
+	if _, err := f.WriteString(`{"trace":"torn-mid-wri`); err != nil {
+		t.Fatalf("tear journal: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("close torn journal: %v", err)
+	}
+	res, _ := resume(t, resumeConfig(limit, 4), dir)
+	compareResults(t, clean, res)
+}
+
+// TestResumeChecksConfiguration: a journal must only resume under the
+// configuration that wrote it, and the CLI-facing misuse modes fail
+// loudly instead of corrupting state.
+func TestResumeChecksConfiguration(t *testing.T) {
+	dir := t.TempDir()
+	interruptAt(t, resumeConfig(60, 4), dir, 10)
+
+	cfg := resumeConfig(80, 4) // different Limit → different cell set
+	cfg.Checkpoint, cfg.Resume = dir, true
+	if _, err := NewRunner(cfg).Run(context.Background()); err == nil {
+		t.Error("resume under a different configuration should fail")
+	}
+
+	cfg = resumeConfig(60, 4) // same config, but no -resume
+	cfg.Checkpoint = dir
+	if _, err := NewRunner(cfg).Run(context.Background()); err == nil {
+		t.Error("fresh checkpoint into a used directory should fail")
+	}
+
+	cfg = resumeConfig(60, 4) // Resume without Checkpoint
+	cfg.Resume = true
+	if _, err := NewRunner(cfg).Run(context.Background()); err == nil {
+		t.Error("Resume without Checkpoint should fail")
+	}
+
+	// Worker count is intentionally outside the fingerprint: resuming a
+	// workers=4 journal at workers=1 must work (proven equivalent by the
+	// matrix tests; here just prove it is accepted).
+	okCfg := resumeConfig(60, 1)
+	okCfg.Checkpoint, okCfg.Resume = dir, true
+	if _, err := NewRunner(okCfg).Run(context.Background()); err != nil {
+		t.Errorf("resume at a different worker count: %v", err)
+	}
+}
+
+// TestResumeNoDedupAblation: the checkpoint layer must compose with
+// the shape-memo ablation — journaled direct cells replay without
+// touching memo state.
+func TestResumeNoDedupAblation(t *testing.T) {
+	cfg := resumeConfig(60, 4)
+	cfg.NoDedup = true
+	clean, err := NewRunner(cfg).Run(context.Background())
+	if err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	dir := t.TempDir()
+	killed := resumeConfig(60, 4)
+	killed.NoDedup = true
+	interruptAt(t, killed, dir, clean.TotalServices/2)
+	resumedCfg := resumeConfig(60, 4)
+	resumedCfg.NoDedup = true
+	res, _ := resume(t, resumedCfg, dir)
+	compareResults(t, clean, res)
+	if !reflect.DeepEqual(clean.Dedup, res.Dedup) {
+		t.Errorf("dedup stats differ: %+v vs %+v", clean.Dedup, res.Dedup)
+	}
+}
+
+// TestRunContextAndOptions covers the context-first package surface:
+// Run/RunContext wrappers and the functional-option constructor.
+func TestRunContextAndOptions(t *testing.T) {
+	res, err := Run(Config{Limit: 2, Workers: 2})
+	if err != nil {
+		t.Fatalf("package Run: %v", err)
+	}
+	if res.TotalTests == 0 {
+		t.Error("package Run produced an empty result")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, Config{Limit: 2}); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext with cancelled context: err = %v, want context.Canceled", err)
+	}
+
+	reg := frozenRegistry()
+	r := New(
+		WithLimit(2),
+		WithWorkers(2),
+		WithKeepFailures(),
+		WithObs(reg),
+	)
+	optRes, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatalf("New(...).Run: %v", err)
+	}
+	if optRes.TotalTests != res.TotalTests {
+		t.Errorf("option-built runner: %d tests, struct-built: %d", optRes.TotalTests, res.TotalTests)
+	}
+	if r.Obs() != reg {
+		t.Error("WithObs registry not installed")
+	}
+	if r.Metrics() == nil {
+		t.Error("Runner.Metrics returned nil")
+	}
+
+	// Checkpoint options round-trip through a real journaled run.
+	dir := t.TempDir()
+	if _, err := New(WithLimit(2), WithCheckpoint(dir)).Run(context.Background()); err != nil {
+		t.Fatalf("New with WithCheckpoint: %v", err)
+	}
+	res2, err := New(WithLimit(2), WithCheckpoint(dir), WithResume()).Run(context.Background())
+	if err != nil {
+		t.Fatalf("New with WithResume: %v", err)
+	}
+	if res2.TotalTests != res.TotalTests {
+		t.Errorf("resumed option runner: %d tests, want %d", res2.TotalTests, res.TotalTests)
+	}
+}
+
+// TestResumeEmitsEvents: a resumed run announces replayed stages on
+// the observability event stream.
+func TestResumeEmitsEvents(t *testing.T) {
+	dir := t.TempDir()
+	interruptAt(t, resumeConfig(40, 4), dir, 20)
+	cfg := resumeConfig(40, 4)
+	cfg.Checkpoint, cfg.Resume = dir, true
+	reg := cfg.Obs
+	if _, err := NewRunner(cfg).Run(context.Background()); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	found := false
+	for _, e := range reg.Events() {
+		if e.Stage == "resume" {
+			found = true
+			if !strings.Contains(e.Detail, "replayed from journal") {
+				t.Errorf("resume event detail = %q", e.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Error("no resume events emitted")
+	}
+	if reg.Counter("journal.cells.resumed").Value() == 0 {
+		t.Error("journal.cells.resumed counter is zero after a resume")
+	}
+}

@@ -1,0 +1,405 @@
+// Package journal is the campaign's durable checkpoint store: an
+// append-only JSONL journal of completed campaign cells, keyed by the
+// cell's content-addressed trace ID (obs.TraceID), plus a periodically
+// compacted atomic snapshot. A campaign run that is interrupted —
+// SIGINT, SIGTERM, preemption, crash — leaves a journal from which a
+// later run replays every completed cell instead of re-executing it,
+// and the replayed-plus-executed Result is byte-identical to an
+// uninterrupted run (internal/campaign, DESIGN.md §9).
+//
+// Durability model
+//
+//   - journal.jsonl: one JSON record per line, appended and flushed as
+//     each cell completes. The final line may be torn by a hard kill;
+//     Open drops an unparseable or newline-less final line and
+//     truncates the file back to the last valid record. A torn line
+//     anywhere else is corruption and refuses to load.
+//   - snapshot.jsonl: every CompactEvery appends, all records so far
+//     are rewritten to a temporary file, fsynced, and renamed over the
+//     snapshot — atomic on POSIX — after which journal.jsonl restarts
+//     empty. Load order is snapshot first, then journal (journal
+//     wins), so a kill at any instant leaves a loadable store.
+//   - meta.json: the campaign configuration fingerprint. Resuming
+//     under a different configuration (roster, limit, variant, memo
+//     ablations) is refused rather than silently merging
+//     incompatible cells.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+const (
+	journalFile  = "journal.jsonl"
+	snapshotFile = "snapshot.jsonl"
+	metaFile     = "meta.json"
+
+	// Version is the record schema version stamped into meta.json.
+	Version = 1
+
+	// DefaultCompactEvery is the append count between snapshot
+	// compactions.
+	DefaultCompactEvery = 4096
+)
+
+// ErrExists reports that a checkpoint directory already holds state
+// and the caller did not ask to resume. Refusing protects a completed
+// or interrupted run's journal from accidental truncation.
+var ErrExists = errors.New("journal: checkpoint state already exists (resume it, or point at an empty directory)")
+
+// ErrFingerprint reports a resume attempt under a configuration that
+// does not match the one the journal was written with.
+var ErrFingerprint = errors.New("journal: checkpoint was written by a different campaign configuration")
+
+// Meta identifies the run a journal belongs to.
+type Meta struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// TestRecord is one client framework's classified outcome within a
+// service cell. Ran distinguishes a test the run actually executed
+// from one served by the structural-shape memo; resume replays the
+// same distinction so memo statistics and stage counters reconstruct
+// exactly.
+type TestRecord struct {
+	Client         string `json:"client"`
+	Ran            bool   `json:"ran,omitempty"`
+	GenWarning     bool   `json:"genW,omitempty"`
+	GenError       bool   `json:"genE,omitempty"`
+	CompileRan     bool   `json:"compileRan,omitempty"`
+	CompileWarning bool   `json:"compileW,omitempty"`
+	CompileError   bool   `json:"compileE,omitempty"`
+}
+
+// Record is one completed campaign cell: a (server, class) service
+// that finished the description step — published or rejected — and,
+// when published, every client test against it. Trace is the cell's
+// content-addressed ID (obs.TraceID(server, class)); Mode is the
+// campaign's publish route (direct, fallback, built, memo-rejected,
+// memo-fallback, memoized) so replay reconstructs memo statistics and
+// the shape table; Doc carries the serialized WSDL only for Mode
+// "built" records, where it seeds the shape template on resume.
+type Record struct {
+	Trace     string       `json:"trace"`
+	Server    string       `json:"server"`
+	Class     string       `json:"class"`
+	Mode      string       `json:"mode"`
+	Published bool         `json:"published,omitempty"`
+	Verified  bool         `json:"verified,omitempty"`
+	Flagged   bool         `json:"flagged,omitempty"`
+	Compliant bool         `json:"compliant,omitempty"`
+	Doc       []byte       `json:"doc,omitempty"`
+	Tests     []TestRecord `json:"tests,omitempty"`
+}
+
+// Journal is an open checkpoint store. Append must be serialized by
+// the caller (the campaign writes from a single goroutine); the other
+// methods are not safe for concurrent use either.
+type Journal struct {
+	dir     string
+	f       *os.File
+	w       *bufio.Writer
+	records map[string]Record
+	order   []string // trace IDs in first-seen order
+
+	// CompactEvery is the number of appends between snapshot
+	// compactions; set it before the first Append to override
+	// DefaultCompactEvery.
+	CompactEvery int
+	// AfterAppend, when non-nil, observes every durable append with
+	// the total number of appends this session — the campaign's
+	// kill-point test hook.
+	AfterAppend func(total int)
+
+	appended     int
+	sinceCompact int
+	compactions  int
+}
+
+// Open opens (resume=true) or initializes (resume=false) the
+// checkpoint store in dir, creating the directory as needed. A fresh
+// open refuses a directory that already holds checkpoint state; a
+// resume open loads the snapshot and journal, recovers a torn final
+// journal line, and verifies the meta fingerprint.
+func Open(dir string, meta Meta, resume bool) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	meta.Version = Version
+	existing, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case existing == nil && hasState(dir):
+		return nil, fmt.Errorf("journal: %s holds journal data but no meta.json — refusing to touch it", dir)
+	case existing == nil:
+		if err := writeMeta(dir, meta); err != nil {
+			return nil, err
+		}
+	case !resume:
+		return nil, fmt.Errorf("%w: %s", ErrExists, dir)
+	case existing.Version != meta.Version:
+		return nil, fmt.Errorf("journal: %s has schema version %d, this build writes %d", dir, existing.Version, meta.Version)
+	case existing.Fingerprint != meta.Fingerprint:
+		return nil, fmt.Errorf("%w: %s", ErrFingerprint, dir)
+	}
+
+	j := &Journal{
+		dir:          dir,
+		records:      make(map[string]Record),
+		CompactEvery: DefaultCompactEvery,
+	}
+	if err := j.loadFile(filepath.Join(dir, snapshotFile), false); err != nil {
+		return nil, err
+	}
+	valid, err := j.loadJournal()
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	// Drop a torn final line so appends continue at the last valid
+	// record boundary.
+	if err := f.Truncate(valid); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("journal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(valid, 0); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// hasState reports whether dir holds journal or snapshot data.
+func hasState(dir string) bool {
+	for _, name := range []string{journalFile, snapshotFile} {
+		if info, err := os.Stat(filepath.Join(dir, name)); err == nil && info.Size() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func readMeta(dir string) (*Meta, error) {
+	data, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	m := &Meta{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("journal: meta.json corrupt: %w", err)
+	}
+	return m, nil
+}
+
+func writeMeta(dir string, meta Meta) error {
+	data, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return atomicWrite(dir, metaFile, append(data, '\n'))
+}
+
+// atomicWrite lands content at dir/name via a fsynced temporary file
+// and rename, so readers never observe a partial file.
+func atomicWrite(dir, name string, content []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer func() { _ = os.Remove(tmp.Name()) }()
+	if _, err := tmp.Write(content); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// loadFile loads one JSONL file into the record map. With lenient
+// false every line must parse; the journal file instead goes through
+// loadJournal, which tolerates a torn final line.
+func (j *Journal) loadFile(path string, lenient bool) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	_, err = j.consume(path, data, lenient)
+	return err
+}
+
+// loadJournal loads journal.jsonl, dropping a torn final line, and
+// returns the byte offset of the last valid record boundary.
+func (j *Journal) loadJournal() (int64, error) {
+	path := filepath.Join(j.dir, journalFile)
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("journal: %w", err)
+	}
+	return j.consume(path, data, true)
+}
+
+// consume parses JSONL content into the record map and returns the
+// offset just past the last valid record. With lenient set, a final
+// line that is incomplete (no trailing newline) or unparseable is
+// dropped; an invalid line followed by more content is corruption.
+func (j *Journal) consume(path string, data []byte, lenient bool) (int64, error) {
+	offset := int64(0)
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		line, rest := data, []byte(nil)
+		torn := nl < 0
+		if !torn {
+			line, rest = data[:nl], data[nl+1:]
+		}
+		var rec Record
+		parseErr := json.Unmarshal(line, &rec)
+		if parseErr == nil && rec.Trace == "" {
+			parseErr = errors.New("record has no trace ID")
+		}
+		if parseErr != nil || torn {
+			if lenient && len(bytes.TrimSpace(rest)) == 0 {
+				// Torn final line: recoverable.
+				return offset, nil
+			}
+			return 0, fmt.Errorf("journal: %s corrupt at offset %d: %v", path, offset, parseErr)
+		}
+		j.put(rec)
+		offset += int64(nl + 1)
+		data = rest
+	}
+	return offset, nil
+}
+
+func (j *Journal) put(rec Record) {
+	if _, seen := j.records[rec.Trace]; !seen {
+		j.order = append(j.order, rec.Trace)
+	}
+	j.records[rec.Trace] = rec
+}
+
+// Records returns the loaded-plus-appended records in first-seen
+// order. The slice is a copy; records themselves are shared.
+func (j *Journal) Records() []Record {
+	out := make([]Record, 0, len(j.order))
+	for _, trace := range j.order {
+		out = append(out, j.records[trace])
+	}
+	return out
+}
+
+// Len reports the number of distinct records in the store.
+func (j *Journal) Len() int { return len(j.records) }
+
+// Appended reports the number of records appended this session.
+func (j *Journal) Appended() int { return j.appended }
+
+// Compactions reports the number of snapshot compactions this session.
+func (j *Journal) Compactions() int { return j.compactions }
+
+// Append durably records one completed cell: the line is written and
+// flushed before Append returns, so a kill after Append never loses
+// the cell. Every CompactEvery appends the store compacts into an
+// atomic snapshot and restarts the journal file.
+func (j *Journal) Append(rec Record) error {
+	if rec.Trace == "" {
+		return errors.New("journal: record has no trace ID")
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.put(rec)
+	j.appended++
+	j.sinceCompact++
+	if j.sinceCompact >= j.CompactEvery {
+		if err := j.compact(); err != nil {
+			return err
+		}
+	}
+	if j.AfterAppend != nil {
+		j.AfterAppend(j.appended)
+	}
+	return nil
+}
+
+// compact rewrites every record into the snapshot file atomically and
+// truncates the journal. A kill before the rename keeps the old
+// snapshot plus the full journal; a kill after it keeps the new
+// snapshot plus whatever was appended since — both load completely.
+func (j *Journal) compact() error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, trace := range j.order {
+		if err := enc.Encode(j.records[trace]); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	if err := atomicWrite(j.dir, snapshotFile, buf.Bytes()); err != nil {
+		return err
+	}
+	if err := j.f.Truncate(0); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := j.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.w.Reset(j.f)
+	j.sinceCompact = 0
+	j.compactions++
+	return nil
+}
+
+// Close flushes and syncs the journal file. The store stays loadable
+// afterwards; a completed run's journal simply replays in full.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	ferr := j.w.Flush()
+	if serr := j.f.Sync(); ferr == nil {
+		ferr = serr
+	}
+	if cerr := j.f.Close(); ferr == nil {
+		ferr = cerr
+	}
+	j.f = nil
+	return ferr
+}

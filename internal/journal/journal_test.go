@@ -1,0 +1,302 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testMeta() Meta { return Meta{Fingerprint: "fp-test"} }
+
+func record(i int) Record {
+	return Record{
+		Trace:     fmt.Sprintf("trace-%04d", i),
+		Server:    "SrvA",
+		Class:     fmt.Sprintf("pkg.Class%d", i),
+		Mode:      "built",
+		Published: true,
+		Verified:  i%2 == 0,
+		Doc:       []byte("<definitions/>"),
+		Tests: []TestRecord{
+			{Client: "c1", Ran: true, GenWarning: i%3 == 0},
+			{Client: "c2", CompileRan: true, CompileError: i%5 == 0},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta(), false)
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	var want []Record
+	for i := 0; i < 25; i++ {
+		rec := record(i)
+		want = append(want, rec)
+		if err := j.Append(rec); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if j.Appended() != 25 {
+		t.Errorf("Appended = %d, want 25", j.Appended())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	j2, err := Open(dir, testMeta(), true)
+	if err != nil {
+		t.Fatalf("open resume: %v", err)
+	}
+	defer func() { _ = j2.Close() }()
+	if got := j2.Records(); !reflect.DeepEqual(got, want) {
+		t.Errorf("records after reload differ:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestFreshOpenRefusesExistingState(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta(), false)
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	if err := j.Append(record(0)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := Open(dir, testMeta(), false); !errors.Is(err, ErrExists) {
+		t.Errorf("second fresh open: err = %v, want ErrExists", err)
+	}
+}
+
+func TestFingerprintMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta(), false)
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := Open(dir, Meta{Fingerprint: "other"}, true); !errors.Is(err, ErrFingerprint) {
+		t.Errorf("mismatched resume: err = %v, want ErrFingerprint", err)
+	}
+}
+
+func TestResumeOnEmptyDirIsFresh(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta(), true)
+	if err != nil {
+		t.Fatalf("resume on empty dir: %v", err)
+	}
+	if j.Len() != 0 {
+		t.Errorf("Len = %d, want 0", j.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestTornFinalLineRecovered is the hard-kill scenario: the process
+// died mid-append, leaving a partial last line. Reopening must drop
+// exactly that line, keep every complete record, and leave the file
+// appendable at a clean boundary.
+func TestTornFinalLineRecovered(t *testing.T) {
+	for _, torn := range []string{
+		`{"trace":"trace-9999","server":"Srv`, // cut mid-JSON, no newline
+		`{"trace":"trace-9999"`,               // cut mid-JSON
+		`garbage that is not JSON`,            // overwritten tail
+		`{"server":"no-trace-field"}`,         // parses but invalid, final line
+	} {
+		t.Run(torn[:10], func(t *testing.T) {
+			dir := t.TempDir()
+			j, err := Open(dir, testMeta(), false)
+			if err != nil {
+				t.Fatalf("open fresh: %v", err)
+			}
+			for i := 0; i < 5; i++ {
+				if err := j.Append(record(i)); err != nil {
+					t.Fatalf("append: %v", err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			path := filepath.Join(dir, "journal.jsonl")
+			f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatalf("reopen for tearing: %v", err)
+			}
+			if _, err := f.WriteString(torn); err != nil {
+				t.Fatalf("tear: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatalf("close torn file: %v", err)
+			}
+
+			j2, err := Open(dir, testMeta(), true)
+			if err != nil {
+				t.Fatalf("resume over torn tail: %v", err)
+			}
+			if j2.Len() != 5 {
+				t.Errorf("Len = %d, want 5 (torn line dropped)", j2.Len())
+			}
+			// The torn bytes must be gone: appending and reloading again
+			// must parse cleanly.
+			if err := j2.Append(record(5)); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if err := j2.Close(); err != nil {
+				t.Fatalf("close: %v", err)
+			}
+			j3, err := Open(dir, testMeta(), true)
+			if err != nil {
+				t.Fatalf("reload after recovery append: %v", err)
+			}
+			defer func() { _ = j3.Close() }()
+			if j3.Len() != 6 {
+				t.Errorf("Len after recovery append = %d, want 6", j3.Len())
+			}
+		})
+	}
+}
+
+func TestMidFileCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta(), false)
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(record(i)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	path := filepath.Join(dir, "journal.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Corrupt the SECOND line — not the tail — which recovery must not
+	// silently skip.
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[1] = "XX" + lines[1][2:]
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatalf("write corrupted: %v", err)
+	}
+	if _, err := Open(dir, testMeta(), true); err == nil {
+		t.Error("mid-file corruption should refuse to load")
+	}
+}
+
+// TestSnapshotCompaction proves the journal compacts into an atomic
+// snapshot every CompactEvery appends and that the store reloads
+// completely at every boundary.
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta(), false)
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	j.CompactEvery = 4
+	const n = 11
+	for i := 0; i < n; i++ {
+		if err := j.Append(record(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if got := j.Compactions(); got != 2 {
+		t.Errorf("Compactions = %d, want 2 (11 appends, every 4)", got)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	snap, err := os.Stat(filepath.Join(dir, "snapshot.jsonl"))
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if snap.Size() == 0 {
+		t.Error("snapshot is empty")
+	}
+	// The journal holds only the post-compaction tail (11 - 8 = 3).
+	j2, err := Open(dir, testMeta(), true)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	defer func() { _ = j2.Close() }()
+	if j2.Len() != n {
+		t.Errorf("Len after compaction reload = %d, want %d", j2.Len(), n)
+	}
+	traces := make(map[string]bool)
+	for _, rec := range j2.Records() {
+		traces[rec.Trace] = true
+	}
+	for i := 0; i < n; i++ {
+		if !traces[fmt.Sprintf("trace-%04d", i)] {
+			t.Errorf("record %d lost across compaction", i)
+		}
+	}
+}
+
+// TestDuplicateTraceLastWins: a resumed session may legitimately
+// re-append a cell that was already snapshotted if it was replayed
+// into a fresh journal file; the newest record must win on load.
+func TestDuplicateTraceLastWins(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta(), false)
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	rec := record(1)
+	if err := j.Append(rec); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	rec.Mode = "memoized"
+	if err := j.Append(rec); err != nil {
+		t.Fatalf("append dup: %v", err)
+	}
+	if j.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (dedup by trace)", j.Len())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	j2, err := Open(dir, testMeta(), true)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	defer func() { _ = j2.Close() }()
+	recs := j2.Records()
+	if len(recs) != 1 || recs[0].Mode != "memoized" {
+		t.Errorf("records = %+v, want single record with last-written mode", recs)
+	}
+}
+
+func TestAfterAppendHook(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta(), false)
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	defer func() { _ = j.Close() }()
+	var seen []int
+	j.AfterAppend = func(total int) { seen = append(seen, total) }
+	for i := 0; i < 3; i++ {
+		if err := j.Append(record(i)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if !reflect.DeepEqual(seen, []int{1, 2, 3}) {
+		t.Errorf("AfterAppend saw %v, want [1 2 3]", seen)
+	}
+}

@@ -47,15 +47,44 @@ type Trajectory struct {
 	Pkg    string `json:"pkg,omitempty"`
 	// Benchmarks holds one entry per benchmark line, in input order.
 	Benchmarks []Benchmark `json:"benchmarks"`
+	// History holds one compact snapshot per previous recording, in
+	// chronological order: each refresh pushes the file's prior
+	// current state here instead of discarding it, so the file shows
+	// the perf trajectory across changes.
+	History []HistoryEntry `json:"history,omitempty"`
+}
+
+// HistoryEntry is one superseded recording, reduced to its timestamp,
+// CPU, and metric values.
+type HistoryEntry struct {
+	Recorded string `json:"recorded"`
+	CPU      string `json:"cpu,omitempty"`
+	// Metrics maps benchmark name → unit → value.
+	Metrics map[string]map[string]float64 `json:"metrics"`
 }
 
 func main() {
 	out := flag.String("o", "BENCH_campaign.json", "output file path")
+	check := flag.Bool("check", false, "compare stdin against -baseline instead of writing; exit 1 on regression")
+	baseline := flag.String("baseline", "BENCH_campaign.json", "baseline trajectory for -check")
+	benchName := flag.String("bench", "FullCampaign", "benchmark compared by -check")
+	metric := flag.String("metric", "tests/s", "metric compared by -check (higher is better)")
+	maxRegress := flag.Float64("max-regress", 0.20, "maximum allowed fractional drop for -check")
 	flag.Parse()
 	traj, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *check {
+		if err := checkRegression(traj, *baseline, *benchName, *metric, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if prev, err := loadTrajectory(*out); err == nil {
+		traj.History = append(prev.History, snapshot(prev))
 	}
 	data, err := json.MarshalIndent(traj, "", "  ")
 	if err != nil {
@@ -67,7 +96,75 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(traj.Benchmarks), *out)
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s (%d history entries)\n",
+		len(traj.Benchmarks), *out, len(traj.History))
+}
+
+// loadTrajectory reads a previously written trajectory file.
+func loadTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var traj Trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &traj, nil
+}
+
+// snapshot reduces a trajectory's current state to a history entry.
+func snapshot(traj *Trajectory) HistoryEntry {
+	h := HistoryEntry{
+		Recorded: traj.Recorded,
+		CPU:      traj.CPU,
+		Metrics:  make(map[string]map[string]float64, len(traj.Benchmarks)),
+	}
+	for _, bm := range traj.Benchmarks {
+		h.Metrics[bm.Name] = bm.Metrics
+	}
+	return h
+}
+
+// metricOf finds the named benchmark's value for the unit, or an
+// error naming what was missing.
+func metricOf(traj *Trajectory, bench, unit string) (float64, error) {
+	for _, bm := range traj.Benchmarks {
+		if bm.Name != bench {
+			continue
+		}
+		if v, ok := bm.Metrics[unit]; ok {
+			return v, nil
+		}
+		return 0, fmt.Errorf("benchmark %s has no %q metric", bench, unit)
+	}
+	return 0, fmt.Errorf("benchmark %s not found", bench)
+}
+
+// checkRegression compares the run on stdin against the committed
+// baseline and fails when the metric (higher-is-better) dropped by
+// more than the allowed fraction.
+func checkRegression(cur *Trajectory, baselinePath, bench, unit string, maxRegress float64) error {
+	base, err := loadTrajectory(baselinePath)
+	if err != nil {
+		return err
+	}
+	baseV, err := metricOf(base, bench, unit)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	curV, err := metricOf(cur, bench, unit)
+	if err != nil {
+		return fmt.Errorf("current run: %w", err)
+	}
+	floor := baseV * (1 - maxRegress)
+	if curV < floor {
+		return fmt.Errorf("%s %s regressed: %.0f < %.0f (baseline %.0f, tolerance %.0f%%)",
+			bench, unit, curV, floor, baseV, maxRegress*100)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %s %s OK: %.0f vs baseline %.0f (floor %.0f)\n",
+		bench, unit, curV, baseV, floor)
+	return nil
 }
 
 // parse reads `go test -bench` output and collects header metadata

@@ -95,6 +95,8 @@ func run(args []string, out io.Writer) error {
 		"journal every completed cell to this directory so an interrupted run can be continued with -resume")
 	resume := fs.Bool("resume", false,
 		"replay the cells journaled under -checkpoint DIR instead of re-executing them, then finish the rest")
+	progress := fs.Bool("progress", false,
+		"print per-server progress lines and the WS-I memoized-vs-executed summary to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -123,6 +125,14 @@ func run(args []string, out io.Writer) error {
 	cfg := campaign.Config{
 		Limit: *limit, Workers: *workers, Reparse: *reparse, NoDedup: !*dedup,
 		Checkpoint: *checkpoint, Resume: *resume,
+	}
+	if *progress {
+		cfg.Progress = func(stage string, done, total int) {
+			fmt.Fprintf(os.Stderr, "interop: %-12s %d/%d services\r", stage, done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 	allServers := framework.Servers()
 	if *extended {
@@ -209,6 +219,11 @@ func run(args []string, out io.Writer) error {
 				*checkpoint, *checkpoint)
 		}
 		return err
+	}
+	if *progress && res.Dedup != nil && res.Dedup.Enabled {
+		d := res.Dedup
+		fmt.Fprintf(os.Stderr, "interop: WS-I verdicts: %d executed, %d memoized from shapes\n",
+			d.WSIChecks, d.WSIMemoized)
 	}
 
 	var comm *campaign.CommResult

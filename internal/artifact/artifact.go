@@ -20,6 +20,7 @@ package artifact
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // TargetLanguage identifies the language an artifact set is written
@@ -121,7 +122,19 @@ type Unit struct {
 	// ExternalTypes lists type names the unit may reference without
 	// declaring (the generator's runtime library).
 	ExternalTypes []string
+	// owner is an opaque recycling token set by generators that
+	// arena-allocate the unit's backing storage; it survives Reset-style
+	// reassignment of the exported fields.
+	owner any
 }
+
+// SetOwner attaches the opaque recycling token of the arena that owns
+// this unit's backing storage.
+func (u *Unit) SetOwner(o any) { u.owner = o }
+
+// Owner returns the recycling token set with SetOwner, or nil for a
+// plainly allocated unit.
+func (u *Unit) Owner() any { return u.owner }
 
 // PortClass returns the generated service port/proxy class: by
 // convention the first class of the unit, which is where generators
@@ -224,6 +237,62 @@ func NewCompiler(lang TargetLanguage, opts ...Option) *Compiler {
 	return c
 }
 
+// symbolSet is a small linear-scan string set. The name tables of one
+// generated class number a handful of entries, where a probe over a
+// contiguous slice beats a map — and resetting is a reslice, not a
+// bucket sweep.
+type symbolSet []string
+
+func (ss *symbolSet) reset() { *ss = (*ss)[:0] }
+
+func (ss *symbolSet) add(k string) { *ss = append(*ss, k) }
+
+// eq compares two symbols under the language's identifier rules:
+// case-folded for case-insensitive languages (VB), exact otherwise.
+// Folding at comparison time instead of at insertion keeps the hot
+// path free of the per-symbol ToLower allocation.
+func (c *Compiler) eq(a, b string) bool {
+	if c.lang.CaseInsensitive() {
+		return strings.EqualFold(a, b)
+	}
+	return a == b
+}
+
+// has probes the set under the language's identifier rules.
+func (c *Compiler) has(ss symbolSet, k string) bool {
+	for _, v := range ss {
+		if c.eq(v, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// indexOf locates a symbol under the language's identifier rules.
+func (c *Compiler) indexOf(ss symbolSet, k string) int {
+	for i, v := range ss {
+		if c.eq(v, k) {
+			return i
+		}
+	}
+	return -1
+}
+
+// compileScratch is the reusable working set of one Compile call: the
+// symbol and member tables that would otherwise be re-allocated for
+// every unit. Pooled and reset by reslicing, so a steady-state Compile
+// allocates only its diagnostics.
+type compileScratch struct {
+	types      symbolSet // unit-level declared type symbols
+	classNames symbolSet // class names seen so far, declared spellings
+	fields     symbolSet // per-class member namespace
+	methods    symbolSet // per-class method namespace
+	allMethods symbolSet // per-class call-resolution set
+	scope      symbolSet // per-method params + locals
+}
+
+var compileScratchPool = sync.Pool{New: func() any { return new(compileScratch) }}
+
 // Compile verifies a unit and returns every diagnostic found. The
 // unit is accepted (usable) if no diagnostic has severity error or
 // fatal.
@@ -246,23 +315,24 @@ func (c *Compiler) Compile(u *Unit) []Diagnostic {
 		}
 	}
 
-	types := c.symbolTable(u)
+	sc := compileScratchPool.Get().(*compileScratch)
+	defer compileScratchPool.Put(sc)
+	types := c.symbolTable(u, sc)
 
-	classNames := make(map[string]string, len(u.Classes))
+	sc.classNames.reset()
 	for i := range u.Classes {
 		cls := &u.Classes[i]
-		key := c.fold(cls.Name)
-		if prev, dup := classNames[key]; dup {
+		if dup := c.indexOf(sc.classNames, cls.Name); dup >= 0 {
 			diags = append(diags, Diagnostic{
 				Severity: SeverityError,
 				Code:     CodeDupClass,
-				Message:  fmt.Sprintf("type %q already declared as %q", cls.Name, prev),
+				Message:  fmt.Sprintf("type %q already declared as %q", cls.Name, sc.classNames[dup]),
 				Where:    cls.Name,
 			})
 			continue
 		}
-		classNames[key] = cls.Name
-		diags = append(diags, c.compileClass(u, cls, types)...)
+		sc.classNames.add(cls.Name)
+		diags = append(diags, c.compileClass(cls, types, sc)...)
 	}
 	return diags
 }
@@ -289,25 +359,18 @@ func Warnings(diags []Diagnostic) []Diagnostic {
 	return out
 }
 
-func (c *Compiler) fold(s string) string {
-	if c.lang.CaseInsensitive() {
-		return strings.ToLower(s)
-	}
-	return s
-}
-
-func (c *Compiler) symbolTable(u *Unit) map[string]bool {
-	types := make(map[string]bool, len(u.Classes)+len(u.ExternalTypes))
+func (c *Compiler) symbolTable(u *Unit, sc *compileScratch) symbolSet {
+	sc.types.reset()
 	for i := range u.Classes {
-		types[c.fold(u.Classes[i].Name)] = true
+		sc.types.add(u.Classes[i].Name)
 	}
 	for _, t := range u.ExternalTypes {
-		types[c.fold(t)] = true
+		sc.types.add(t)
 	}
-	return types
+	return sc.types
 }
 
-func (c *Compiler) compileClass(u *Unit, cls *Class, types map[string]bool) []Diagnostic {
+func (c *Compiler) compileClass(cls *Class, types symbolSet, sc *compileScratch) []Diagnostic {
 	var diags []Diagnostic
 	where := cls.Name
 
@@ -322,10 +385,10 @@ func (c *Compiler) compileClass(u *Unit, cls *Class, types map[string]bool) []Di
 
 	// Member tables. Fields and methods share a namespace in
 	// case-insensitive languages.
-	fields := make(map[string]bool, len(cls.Fields))
+	sc.fields.reset()
+	fields := &sc.fields
 	for _, f := range cls.Fields {
-		key := c.fold(f.Name)
-		if fields[key] {
+		if c.has(*fields, f.Name) {
 			diags = append(diags, Diagnostic{
 				Severity: SeverityError,
 				Code:     CodeDupField,
@@ -334,8 +397,8 @@ func (c *Compiler) compileClass(u *Unit, cls *Class, types map[string]bool) []Di
 			})
 			continue
 		}
-		fields[key] = true
-		if f.Type != "" && !types[c.fold(f.Type)] {
+		fields.add(f.Name)
+		if f.Type != "" && !c.has(types, f.Type) {
 			diags = append(diags, Diagnostic{
 				Severity: SeverityError,
 				Code:     CodeUnresolvedType,
@@ -345,17 +408,19 @@ func (c *Compiler) compileClass(u *Unit, cls *Class, types map[string]bool) []Di
 		}
 	}
 
-	methods := make(map[string]bool, len(cls.Methods))
-	allMethods := make(map[string]bool, len(cls.Methods))
+	sc.methods.reset()
+	sc.allMethods.reset()
+	methods, allMethods := &sc.methods, &sc.allMethods
 	for i := range cls.Methods {
-		allMethods[c.fold(cls.Methods[i].Name)] = true
+		allMethods.add(cls.Methods[i].Name)
 	}
 
 	for i := range cls.Methods {
 		m := &cls.Methods[i]
-		mWhere := where + "." + m.Name
-		key := c.fold(m.Name)
-		if methods[key] {
+		// Diagnostics are rare; build the dotted location only when one
+		// is actually emitted.
+		mWhere := func() string { return where + "." + m.Name }
+		if c.has(*methods, m.Name) {
 			diags = append(diags, Diagnostic{
 				Severity: SeverityError,
 				Code:     CodeDupMethod,
@@ -364,9 +429,9 @@ func (c *Compiler) compileClass(u *Unit, cls *Class, types map[string]bool) []Di
 			})
 			continue
 		}
-		methods[key] = true
+		methods.add(m.Name)
 
-		if c.lang.CaseInsensitive() && fields[key] {
+		if c.lang.CaseInsensitive() && c.has(*fields, m.Name) {
 			diags = append(diags, Diagnostic{
 				Severity: SeverityError,
 				Code:     CodeMemberClash,
@@ -375,74 +440,73 @@ func (c *Compiler) compileClass(u *Unit, cls *Class, types map[string]bool) []Di
 			})
 		}
 
-		scope := make(map[string]bool, len(m.Params)+len(m.Locals))
+		sc.scope.reset()
+		scope := &sc.scope
 		for _, p := range m.Params {
-			pk := c.fold(p.Name)
-			if scope[pk] {
+			if c.has(*scope, p.Name) {
 				diags = append(diags, Diagnostic{
 					Severity: SeverityError,
 					Code:     CodeDupParam,
 					Message:  fmt.Sprintf("duplicate parameter %q", p.Name),
-					Where:    mWhere,
+					Where:    mWhere(),
 				})
 				continue
 			}
-			scope[pk] = true
-			if c.lang.CaseInsensitive() && pk == key {
+			scope.add(p.Name)
+			if c.lang.CaseInsensitive() && strings.EqualFold(p.Name, m.Name) {
 				diags = append(diags, Diagnostic{
 					Severity: SeverityError,
 					Code:     CodeMemberClash,
 					Message:  fmt.Sprintf("parameter %q collides with method name %q", p.Name, m.Name),
-					Where:    mWhere,
+					Where:    mWhere(),
 				})
 			}
-			if p.Type != "" && !types[c.fold(p.Type)] {
+			if p.Type != "" && !c.has(types, p.Type) {
 				diags = append(diags, Diagnostic{
 					Severity: SeverityError,
 					Code:     CodeUnresolvedType,
 					Message:  fmt.Sprintf("parameter %q references undeclared type %q", p.Name, p.Type),
-					Where:    mWhere,
+					Where:    mWhere(),
 				})
 			}
 		}
 		for _, l := range m.Locals {
-			lk := c.fold(l)
-			if scope[lk] {
+			if c.has(*scope, l) {
 				diags = append(diags, Diagnostic{
 					Severity: SeverityError,
 					Code:     CodeDupLocal,
 					Message:  fmt.Sprintf("duplicate variable %q", l),
-					Where:    mWhere,
+					Where:    mWhere(),
 				})
 				continue
 			}
-			scope[lk] = true
+			scope.add(l)
 		}
-		if m.Return != "" && !types[c.fold(m.Return)] {
+		if m.Return != "" && !c.has(types, m.Return) {
 			diags = append(diags, Diagnostic{
 				Severity: SeverityError,
 				Code:     CodeUnresolvedType,
 				Message:  fmt.Sprintf("return type %q is undeclared", m.Return),
-				Where:    mWhere,
+				Where:    mWhere(),
 			})
 		}
 		for _, call := range m.Calls {
-			if !allMethods[c.fold(call)] {
+			if !c.has(*allMethods, call) {
 				diags = append(diags, Diagnostic{
 					Severity: SeverityError,
 					Code:     CodeUnresolvedFunc,
 					Message:  fmt.Sprintf("call to undefined function %q", call),
-					Where:    mWhere,
+					Where:    mWhere(),
 				})
 			}
 		}
 		for _, ref := range m.FieldRefs {
-			if !fields[c.fold(ref)] {
+			if !c.has(*fields, ref) {
 				diags = append(diags, Diagnostic{
 					Severity: SeverityError,
 					Code:     CodeUnresolvedRef,
 					Message:  fmt.Sprintf("reference to undefined member %q", ref),
-					Where:    mWhere,
+					Where:    mWhere(),
 				})
 			}
 		}

@@ -444,7 +444,7 @@ func (r *Runner) Publish(ctx context.Context, server framework.ServerFramework) 
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				slots[i] = r.publishOne(ctx, server, defs[i])
+				slots[i] = r.publishOne(ctx, server, defs[i], true)
 			}
 		}()
 	}
@@ -565,6 +565,9 @@ func runTest(_ context.Context, client framework.ClientFramework, svc *Published
 	t.CompileRan = true
 	start = m.now()
 	t.Compile.mergeDiagnostics(client.Verify(gen.Unit))
+	// The unit is dead once its diagnostics are folded in; hand the
+	// arena storage back to the generator pool.
+	framework.ReleaseUnit(gen.Unit)
 	m.recordCompile(start, t.Compile.Error)
 	return t
 }
@@ -614,6 +617,8 @@ func (r *Runner) Run(ctx context.Context) (*Result, error) {
 func (r *Runner) runCampaign(ctx context.Context) (*Result, error) {
 	res := newResult(r)
 	before := r.dedup.snapshot()
+	wsiBefore := r.met.wsiChecks.Value()
+	memoBefore := r.met.wsiMemoized.Value()
 	for _, server := range r.servers {
 		if err := r.runServer(ctx, server, res); err != nil {
 			return nil, err
@@ -621,7 +626,11 @@ func (r *Runner) runCampaign(ctx context.Context) (*Result, error) {
 	}
 	if r.dedupOn() {
 		res.Dedup = r.dedup.statsSince(before)
+		res.Dedup.WSIChecks = int(r.met.wsiChecks.Value() - wsiBefore)
+		res.Dedup.WSIMemoized = int(r.met.wsiMemoized.Value() - memoBefore)
 	} else {
+		// The nodedup ablation reports the zero value, matching the
+		// "memoization disabled" rendering.
 		res.Dedup = &DedupStats{}
 	}
 	res.Metrics = r.obs.Snapshot()
@@ -669,14 +678,13 @@ func newResult(r *Runner) *Result {
 // its shard, so per-service classification happens exactly once with
 // all client results visible.
 type svcState struct {
-	svc     PublishedService
-	results []TestResult
-	// ran records, per client slot, whether the test actually executed
-	// (as opposed to being served by the shape memo) — the distinction
-	// the cell journal persists so resume reconstructs memo state and
-	// counters exactly. Written under the same last-test ordering as
-	// results.
-	ran []bool
+	svc PublishedService
+	// codes is the columnar outcome row: one packed outcomeCode per
+	// client slot (columnar.go), including the executed bit the cell
+	// journal persists so resume reconstructs memo state and counters
+	// exactly. Written under the same last-test ordering the remaining
+	// counter establishes.
+	codes []outcomeCode
 	// mode and verified record the service's publish route for the
 	// journal (checkpoint.go).
 	mode      recordMode
@@ -794,6 +802,8 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 				if failures != nil {
 					failures[i] = fails
 				}
+				st.svc.Doc = nil
+				st.svc.analysis = nil
 			}
 			prog.serviceDone()
 		}
@@ -826,15 +836,20 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 			// completes, folds, and is journaled — the resumable boundary.
 			for j := range testCh {
 				r.met.queueDepth.Add(-1)
-				res, ran := r.testFor(ctx, &j.st.svc, j.cli)
-				j.st.results[j.cli] = res
-				j.st.ran[j.cli] = ran
+				j.st.codes[j.cli] = r.testFor(ctx, &j.st.svc, j.cli)
 				if j.st.remaining.Add(-1) == 0 {
 					fails := r.foldService(j.st, sh)
 					if failures != nil {
 						failures[j.svcIdx] = fails
 					}
 					r.journalService(j.st)
+					// Folded and journaled: nothing reads the document or
+					// analysis again (mergeServer only reads Flagged), so
+					// release them instead of keeping every published
+					// document live until the stage ends. Shape
+					// representatives keep their own copies in the memo.
+					j.st.svc.Doc = nil
+					j.st.svc.analysis = nil
 					prog.serviceDone()
 				}
 			}
@@ -845,7 +860,7 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 		go func() {
 			defer pubWG.Done()
 			for i := range pubCh {
-				slot := r.publishOne(ctx, server, defs[i])
+				slot := r.publishOne(ctx, server, defs[i], false)
 				switch {
 				case slot.err != nil:
 					pubErrs[i] = slot.err
@@ -859,8 +874,7 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 						svc:      slot.svc,
 						mode:     slot.mode,
 						verified: slot.verified,
-						results:  make([]TestResult, len(r.clients)),
-						ran:      make([]bool, len(r.clients)),
+						codes:    make([]outcomeCode, len(r.clients)),
 					}
 					st.remaining.Store(int32(len(r.clients)))
 					states[i] = st
@@ -923,7 +937,7 @@ func (r *Runner) foldService(st *svcState, sh *shard) []TestResult {
 	cleanEverywhere := true
 	var fails []TestResult
 	for ci := range r.clients {
-		t := &st.results[ci]
+		code := st.codes[ci]
 		cell := &sh.cells[ci]
 		sum := &sh.server
 		cli := &sh.clients[ci]
@@ -931,42 +945,43 @@ func (r *Runner) foldService(st *svcState, sh *shard) []TestResult {
 		cell.Tests++
 		sum.Tests++
 		cli.Tests++
-		if t.Gen.Warning {
+		if code&codeGenWarning != 0 {
 			cell.GenWarnings++
 			sum.GenWarnings++
 			cli.GenWarnings++
 		}
-		if t.Gen.Error {
+		if code&codeGenError != 0 {
 			cell.GenErrors++
 			sum.GenErrors++
 			cli.GenErrors++
 			sh.interopErrors++
 		}
-		if t.CompileRan {
-			if t.Compile.Warning {
+		if code&codeCompileRan != 0 {
+			if code&codeCompileWarning != 0 {
 				cell.CompileWarnings++
 				sum.CompileWarnings++
 				cli.CompileWarnings++
 			}
-			if t.Compile.Error {
+			if code&codeCompileError != 0 {
 				cell.CompileErrors++
 				sum.CompileErrors++
 				cli.CompileErrors++
 				sh.interopErrors++
 			}
 		}
-		if t.ErrorAnywhere() {
+		if code.errorAnywhere() {
 			cleanEverywhere = false
 			if svc.Flagged {
 				cli.ErrorsOnFlagged++
 			} else {
 				cli.ErrorsOnClean++
 			}
-			if r.sameFramework[t.Client] == t.Server {
+			clientName := r.clients[ci].Name()
+			if r.sameFramework[clientName] == svc.Server {
 				sh.sameFrameworkErrors++
 			}
 			if r.cfg.KeepFailures {
-				fails = append(fails, *t)
+				fails = append(fails, code.testResult(svc.Server, clientName, svc.Class))
 			}
 		}
 	}

@@ -43,13 +43,13 @@ import (
 type recordMode uint8
 
 const (
-	modeUnknown recordMode = iota
-	modeDirect              // memo layer off (Config.NoDedup)
-	modeFallback            // class failed the shape.Memoizable guard
-	modeBuilt               // first-seen class of its shape: full per-class path
-	modeMemoRejected        // memoized NotDeployable outcome
-	modeMemoFallback        // shape failed template verification: per-class path
-	modeMemoized            // rendered from the shape's verified template
+	modeUnknown      recordMode = iota
+	modeDirect                  // memo layer off (Config.NoDedup)
+	modeFallback                // class failed the shape.Memoizable guard
+	modeBuilt                   // first-seen class of its shape: full per-class path
+	modeMemoRejected            // memoized NotDeployable outcome
+	modeMemoFallback            // shape failed template verification: per-class path
+	modeMemoized                // rendered from the shape's verified template
 )
 
 var modeIDs = map[recordMode]string{
@@ -81,6 +81,13 @@ func memoRouted(rec *journal.Record) bool {
 
 // cellTrace is the journal key of one service cell.
 func cellTrace(server, class string) string { return obs.TraceID(server, class) }
+
+// journalFlushEvery bounds how many appends the checkpoint journal may
+// buffer before forcing a durable flush. The writer goroutine normally
+// flushes sooner — whenever its queue runs momentarily dry — so this is
+// the worst-case window a completed cell can sit non-durable under
+// sustained producer pressure.
+const journalFlushEvery = 64
 
 // checkpointState is one Run's open journal plus the serial writer
 // goroutine that owns every append.
@@ -133,6 +140,12 @@ func (r *Runner) openCheckpoint() error {
 		return err
 	}
 	j.AfterAppend = r.cfg.checkpointProbe
+	// Group-commit: under load the writer drains whatever the workers
+	// have queued and flushes once per batch instead of once per cell,
+	// with the journal's own FlushEvery as a ceiling on how long a
+	// record can stay buffered. AfterAppend still fires once per record
+	// at its durable point, so the kill-point probes are unaffected.
+	j.FlushEvery = journalFlushEvery
 	cs := &checkpointState{
 		j:        j,
 		ch:       make(chan journal.Record, 256),
@@ -154,6 +167,23 @@ func (r *Runner) openCheckpoint() error {
 				continue // keep draining so producers never block
 			}
 			cs.err = cs.j.Append(rec)
+			// Opportunistically absorb everything already queued, then
+			// make the whole batch durable in one flush.
+		drain:
+			for cs.err == nil {
+				select {
+				case more, ok := <-cs.ch:
+					if !ok {
+						break drain
+					}
+					cs.err = cs.j.Append(more)
+				default:
+					break drain
+				}
+			}
+			if cs.err == nil {
+				cs.err = cs.j.Flush()
+			}
 		}
 	}()
 	r.ckpt = cs
@@ -214,15 +244,15 @@ func (r *Runner) journalService(st *svcState) {
 		rec.Doc = svc.Doc
 	}
 	for ci := range r.clients {
-		t := &st.results[ci]
+		code := st.codes[ci]
 		rec.Tests[ci] = journal.TestRecord{
 			Client:         r.clients[ci].Name(),
-			Ran:            st.ran[ci],
-			GenWarning:     t.Gen.Warning,
-			GenError:       t.Gen.Error,
-			CompileRan:     t.CompileRan,
-			CompileWarning: t.Compile.Warning,
-			CompileError:   t.Compile.Error,
+			Ran:            code.executed(),
+			GenWarning:     code&codeGenWarning != 0,
+			GenError:       code&codeGenError != 0,
+			CompileRan:     code&codeCompileRan != 0,
+			CompileWarning: code&codeCompileWarning != 0,
+			CompileError:   code&codeCompileError != 0,
 		}
 	}
 	r.ckpt.append(rec)
@@ -338,23 +368,11 @@ func (r *Runner) seedMemoFromJournal(server framework.ServerFramework, defs []se
 				continue
 			}
 			tm := &e.tests[ci]
-			res := testResultFrom(&rec, tr)
-			tm.once.Do(func() { tm.res = res })
+			code := encodeRecord(tr)
+			tm.once.Do(func() { tm.code = code })
 		}
 	}
 	return nil
-}
-
-// testResultFrom rehydrates one classified test outcome.
-func testResultFrom(rec *journal.Record, tr journal.TestRecord) TestResult {
-	return TestResult{
-		Server:     rec.Server,
-		Client:     tr.Client,
-		Class:      rec.Class,
-		Gen:        Outcome{Warning: tr.GenWarning, Error: tr.GenError},
-		Compile:    Outcome{Warning: tr.CompileWarning, Error: tr.CompileError},
-		CompileRan: tr.CompileRan,
-	}
 }
 
 // replayService re-applies one journaled cell: the exact counter and
@@ -389,6 +407,9 @@ func (r *Runner) replayService(rec journal.Record) (*svcState, error) {
 		d.pubTotal.Add(1)
 		d.pubHits.Add(1)
 		m.publishMemoized.Inc()
+		if rec.Published {
+			m.wsiMemoized.Inc()
+		}
 	}
 	if !rec.Published {
 		return nil, nil
@@ -408,8 +429,7 @@ func (r *Runner) replayService(rec journal.Record) (*svcState, error) {
 		},
 		mode:     mode,
 		verified: rec.Verified,
-		results:  make([]TestResult, len(r.clients)),
-		ran:      make([]bool, len(r.clients)),
+		codes:    make([]outcomeCode, len(r.clients)),
 	}
 	for ci := range rec.Tests {
 		tr := rec.Tests[ci]
@@ -439,8 +459,7 @@ func (r *Runner) replayService(rec journal.Record) (*svcState, error) {
 				}
 			}
 		}
-		st.results[ci] = testResultFrom(&rec, tr)
-		st.ran[ci] = tr.Ran
+		st.codes[ci] = encodeRecord(tr)
 	}
 	return st, nil
 }

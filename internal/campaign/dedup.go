@@ -11,6 +11,7 @@ import (
 	"wsinterop/internal/services"
 	"wsinterop/internal/shape"
 	"wsinterop/internal/wsdl"
+	"wsinterop/internal/wsi"
 )
 
 // This file implements the structural-shape memoization layer
@@ -53,6 +54,12 @@ type DedupStats struct {
 	// names failing the shape.Memoizable guard, or shapes whose
 	// template failed byte-for-byte verification.
 	Fallbacks int
+	// WSIChecks counts full WS-I document checks executed during the
+	// run; WSIMemoized counts verdicts served from the shape memo's
+	// chunk-predicate path instead. They mirror the internal/obs
+	// counters campaign.wsi.checks and campaign.wsi.memoized.
+	WSIChecks   int
+	WSIMemoized int
 }
 
 // shapeKey addresses one memo entry: shapes are structural, so the
@@ -94,7 +101,7 @@ type shapeEntry struct {
 
 type testMemo struct {
 	once sync.Once
-	res  TestResult
+	code outcomeCode
 }
 
 // dedupState is the runner-level memo table plus its counters.
@@ -164,7 +171,14 @@ func (r *Runner) shapeFor(server framework.ServerFramework, def services.Definit
 // exact same counter contributions on resume; ctx is threaded from the
 // publish workers for parity with the transport APIs (in-process
 // publishing runs to completion — the drain contract).
-func (r *Runner) publishOne(_ context.Context, server framework.ServerFramework, def services.Definition) (s publishSlot) {
+//
+// needDoc controls whether a memo-served clone materializes its
+// rendered document. Inside Run nothing ever reads a clone's bytes —
+// tests run against the shape representative and only builder records
+// journal a document — so the streaming pipeline passes false and
+// skips the render entirely; the public Publish API passes true. Every
+// other route (direct, fallback, builder) always carries its document.
+func (r *Runner) publishOne(_ context.Context, server framework.ServerFramework, def services.Definition, needDoc bool) (s publishSlot) {
 	r.met.publishTotal.Inc()
 	if !r.dedupOn() {
 		s = r.publishDirect(server, def)
@@ -210,17 +224,35 @@ func (r *Runner) publishOne(_ context.Context, server framework.ServerFramework,
 		s.mode = modeMemoFallback
 		return s
 	}
-	raw, err := e.tmpl.Render(shape.Vars(def))
-	if err != nil {
-		// Unreachable (slot arity is fixed); stay correct regardless.
+	vars := shape.VarsArray(def)
+	if !wsi.SubstitutionSafe(vars[shape.SlotService], vars[shape.SlotNamespace], vars[shape.SlotSimple]) {
+		// The name-sensitive WS-I chunk predicates failed: the shape's
+		// memoized verdict may not transfer to this class's names, so
+		// it takes the full per-class path (DESIGN.md §10).
 		r.dedup.fallbacks.Add(1)
 		r.met.publishFallback.Inc()
 		s = r.publishDirect(server, def)
 		s.mode = modeMemoFallback
 		return s
 	}
+	var raw []byte
+	if needDoc {
+		var err error
+		raw, err = e.tmpl.Render(vars[:])
+		if err != nil {
+			// Unreachable (slot arity is fixed); stay correct regardless.
+			r.dedup.fallbacks.Add(1)
+			r.met.publishFallback.Inc()
+			s = r.publishDirect(server, def)
+			s.mode = modeMemoFallback
+			return s
+		}
+	}
 	r.dedup.pubHits.Add(1)
 	r.met.publishMemoized.Inc()
+	// The WS-I verdict rides the memo: count it so the shape-level
+	// check path stays observable next to executed checks (wsiChecks).
+	r.met.wsiMemoized.Inc()
 	s.ok = true
 	s.mode = modeMemoized
 	s.svc = PublishedService{
@@ -305,18 +337,19 @@ func (r *Runner) splitShape(server framework.ServerFramework, def services.Defin
 }
 
 // testFor runs steps 2–3 for one (service × client) test, serving it
-// from the shape memo when the service carries a verified entry. The
+// from the shape memo when the service carries a verified entry, and
+// returns the packed outcome code for the service's columnar row. The
 // memoized outcome is computed by whichever same-shape service
-// reaches the client first; clones rewrite only the class name, which
-// is the sole name-dependent field of TestResult. The second return
-// value reports whether the test actually executed (false when the
-// memo served it) — the distinction the cell journal persists so
+// reaches the client first; because the columnar form carries no
+// name-derived strings, a clone IS the memoized code with the
+// executed bit cleared — the distinction the cell journal persists so
 // resume can re-seed memo slots without double-running tests.
-func (r *Runner) testFor(ctx context.Context, svc *PublishedService, ci int) (TestResult, bool) {
+func (r *Runner) testFor(ctx context.Context, svc *PublishedService, ci int) outcomeCode {
 	r.met.testTotal.Inc()
 	e := svc.memo
 	if e == nil {
-		return runTest(ctx, r.clients[ci], svc, r.cfg.Reparse, r.met), true
+		res := runTest(ctx, r.clients[ci], svc, r.cfg.Reparse, r.met)
+		return encodeOutcome(&res, true)
 	}
 	r.dedup.testTotal.Add(1)
 	tm := &e.tests[ci]
@@ -324,12 +357,12 @@ func (r *Runner) testFor(ctx context.Context, svc *PublishedService, ci int) (Te
 	tm.once.Do(func() {
 		ran = true
 		r.dedup.testRuns.Add(1)
-		tm.res = runTest(ctx, r.clients[ci], &e.rep, r.cfg.Reparse, r.met)
+		res := runTest(ctx, r.clients[ci], &e.rep, r.cfg.Reparse, r.met)
+		tm.code = encodeOutcome(&res, true)
 	})
 	if !ran {
 		r.met.testMemoized.Inc()
+		return tm.code &^ codeExecuted
 	}
-	res := tm.res
-	res.Class = svc.Class
-	return res, ran
+	return tm.code
 }

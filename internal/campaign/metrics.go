@@ -31,6 +31,7 @@ type runnerMetrics struct {
 	publishFallback *obs.Counter // memo bypasses (hostile names, failed verification)
 	wsiChecks       *obs.Counter // WS-I document checks executed
 	wsiFlagged      *obs.Counter // checks that raised at least one finding
+	wsiMemoized     *obs.Counter // verdicts served from the shape memo
 	genRuns         *obs.Counter // artifact generations executed
 	genErrors       *obs.Counter // generations classified as errors
 	compileRuns     *obs.Counter // compilations executed
@@ -69,6 +70,7 @@ func newRunnerMetrics(reg *obs.Registry) *runnerMetrics {
 		publishFallback:    reg.Counter("campaign.publish.fallbacks"),
 		wsiChecks:          reg.Counter("campaign.wsi.checks"),
 		wsiFlagged:         reg.Counter("campaign.wsi.flagged"),
+		wsiMemoized:        reg.Counter("campaign.wsi.memoized"),
 		genRuns:            reg.Counter("campaign.generate.runs"),
 		genErrors:          reg.Counter("campaign.generate.errors"),
 		compileRuns:        reg.Counter("campaign.compile.runs"),

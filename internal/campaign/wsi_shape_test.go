@@ -1,0 +1,102 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+
+	"wsinterop/internal/framework"
+	"wsinterop/internal/services"
+	"wsinterop/internal/shape"
+	"wsinterop/internal/typesys"
+	"wsinterop/internal/wsi"
+)
+
+// These tests prove the shape-level WS-I soundness claim of DESIGN.md
+// §10: for every class the memo layer would serve (shape.Memoizable
+// and wsi.SubstitutionSafe both hold), the per-class checker's
+// violated-assertion sequence is identical to its shape
+// representative's — so reusing the representative's verdict per
+// shape can never change a campaign Result.
+
+// wsiVerdictKey runs the per-class checker and flattens the violated
+// assertion IDs (name-derived details stripped) into a comparable key.
+// Publish rejections get a distinct key: rejection is decided before
+// any WS-I check, and must also be constant per shape.
+func wsiVerdictKey(checker *wsi.Checker, server framework.ServerFramework, def services.Definition) string {
+	doc, err := server.Publish(def)
+	if err != nil {
+		return "rejected"
+	}
+	rep := checker.Check(doc)
+	ids := make([]string, len(rep.Violations))
+	for i, v := range rep.Violations {
+		ids[i] = v.Assertion.ID
+	}
+	return strings.Join(ids, ",")
+}
+
+func runWSIShapeEquivalence(t *testing.T, limit int) {
+	t.Helper()
+	checker := wsi.NewChecker()
+	catalogs := map[typesys.Language]*typesys.Catalog{
+		typesys.Java:   typesys.JavaCatalog(),
+		typesys.CSharp: typesys.CSharpCatalog(),
+	}
+	classes, memoizable, shapes := 0, 0, 0
+	for _, server := range framework.Servers() {
+		defs := services.GenerateVariant(catalogs[server.Language()], services.VariantSimple)
+		if limit > 0 && len(defs) > limit {
+			defs = defs[:limit]
+		}
+		type repInfo struct {
+			class   string
+			verdict string
+		}
+		reps := make(map[shape.Fingerprint]repInfo)
+		for _, def := range defs {
+			classes++
+			vars := shape.Vars(def)
+			if !shape.Memoizable(def) ||
+				!wsi.SubstitutionSafe(vars[shape.SlotService], vars[shape.SlotNamespace], vars[shape.SlotSimple]) {
+				// Off the memo path: always checked per class, nothing
+				// to prove.
+				continue
+			}
+			memoizable++
+			verdict := wsiVerdictKey(checker, server, def)
+			fp := shape.Of(def)
+			rep, seen := reps[fp]
+			if !seen {
+				shapes++
+				reps[fp] = repInfo{class: def.Parameter.Name, verdict: verdict}
+				continue
+			}
+			if verdict != rep.verdict {
+				t.Errorf("%s: class %s verdict [%s] diverges from shape representative %s [%s]",
+					server.Name(), def.Parameter.Name, verdict, rep.class, rep.verdict)
+			}
+		}
+	}
+	if memoizable == 0 || shapes == 0 {
+		t.Fatalf("no memoizable classes exercised (classes=%d, shapes=%d)", classes, shapes)
+	}
+	if limit == 0 && classes != 22024 {
+		t.Errorf("corpus size = %d classes, want 22024", classes)
+	}
+	t.Logf("classes=%d memoizable=%d shapes=%d", classes, memoizable, shapes)
+}
+
+func TestWSIShapeEquivalenceScaled(t *testing.T) {
+	runWSIShapeEquivalence(t, 300)
+}
+
+// TestWSIShapeEquivalenceFull replays every class of the study corpus
+// (22 024 service definitions across the seven servers) through the
+// per-class checker and requires each class's verdict to match its
+// shape representative's.
+func TestWSIShapeEquivalenceFull(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale equivalence skipped in -short mode")
+	}
+	runWSIShapeEquivalence(t, 0)
+}

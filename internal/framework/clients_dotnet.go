@@ -28,6 +28,9 @@ import (
 
 type dotNetClient struct {
 	lang artifact.TargetLanguage
+	// compiler is the language back-end; a Compiler is read-only
+	// after construction, so one instance serves every Verify call.
+	compiler *artifact.Compiler
 }
 
 var _ ClientFramework = (*dotNetClient)(nil)
@@ -41,7 +44,11 @@ const jscriptMaxNesting = 3
 func NewDotNetClient(lang artifact.TargetLanguage) ClientFramework {
 	switch lang {
 	case artifact.LangCSharp, artifact.LangVB, artifact.LangJScript:
-		return &dotNetClient{lang: lang}
+		var opts []artifact.Option
+		if lang == artifact.LangJScript {
+			opts = append(opts, artifact.WithMaxNesting(jscriptMaxNesting))
+		}
+		return &dotNetClient{lang: lang, compiler: artifact.NewCompiler(lang, opts...)}
 	default:
 		panic(fmt.Sprintf("framework: %v is not a .NET artifact language", lang))
 	}
@@ -126,9 +133,5 @@ func (c *dotNetClient) generate(f *docFeatures) GenerationResult {
 // Verify implements ClientFramework: compilation with the language
 // back-end's semantics (csc, vbc or jsc).
 func (c *dotNetClient) Verify(u *artifact.Unit) []artifact.Diagnostic {
-	var opts []artifact.Option
-	if c.lang == artifact.LangJScript {
-		opts = append(opts, artifact.WithMaxNesting(jscriptMaxNesting))
-	}
-	return artifact.NewCompiler(c.lang, opts...).Compile(u)
+	return c.compiler.Compile(u)
 }

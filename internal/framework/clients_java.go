@@ -219,8 +219,10 @@ func (c *javaClient) generate(f *docFeatures) GenerationResult {
 
 // Verify implements ClientFramework: Java artifacts are compiled with
 // javac semantics.
+var javaCompiler = artifact.NewCompiler(artifact.LangJava)
+
 func (c *javaClient) Verify(u *artifact.Unit) []artifact.Diagnostic {
-	return artifact.NewCompiler(artifact.LangJava).Compile(u)
+	return javaCompiler.Compile(u)
 }
 
 // unitNameFor derives the artifact unit name from the document.

@@ -72,8 +72,10 @@ func (c *gsoapClient) generate(f *docFeatures) GenerationResult {
 }
 
 // Verify implements ClientFramework: g++ semantics, case-sensitive.
+var cppCompiler = artifact.NewCompiler(artifact.LangCPP)
+
 func (c *gsoapClient) Verify(u *artifact.Unit) []artifact.Diagnostic {
-	return artifact.NewCompiler(artifact.LangCPP).Compile(u)
+	return cppCompiler.Compile(u)
 }
 
 // ---------------------------------------------------------------

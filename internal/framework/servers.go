@@ -177,6 +177,7 @@ func (s *javaServer) publishZeroOperation(def services.Definition) *wsdl.Definit
 // here.
 func (s *javaServer) emitClassType(sch *xsd.Schema, cls *typesys.Class) xsd.QName {
 	ct := xsd.ComplexType{Name: cls.Simple}
+	ct.Sequence = make([]xsd.Element, 0, len(cls.Fields)+1)
 	for _, f := range cls.Fields {
 		switch {
 		case f.Kind == typesys.FieldRef && cls.Hints.Has(typesys.HintUnresolvedAddressingRef):
@@ -419,17 +420,22 @@ func ensureImport(sch *xsd.Schema, ns string) {
 // addEchoWrappers adds the document/literal wrapped request/response
 // elements for the echo operation, shaped by the service's interface
 // variant (the paper's future-work complexity extension).
-func addEchoWrappers(sch *xsd.Schema, def services.Definition, paramType xsd.QName) {
+func addEchoWrappers(sch *xsd.Schema, def services.Definition, paramType xsd.QName, respName string) {
 	opName := def.OperationName
+	// One allocation backs both wrapper complex types and their
+	// sequences; cap-limited carves keep the in/out runs separate.
+	sc := &struct {
+		cts [2]xsd.ComplexType
+		els [4]xsd.Element
+	}{}
 	var in, out []xsd.Element
 	switch def.Variant {
 	case services.VariantMultiParam:
-		in = []xsd.Element{
-			{Name: "input", Type: paramType, Occurs: xsd.Once},
-			{Name: "options", Type: xsd.TypeString, Occurs: xsd.Optional},
-			{Name: "count", Type: xsd.TypeInt, Occurs: xsd.Optional},
-		}
-		out = []xsd.Element{{Name: "return", Type: paramType, Occurs: xsd.Once}}
+		sc.els[0] = xsd.Element{Name: "input", Type: paramType, Occurs: xsd.Once}
+		sc.els[1] = xsd.Element{Name: "options", Type: xsd.TypeString, Occurs: xsd.Optional}
+		sc.els[2] = xsd.Element{Name: "count", Type: xsd.TypeInt, Occurs: xsd.Optional}
+		sc.els[3] = xsd.Element{Name: "return", Type: paramType, Occurs: xsd.Once}
+		in, out = sc.els[0:3:3], sc.els[3:4:4]
 	case services.VariantNested:
 		envelope := func(inner string) *xsd.ComplexType {
 			return &xsd.ComplexType{
@@ -450,15 +456,19 @@ func addEchoWrappers(sch *xsd.Schema, def services.Definition, paramType xsd.QNa
 		)
 		return
 	case services.VariantCollection:
-		in = []xsd.Element{{Name: "input", Type: paramType, Occurs: xsd.Unbounded}}
-		out = []xsd.Element{{Name: "return", Type: paramType, Occurs: xsd.Unbounded}}
+		sc.els[0] = xsd.Element{Name: "input", Type: paramType, Occurs: xsd.Unbounded}
+		sc.els[1] = xsd.Element{Name: "return", Type: paramType, Occurs: xsd.Unbounded}
+		in, out = sc.els[0:1:1], sc.els[1:2:2]
 	default: // VariantSimple and the zero value
-		in = []xsd.Element{{Name: "input", Type: paramType, Occurs: xsd.Once}}
-		out = []xsd.Element{{Name: "return", Type: paramType, Occurs: xsd.Once}}
+		sc.els[0] = xsd.Element{Name: "input", Type: paramType, Occurs: xsd.Once}
+		sc.els[1] = xsd.Element{Name: "return", Type: paramType, Occurs: xsd.Once}
+		in, out = sc.els[0:1:1], sc.els[1:2:2]
 	}
+	sc.cts[0] = xsd.ComplexType{Sequence: in}
+	sc.cts[1] = xsd.ComplexType{Sequence: out}
 	sch.Elements = append(sch.Elements,
-		xsd.Element{Name: opName, Inline: &xsd.ComplexType{Sequence: in}},
-		xsd.Element{Name: opName + "Response", Inline: &xsd.ComplexType{Sequence: out}},
+		xsd.Element{Name: opName, Inline: &sc.cts[0]},
+		xsd.Element{Name: respName, Inline: &sc.cts[1]},
 	)
 }
 
@@ -494,71 +504,86 @@ func endpointFor(def services.Definition, server string) string {
 // namespace WS-I requires (R2717). The nested and collection interface
 // variants have no rpc equivalent and fall back to the simple shape,
 // exactly as the original frameworks degrade them.
+// defScaffold backs one Definitions tree with a single allocation: all
+// the one- and two-element slices the tree hangs off live inline, and
+// the slice headers are cap-limited carves so a later append can never
+// write into a sibling array.
+type defScaffold struct {
+	defs     wsdl.Definitions
+	messages [2]wsdl.Message
+	parts    [4]wsdl.Part
+	pts      [1]wsdl.PortType
+	ops      [1]wsdl.Operation
+	bindings [1]wsdl.Binding
+	bops     [1]wsdl.BindingOperation
+	services [1]wsdl.Service
+	ports    [1]wsdl.Port
+}
+
 func buildDefinitions(def services.Definition, tns string, sch *xsd.Schema, style wsdl.Style, paramType xsd.QName) *wsdl.Definitions {
 	op := def.OperationName
 	portType := def.Name + "PortType"
 	binding := def.Name + "Binding"
+	reqName := op + "Request"
+	respName := op + "Response"
 
-	var messages []wsdl.Message
+	sc := &defScaffold{}
 	bodyNamespace := ""
 	if style == wsdl.StyleRPC {
 		bodyNamespace = tns
-		in := []wsdl.Part{{Name: "input", Type: paramType}}
+		sc.parts[0] = wsdl.Part{Name: "input", Type: paramType}
+		nin := 1
 		if def.Variant == services.VariantMultiParam {
-			in = append(in,
-				wsdl.Part{Name: "options", Type: xsd.TypeString},
-				wsdl.Part{Name: "count", Type: xsd.TypeInt},
-			)
+			sc.parts[1] = wsdl.Part{Name: "options", Type: xsd.TypeString}
+			sc.parts[2] = wsdl.Part{Name: "count", Type: xsd.TypeInt}
+			nin = 3
 		}
-		messages = []wsdl.Message{
-			{Name: op + "Request", Parts: in},
-			{Name: op + "Response", Parts: []wsdl.Part{{Name: "return", Type: paramType}}},
-		}
+		sc.parts[3] = wsdl.Part{Name: "return", Type: paramType}
+		sc.messages[0] = wsdl.Message{Name: reqName, Parts: sc.parts[0:nin:nin]}
+		sc.messages[1] = wsdl.Message{Name: respName, Parts: sc.parts[3:4:4]}
 	} else {
 		style = wsdl.StyleDocument
-		addEchoWrappers(sch, def, paramType)
-		messages = []wsdl.Message{
-			{Name: op + "Request", Parts: []wsdl.Part{
-				{Name: "parameters", Element: xsd.QName{Space: tns, Local: op}},
-			}},
-			{Name: op + "Response", Parts: []wsdl.Part{
-				{Name: "parameters", Element: xsd.QName{Space: tns, Local: op + "Response"}},
-			}},
-		}
+		addEchoWrappers(sch, def, paramType, respName)
+		sc.parts[0] = wsdl.Part{Name: "parameters", Element: xsd.QName{Space: tns, Local: op}}
+		sc.parts[1] = wsdl.Part{Name: "parameters", Element: xsd.QName{Space: tns, Local: respName}}
+		sc.messages[0] = wsdl.Message{Name: reqName, Parts: sc.parts[0:1:1]}
+		sc.messages[1] = wsdl.Message{Name: respName, Parts: sc.parts[1:2:2]}
 	}
 
-	return &wsdl.Definitions{
+	sc.ops[0] = wsdl.Operation{
+		Name:   op,
+		Input:  wsdl.IORef{Message: reqName},
+		Output: wsdl.IORef{Message: respName},
+	}
+	sc.pts[0] = wsdl.PortType{Name: portType, Operations: sc.ops[:]}
+	sc.bops[0] = wsdl.BindingOperation{
+		Name:          op,
+		InputUse:      wsdl.UseLiteral,
+		OutputUse:     wsdl.UseLiteral,
+		BodyNamespace: bodyNamespace,
+	}
+	sc.bindings[0] = wsdl.Binding{
+		Name:       binding,
+		PortType:   portType,
+		Transport:  wsdl.NamespaceSOAPHTTP,
+		Style:      style,
+		Operations: sc.bops[:],
+	}
+	sc.ports[0] = wsdl.Port{
+		Name:     def.Name + "Port",
+		Binding:  binding,
+		Location: endpointFor(def, ""),
+	}
+	sc.services[0] = wsdl.Service{Name: def.Name, Ports: sc.ports[:]}
+
+	sc.defs = wsdl.Definitions{
 		Name:            def.Name,
 		TargetNamespace: tns,
 		Types:           xsd.NewSchemaSet(sch),
-		Messages:        messages,
-		PortTypes: []wsdl.PortType{{
-			Name: portType,
-			Operations: []wsdl.Operation{{
-				Name:   op,
-				Input:  wsdl.IORef{Message: op + "Request"},
-				Output: wsdl.IORef{Message: op + "Response"},
-			}},
-		}},
-		Bindings: []wsdl.Binding{{
-			Name:      binding,
-			PortType:  portType,
-			Transport: wsdl.NamespaceSOAPHTTP,
-			Style:     style,
-			Operations: []wsdl.BindingOperation{{
-				Name:          op,
-				InputUse:      wsdl.UseLiteral,
-				OutputUse:     wsdl.UseLiteral,
-				BodyNamespace: bodyNamespace,
-			}},
-		}},
-		Services: []wsdl.Service{{
-			Name: def.Name,
-			Ports: []wsdl.Port{{
-				Name:     def.Name + "Port",
-				Binding:  binding,
-				Location: endpointFor(def, ""),
-			}},
-		}},
+		Messages:        sc.messages[:],
+		PortTypes:       sc.pts[:],
+		Bindings:        sc.bindings[:],
+		Services:        sc.services[:],
 	}
+	return &sc.defs
 }

@@ -3,10 +3,59 @@ package framework
 import (
 	"strconv"
 	"strings"
+	"sync"
 
 	"wsinterop/internal/artifact"
 	"wsinterop/internal/xsd"
 )
+
+// unitArena owns the backing storage of one generated Unit: the unit
+// value itself plus the class, field, method and parameter arrays its
+// slices are carved from. Arenas recycle through a pool so the test
+// hot path — one generated unit per (shape, client) — reaches a
+// steady state with no per-unit allocation at all. A unit built on an
+// arena carries the arena as its owner token; ReleaseUnit returns it
+// to the pool once the caller is done with the unit.
+type unitArena struct {
+	unit    artifact.Unit
+	classes []artifact.Class
+	fields  []artifact.Field
+	methods []artifact.Method
+	params  []artifact.Param
+}
+
+var unitArenas = sync.Pool{New: func() any { return new(unitArena) }}
+
+// grow reslices the arena arrays to zero length, growing their
+// capacity to the given counts when a previous tenant's were smaller.
+func (a *unitArena) grow(classes, fields, methods, params int) {
+	if cap(a.classes) < classes {
+		a.classes = make([]artifact.Class, 0, classes)
+	}
+	if cap(a.fields) < fields {
+		a.fields = make([]artifact.Field, 0, fields)
+	}
+	if cap(a.methods) < methods {
+		a.methods = make([]artifact.Method, 0, methods)
+	}
+	if cap(a.params) < params {
+		a.params = make([]artifact.Param, 0, params)
+	}
+	a.classes, a.fields = a.classes[:0], a.fields[:0]
+	a.methods, a.params = a.methods[:0], a.params[:0]
+}
+
+// ReleaseUnit returns an arena-built unit's backing storage to the
+// pool. The caller must not touch the unit afterwards. Units without
+// an owner token (hand-built in tests) are ignored.
+func ReleaseUnit(u *artifact.Unit) {
+	if u == nil {
+		return
+	}
+	if a, ok := u.Owner().(*unitArena); ok {
+		unitArenas.Put(a)
+	}
+}
 
 // unitBuilder configures the shared artifact generation machinery
 // with the code-generation style — and bugs — of one client tool.
@@ -53,27 +102,73 @@ var jscriptReservedWords = map[string]bool{
 	"typeof": true, "instanceof": true, "delete": true,
 }
 
-// build generates the artifact unit for an analyzed document.
+// build generates the artifact unit for an analyzed document. The
+// unit and every slice it carries are carved out of one pooled arena;
+// the caller hands the storage back with ReleaseUnit when done.
 func (b unitBuilder) build(f *docFeatures) *artifact.Unit {
-	u := &artifact.Unit{Language: b.lang, Name: b.unitName}
-
-	throwables := make(map[string]bool, len(f.throwableTypes))
-	for _, t := range f.throwableTypes {
-		throwables[t] = true
+	// The throwable set only matters when the Axis1 wrapper bug is on;
+	// every other generator never reads it.
+	var throwables map[string]bool
+	if b.throwableWrapperBug && len(f.throwableTypes) > 0 {
+		throwables = make(map[string]bool, len(f.throwableTypes))
+		for _, t := range f.throwableTypes {
+			throwables[t] = true
+		}
 	}
 
 	// Simple types map to scalars in every generator; references to
 	// them must not surface as class references in the artifacts.
-	scalars := make(map[string]bool)
+	var scalars map[string]bool
+	beans, totalFields := 0, 0
 	if f.def.Types != nil {
+		nScalars := 0
 		for _, sch := range f.def.Types.Schemas {
-			for i := range sch.SimpleTypes {
-				scalars[sch.SimpleTypes[i].Name] = true
+			nScalars += len(sch.SimpleTypes)
+			for i := range sch.ComplexTypes {
+				if sch.ComplexTypes[i].Name != "" {
+					beans++
+					totalFields += len(sch.ComplexTypes[i].Sequence)
+				}
+			}
+		}
+		if nScalars > 0 {
+			scalars = make(map[string]bool, nScalars)
+			for _, sch := range f.def.Types.Schemas {
+				for i := range sch.SimpleTypes {
+					scalars[sch.SimpleTypes[i].Name] = true
+				}
 			}
 		}
 	}
+	nOps := 0
+	for _, pt := range f.def.PortTypes {
+		nOps += len(pt.Operations)
+	}
 
-	// Bean classes from every named complex type.
+	// Method capacity: the port's operations plus the per-quirk bean
+	// methods — one deserializer per bean (Axis2), one accessor per
+	// field and one marshaller per bean (JScript), one fault accessor
+	// per bean (Axis1). Over-counting only costs arena slack.
+	methodsCap := nOps
+	if b.lowerLocals {
+		methodsCap += beans
+	}
+	if b.accessorCalls {
+		methodsCap += beans + totalFields
+	}
+	if b.throwableWrapperBug {
+		methodsCap += beans
+	}
+
+	a := unitArenas.Get().(*unitArena)
+	a.grow(1+beans, totalFields, methodsCap, nOps)
+	u := &a.unit
+	*u = artifact.Unit{Language: b.lang, Name: b.unitName}
+	u.SetOwner(a)
+
+	// Slot 0 is reserved for the port class (Unit.PortClass
+	// convention); beans fill in behind it with no re-copy.
+	a.classes = append(a.classes, artifact.Class{})
 	if f.def.Types != nil {
 		for _, sch := range f.def.Types.Schemas {
 			for i := range sch.ComplexTypes {
@@ -81,36 +176,41 @@ func (b unitBuilder) build(f *docFeatures) *artifact.Unit {
 				if ct.Name == "" {
 					continue
 				}
-				u.Classes = append(u.Classes, b.beanClass(ct, throwables[ct.Name], scalars))
+				a.classes = append(a.classes, b.beanClass(ct, throwables[ct.Name], scalars, &a.fields, &a.methods))
 			}
 		}
 	}
+	u.Classes = a.classes[:len(a.classes):len(a.classes)]
 
-	// The port class goes first (Unit.PortClass convention).
-	port := artifact.Class{
-		Name:               b.unitName + b.stemSfx,
-		NestingDepth:       f.maxNesting,
-		UsesRawCollections: b.rawCollections,
-	}
+	port := &u.Classes[0]
+	port.Name = b.unitName + b.stemSfx
+	port.NestingDepth = f.maxNesting
+	port.UsesRawCollections = b.rawCollections
+	pstart := len(a.methods)
 	for _, pt := range f.def.PortTypes {
 		for _, op := range pt.Operations {
-			port.Methods = append(port.Methods, b.portMethod(f, op.Name))
+			a.methods = append(a.methods, b.portMethod(f, op.Name, &a.params))
 		}
 	}
-	u.Classes = append([]artifact.Class{port}, u.Classes...)
+	if n := len(a.methods) - pstart; n > 0 {
+		port.Methods = a.methods[pstart : pstart+n : pstart+n]
+	}
 	return u
 }
 
-// portMethod generates one invocable proxy method.
-func (b unitBuilder) portMethod(f *docFeatures, opName string) artifact.Method {
+// portMethod generates one invocable proxy method, carving its
+// parameter list from the arena's parameter array.
+func (b unitBuilder) portMethod(f *docFeatures, opName string, params *[]artifact.Param) artifact.Method {
 	paramType, firstField := operationParameter(f, opName)
 	paramName := "input"
 	if b.flattenParams && firstField != "" {
 		paramName = firstField
 	}
+	pstart := len(*params)
+	*params = append(*params, artifact.Param{Name: paramName, Type: paramType})
 	m := artifact.Method{
 		Name:   opName,
-		Params: []artifact.Param{{Name: paramName, Type: paramType}},
+		Params: (*params)[pstart : pstart+1 : pstart+1],
 		Return: paramType,
 	}
 	return m
@@ -119,14 +219,24 @@ func (b unitBuilder) portMethod(f *docFeatures, opName string) artifact.Method {
 // beanClass generates one data class, applying the configured
 // code-generation style. scalars lists simple-type names that map to
 // built-in scalars rather than generated classes.
-func (b unitBuilder) beanClass(ct *xsd.ComplexType, throwable bool, scalars map[string]bool) artifact.Class {
+func (b unitBuilder) beanClass(ct *xsd.ComplexType, throwable bool, scalars map[string]bool, farena *[]artifact.Field, marena *[]artifact.Method) artifact.Class {
 	cls := artifact.Class{
 		Name:               ct.Name,
 		UsesRawCollections: b.rawCollections,
 	}
 
-	seen := make(map[string]bool, len(ct.Sequence))
-	var fieldNames []string
+	// This class's fields and methods are runs carved out of the
+	// unit-wide arenas; build sized them up front, so the appends stay
+	// in place and each carve is a cap-limited subslice, never an
+	// allocation.
+	fstart := len(*farena)
+
+	// The case-collision map is only consulted by the wsdl.exe rename
+	// quirk; skip the map (and the per-field ToLower) otherwise.
+	var seen map[string]bool
+	if b.renameCaseCollisions {
+		seen = make(map[string]bool, len(ct.Sequence))
+	}
 	for i := range ct.Sequence {
 		el := &ct.Sequence[i]
 		name := el.Name
@@ -140,42 +250,45 @@ func (b unitBuilder) beanClass(ct *xsd.ComplexType, throwable bool, scalars map[
 			for n := 2; seen[strings.ToLower(name)]; n++ {
 				name = base + "_" + strconv.Itoa(n)
 			}
+			seen[strings.ToLower(name)] = true
 		}
-		seen[strings.ToLower(name)] = true
 
 		typeName := ""
 		if el.Inline == nil && !el.Type.IsZero() && !xsd.IsBuiltin(el.Type) && !scalars[el.Type.Local] {
 			typeName = el.Type.Local
 		}
-		cls.Fields = append(cls.Fields, artifact.Field{Name: name, Type: typeName})
-		fieldNames = append(fieldNames, name)
+		*farena = append(*farena, artifact.Field{Name: name, Type: typeName})
 	}
+	fields := (*farena)[fstart:len(*farena):len(*farena)]
+	cls.Fields = fields
+	mstart := len(*marena)
 
-	if b.lowerLocals && len(fieldNames) > 0 {
-		locals := make([]string, 0, len(fieldNames))
-		for _, fn := range fieldNames {
-			locals = append(locals, "local_"+strings.ToLower(fn))
+	if b.lowerLocals && len(fields) > 0 {
+		locals := make([]string, 0, len(fields))
+		for i := range fields {
+			locals = append(locals, "local_"+strings.ToLower(fields[i].Name))
 		}
-		cls.Methods = append(cls.Methods, artifact.Method{
+		*marena = append(*marena, artifact.Method{
 			Name:   "parse" + ct.Name,
 			Locals: locals,
 		})
 	}
 
 	if b.accessorCalls {
-		var calls []string
-		for _, fn := range fieldNames {
+		calls := make([]string, 0, len(fields))
+		for i := range fields {
+			fn := fields[i].Name
 			accessor := "get_" + fn
 			calls = append(calls, accessor)
 			if b.omitReservedAccessors && jscriptReservedWords[fn] {
 				continue // the bug: call emitted, definition skipped
 			}
-			cls.Methods = append(cls.Methods, artifact.Method{
+			*marena = append(*marena, artifact.Method{
 				Name:      accessor,
 				FieldRefs: []string{fn},
 			})
 		}
-		cls.Methods = append(cls.Methods, artifact.Method{
+		*marena = append(*marena, artifact.Method{
 			Name:  "marshal" + ct.Name,
 			Calls: calls,
 		})
@@ -185,10 +298,13 @@ func (b unitBuilder) beanClass(ct *xsd.ComplexType, throwable bool, scalars map[
 		// Axis1 names the wrapper attribute after the element but the
 		// generated accessor references a member named after the type:
 		// an unresolved member reference.
-		cls.Methods = append(cls.Methods, artifact.Method{
+		*marena = append(*marena, artifact.Method{
 			Name:      "getFaultInfo",
 			FieldRefs: []string{lowerFirst(ct.Name)},
 		})
+	}
+	if n := len(*marena) - mstart; n > 0 {
+		cls.Methods = (*marena)[mstart : mstart+n : mstart+n]
 	}
 	return cls
 }

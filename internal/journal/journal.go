@@ -113,13 +113,25 @@ type Journal struct {
 	// compactions; set it before the first Append to override
 	// DefaultCompactEvery.
 	CompactEvery int
+	// FlushEvery is the number of appends between durable flushes; 0
+	// or 1 (the default) flushes every record before Append returns.
+	// Larger values group-commit: records become durable at the next
+	// flush boundary (every FlushEvery appends, at a compaction, at
+	// Flush, or at Close), and a hard kill in between loses only the
+	// unflushed tail — buffered lines reach the file whole except
+	// possibly the last, which torn-tail recovery already drops.
+	FlushEvery int
 	// AfterAppend, when non-nil, observes every durable append with
 	// the total number of appends this session — the campaign's
-	// kill-point test hook.
+	// kill-point test hook. Under a group-commit FlushEvery it fires
+	// once per record, in order, when the batch holding the record
+	// becomes durable.
 	AfterAppend func(total int)
 
 	appended     int
 	sinceCompact int
+	sinceFlush   int
+	notified     int
 	compactions  int
 }
 
@@ -328,10 +340,12 @@ func (j *Journal) Appended() int { return j.appended }
 // Compactions reports the number of snapshot compactions this session.
 func (j *Journal) Compactions() int { return j.compactions }
 
-// Append durably records one completed cell: the line is written and
-// flushed before Append returns, so a kill after Append never loses
-// the cell. Every CompactEvery appends the store compacts into an
-// atomic snapshot and restarts the journal file.
+// Append records one completed cell. With the default FlushEvery the
+// line is written and flushed before Append returns, so a kill after
+// Append never loses the cell; a group-commit FlushEvery defers the
+// flush to the next batch boundary. Every CompactEvery appends the
+// store compacts into an atomic snapshot and restarts the journal
+// file (which also makes every pending record durable).
 func (j *Journal) Append(rec Record) error {
 	if rec.Trace == "" {
 		return errors.New("journal: record has no trace ID")
@@ -343,21 +357,51 @@ func (j *Journal) Append(rec Record) error {
 	if _, err := j.w.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
-	if err := j.w.Flush(); err != nil {
-		return fmt.Errorf("journal: %w", err)
-	}
 	j.put(rec)
 	j.appended++
 	j.sinceCompact++
+	j.sinceFlush++
+	if fe := j.FlushEvery; fe <= 1 || j.sinceFlush >= fe {
+		if err := j.Flush(); err != nil {
+			return err
+		}
+	}
 	if j.sinceCompact >= j.CompactEvery {
 		if err := j.compact(); err != nil {
 			return err
 		}
-	}
-	if j.AfterAppend != nil {
-		j.AfterAppend(j.appended)
+		j.notifyDurable()
 	}
 	return nil
+}
+
+// Flush makes every appended record durable and notifies AfterAppend
+// of each newly durable append. A no-op when nothing is pending.
+func (j *Journal) Flush() error {
+	if j.sinceFlush == 0 {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.sinceFlush = 0
+	j.notifyDurable()
+	return nil
+}
+
+// notifyDurable reports every append that has become durable since
+// the last notification, one AfterAppend call per record in order —
+// so hooks keyed on exact totals (the kill-point tests) see the same
+// sequence whether or not appends were batched.
+func (j *Journal) notifyDurable() {
+	if j.AfterAppend == nil {
+		j.notified = j.appended
+		return
+	}
+	for j.notified < j.appended {
+		j.notified++
+		j.AfterAppend(j.notified)
+	}
 }
 
 // compact rewrites every record into the snapshot file atomically and
@@ -381,8 +425,11 @@ func (j *Journal) compact() error {
 	if _, err := j.f.Seek(0, 0); err != nil {
 		return fmt.Errorf("journal: %w", err)
 	}
+	// Pending buffered bytes are already captured in the snapshot;
+	// Reset discards them and the records count as flushed.
 	j.w.Reset(j.f)
 	j.sinceCompact = 0
+	j.sinceFlush = 0
 	j.compactions++
 	return nil
 }
@@ -393,7 +440,7 @@ func (j *Journal) Close() error {
 	if j.f == nil {
 		return nil
 	}
-	ferr := j.w.Flush()
+	ferr := j.Flush()
 	if serr := j.f.Sync(); ferr == nil {
 		ferr = serr
 	}

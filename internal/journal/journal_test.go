@@ -300,3 +300,139 @@ func TestAfterAppendHook(t *testing.T) {
 		t.Errorf("AfterAppend saw %v, want [1 2 3]", seen)
 	}
 }
+
+// TestFlushEveryGroupCommit exercises the batched-append contract:
+// records become durable at flush boundaries (FlushEvery-th append,
+// explicit Flush, compaction, Close), AfterAppend fires once per
+// record in order at its durable point, and a reopened store replays
+// everything that was flushed.
+func TestFlushEveryGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta(), false)
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	j.FlushEvery = 4
+	var seen []int
+	j.AfterAppend = func(total int) { seen = append(seen, total) }
+
+	for i := 0; i < 6; i++ {
+		if err := j.Append(record(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	// Appends 1-4 crossed the FlushEvery boundary; 5-6 are pending.
+	if want := []int{1, 2, 3, 4}; !reflect.DeepEqual(seen, want) {
+		t.Fatalf("AfterAppend saw %v before explicit flush, want %v", seen, want)
+	}
+	if err := j.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if want := []int{1, 2, 3, 4, 5, 6}; !reflect.DeepEqual(seen, want) {
+		t.Fatalf("AfterAppend saw %v after flush, want %v", seen, want)
+	}
+	// A no-op flush must not re-notify.
+	if err := j.Flush(); err != nil {
+		t.Fatalf("idempotent flush: %v", err)
+	}
+	if len(seen) != 6 {
+		t.Fatalf("no-op flush re-notified: %v", seen)
+	}
+	// Close flushes the pending tail.
+	if err := j.Append(record(6)); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if want := []int{1, 2, 3, 4, 5, 6, 7}; !reflect.DeepEqual(seen, want) {
+		t.Fatalf("AfterAppend saw %v after close, want %v", seen, want)
+	}
+
+	re, err := Open(dir, testMeta(), true)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() { _ = re.Close() }()
+	if got := len(re.Records()); got != 7 {
+		t.Errorf("reopened store holds %d records, want 7", got)
+	}
+}
+
+// TestFlushEveryCompactionIsDurable checks that a compaction mid-batch
+// counts as the batch's durable point: the snapshot captures pending
+// records, AfterAppend fires for them, and nothing is lost on reopen.
+func TestFlushEveryCompactionIsDurable(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta(), false)
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	j.FlushEvery = 100 // never reached
+	j.CompactEvery = 5
+	var seen []int
+	j.AfterAppend = func(total int) { seen = append(seen, total) }
+	for i := 0; i < 7; i++ {
+		if err := j.Append(record(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	// The compaction at append 5 made 1-5 durable; 6-7 pend.
+	if want := []int{1, 2, 3, 4, 5}; !reflect.DeepEqual(seen, want) {
+		t.Fatalf("AfterAppend saw %v after compaction, want %v", seen, want)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	re, err := Open(dir, testMeta(), true)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() { _ = re.Close() }()
+	if got := len(re.Records()); got != 7 {
+		t.Errorf("reopened store holds %d records, want 7", got)
+	}
+}
+
+// TestFlushEveryTornTailRecovery drops the unflushed tail plus a torn
+// final line, as a hard kill mid-batch would, and requires the lenient
+// recovery path to surface every record before the tear untouched.
+func TestFlushEveryTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, testMeta(), false)
+	if err != nil {
+		t.Fatalf("open fresh: %v", err)
+	}
+	j.FlushEvery = 3
+	for i := 0; i < 9; i++ {
+		if err := j.Append(record(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Simulate the kill: truncate the journal mid-line.
+	path := filepath.Join(dir, journalFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	lines := strings.SplitAfter(strings.TrimSuffix(string(raw), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("journal has %d lines, need at least 2", len(lines))
+	}
+	last := lines[len(lines)-1]
+	torn := strings.Join(lines[:len(lines)-1], "") + last[:len(last)/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatalf("tear journal: %v", err)
+	}
+	re, err := Open(dir, testMeta(), true)
+	if err != nil {
+		t.Fatalf("reopen torn: %v", err)
+	}
+	defer func() { _ = re.Close() }()
+	if got := len(re.Records()); got != 8 {
+		t.Errorf("torn reopen surfaced %d records, want 8", got)
+	}
+}

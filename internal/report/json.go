@@ -40,6 +40,8 @@ type jsonDedup struct {
 	TestTotal       int  `json:"testTotal"`
 	TestMemoized    int  `json:"testMemoized"`
 	Fallbacks       int  `json:"fallbacks"`
+	WSIChecks       int  `json:"wsiChecks"`
+	WSIMemoized     int  `json:"wsiMemoized"`
 }
 
 // jsonRobust is one (server × fault) row of the robustness matrix.
@@ -129,6 +131,7 @@ func JSON(w io.Writer, res *campaign.Result, comm *campaign.CommResult, robust *
 			PublishTotal: d.PublishTotal, PublishMemoized: d.PublishMemoized,
 			TestTotal: d.TestTotal, TestMemoized: d.TestMemoized,
 			Fallbacks: d.Fallbacks,
+			WSIChecks: d.WSIChecks, WSIMemoized: d.WSIMemoized,
 		}
 	}
 	out.Metrics = res.Metrics

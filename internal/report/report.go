@@ -131,6 +131,8 @@ func Dedup(w io.Writer, res *campaign.Result) error {
 		fmt.Sprintf("publishes memoized:                 %d of %d (%.1f%%)", d.PublishMemoized, d.PublishTotal, rate(d.PublishMemoized, d.PublishTotal)),
 		fmt.Sprintf("client tests memoized:              %d of %d (%.1f%%)", d.TestMemoized, d.TestTotal, rate(d.TestMemoized, d.TestTotal)),
 		fmt.Sprintf("template fallbacks (per-class):     %d", d.Fallbacks),
+		fmt.Sprintf("WS-I verdicts memoized:             %d of %d (%.1f%%)",
+			d.WSIMemoized, d.WSIMemoized+d.WSIChecks, rate(d.WSIMemoized, d.WSIMemoized+d.WSIChecks)),
 	}
 	for _, ln := range lines {
 		if _, err := fmt.Fprintln(w, ln); err != nil {

@@ -13,6 +13,7 @@ package services
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"wsinterop/internal/typesys"
 )
@@ -102,14 +103,34 @@ func Generate(cat *typesys.Catalog) []Definition {
 	return GenerateVariant(cat, VariantSimple)
 }
 
+// corpusKey identifies one generated corpus: the catalog identity
+// (catalogs are shared and immutable once built) and the variant.
+type corpusKey struct {
+	cat *typesys.Catalog
+	v   Variant
+}
+
+// corpora caches generated corpora. A campaign walks the same catalog
+// once per server and once per Run; the walk — one Definition with a
+// camelized name per class, 22 024 across the study's catalogs — is
+// identical every time, so it is performed once per (catalog, variant).
+var corpora sync.Map // corpusKey → []Definition
+
 // GenerateVariant creates the corpus at the given interface
-// complexity.
+// complexity. The returned slice is shared and cached per (catalog,
+// variant): callers may reslice it but must not modify its elements.
 func GenerateVariant(cat *typesys.Catalog, v Variant) []Definition {
+	key := corpusKey{cat, v}
+	if defs, ok := corpora.Load(key); ok {
+		return defs.([]Definition)
+	}
 	defs := make([]Definition, 0, cat.Len())
 	for i := range cat.Classes {
 		defs = append(defs, ForClassVariant(&cat.Classes[i], v))
 	}
-	return defs
+	defs = defs[:len(defs):len(defs)]
+	actual, _ := corpora.LoadOrStore(key, defs)
+	return actual.([]Definition)
 }
 
 // camelize converts a dotted fully qualified class name into a camel

@@ -103,12 +103,20 @@ const (
 
 // Vars returns the definition's name-derived strings in slot order.
 func Vars(def services.Definition) []string {
+	v := VarsArray(def)
+	return v[:]
+}
+
+// VarsArray is the allocation-free form of Vars: the fixed-arity
+// value array returned by value, so a caller that only needs the
+// values for a Render call keeps them on its stack.
+func VarsArray(def services.Definition) [3]string {
 	cls := def.Parameter
-	return []string{
-		SlotService:   def.Name,
-		SlotNamespace: typesys.NamespaceFor(cls.Language, cls.Package),
-		SlotSimple:    cls.Simple,
-	}
+	var v [3]string
+	v[SlotService] = def.Name
+	v[SlotNamespace] = typesys.NamespaceFor(cls.Language, cls.Package)
+	v[SlotSimple] = cls.Simple
+	return v
 }
 
 // Sentinel tokens. They are valid NCNames, survive SanitizeNCName

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Language identifies the implementation language of a class.
@@ -445,16 +446,34 @@ func (c *Catalog) SortedPackages() []string {
 // or C# emitter derives for it (reverse-DNS convention for Java,
 // tempuri-rooted convention for .NET).
 func NamespaceFor(lang Language, pkg string) string {
+	key := nsKey{lang, pkg}
+	if ns, ok := nsCache.Load(key); ok {
+		return ns.(string)
+	}
+	var ns string
 	switch lang {
 	case Java:
 		parts := strings.Split(pkg, ".")
 		for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
 			parts[i], parts[j] = parts[j], parts[i]
 		}
-		return "http://" + strings.Join(parts, ".") + "/"
+		ns = "http://" + strings.Join(parts, ".") + "/"
 	case CSharp:
-		return "http://tempuri.org/" + strings.ReplaceAll(pkg, ".", "/") + "/"
+		ns = "http://tempuri.org/" + strings.ReplaceAll(pkg, ".", "/") + "/"
 	default:
-		return "http://example.invalid/" + pkg + "/"
+		ns = "http://example.invalid/" + pkg + "/"
 	}
+	nsCache.Store(key, ns)
+	return ns
 }
+
+// nsKey identifies one derived namespace. Packages repeat across the
+// catalog — a few hundred distinct values name tens of thousands of
+// classes — so the derivation is cached rather than re-concatenated on
+// every publish.
+type nsKey struct {
+	lang Language
+	pkg  string
+}
+
+var nsCache sync.Map // nsKey → string

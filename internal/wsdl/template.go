@@ -43,30 +43,55 @@ func NewTemplate(raw []byte, vars []string) (*Template, error) {
 		}
 	}
 	t := &Template{counts: make([]int, len(vars))}
-	rest := raw
-	for len(rest) > 0 {
-		slot, pos := -1, len(rest)
-		for i, v := range vars {
-			p := bytes.Index(rest, []byte(v))
+	// Cache each variable's next occurrence (absolute position in raw)
+	// so the split is one forward scan per variable instead of a fresh
+	// search per chunk. A cached match at or past the cursor is still
+	// the leftmost one — any earlier match would have been found by the
+	// search that produced it.
+	varBytes := make([][]byte, len(vars))
+	next := make([]int, len(vars))
+	occurrences := 0
+	for i, v := range vars {
+		varBytes[i] = []byte(v)
+		next[i] = bytes.Index(raw, varBytes[i])
+		// Raw per-variable counts over-estimate when matches shadow each
+		// other, which only costs a little slack in the exact-size
+		// allocations below.
+		occurrences += bytes.Count(raw, varBytes[i])
+	}
+	t.chunks = make([][]byte, 0, occurrences+1)
+	t.slots = make([]int, 0, occurrences)
+	off := 0
+	for off < len(raw) {
+		slot, pos := -1, len(raw)
+		for i := range vars {
+			if p := next[i]; p >= 0 && p < off {
+				p = bytes.Index(raw[off:], varBytes[i])
+				if p >= 0 {
+					p += off
+				}
+				next[i] = p
+			}
+			p := next[i]
 			if p < 0 || p > pos {
 				continue
 			}
 			// Longer match wins at equal positions.
-			if p < pos || len(v) > len(vars[slot]) {
+			if p < pos || len(vars[i]) > len(vars[slot]) {
 				slot, pos = i, p
 			}
 		}
 		if slot < 0 {
 			break
 		}
-		t.chunks = append(t.chunks, rest[:pos])
-		t.literal += pos
+		t.chunks = append(t.chunks, raw[off:pos])
+		t.literal += pos - off
 		t.slots = append(t.slots, slot)
 		t.counts[slot]++
-		rest = rest[pos+len(vars[slot]):]
+		off = pos + len(vars[slot])
 	}
-	t.chunks = append(t.chunks, rest)
-	t.literal += len(rest)
+	t.chunks = append(t.chunks, raw[off:])
+	t.literal += len(raw) - off
 	return t, nil
 }
 

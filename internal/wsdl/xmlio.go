@@ -5,6 +5,7 @@ import (
 	"encoding/xml"
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -61,14 +62,68 @@ func Marshal(d *Definitions) ([]byte, error) {
 	return out, nil
 }
 
+// qattr writes one ` name="value"` attribute with Go-quoted (%q)
+// semantics — the exact bytes the fmt.Fprintf(" %s=%q") form this
+// writer used to emit, without the fmt reflection cost.
+func qattr(buf *bytes.Buffer, name, value string) {
+	buf.WriteByte(' ')
+	buf.WriteString(name)
+	buf.WriteByte('=')
+	if quotePlain(value) {
+		// Printable ASCII with nothing to escape: %q is the value
+		// verbatim between quotes, no strconv scan needed.
+		buf.WriteByte('"')
+		buf.WriteString(value)
+		buf.WriteByte('"')
+		return
+	}
+	buf.Write(strconv.AppendQuote(buf.AvailableBuffer(), value))
+}
+
+// qref writes a qualified-reference attribute straight from the
+// QName, producing the same bytes as qattr(buf, name, pt.Ref(q))
+// without materializing the prefix:local string.
+func qref(buf *bytes.Buffer, name string, pt *xsd.PrefixTable, q xsd.QName) {
+	if q.Space == "" {
+		qattr(buf, name, q.Local)
+		return
+	}
+	p := pt.Prefix(q.Space)
+	if quotePlain(p) && quotePlain(q.Local) {
+		buf.WriteByte(' ')
+		buf.WriteString(name)
+		buf.WriteString(`="`)
+		buf.WriteString(p)
+		buf.WriteByte(':')
+		buf.WriteString(q.Local)
+		buf.WriteByte('"')
+		return
+	}
+	qattr(buf, name, pt.Ref(q))
+}
+
+// quotePlain reports whether %q renders s as `"` + s + `"` — printable
+// ASCII containing neither quote nor backslash. Nearly every attribute
+// value the campaign emits qualifies.
+func quotePlain(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < 0x20 || c > 0x7e || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}
+
 // marshalTo writes the document into a caller-owned buffer.
 func marshalTo(buf *bytes.Buffer, d *Definitions) error {
 	buf.WriteString(xml.Header)
 
-	pt := xsd.NewPrefixTable(d.TargetNamespace)
-	// Pre-assign the WSDL-layer prefixes deterministically.
-	wsdlPrefix := "wsdl"
-	soapPrefix := "soap"
+	pt := xsd.AcquirePrefixTable(d.TargetNamespace)
+	defer xsd.ReleasePrefixTable(pt)
+	// Pre-assigned WSDL-layer prefixes, deterministic.
+	const wsdlPrefix = "wsdl"
+	const soapPrefix = "soap"
 
 	type attr struct{ name, value string }
 	attrs := []attr{
@@ -95,13 +150,18 @@ func marshalTo(buf *bytes.Buffer, d *Definitions) error {
 	}
 
 	buf.WriteString("<" + wsdlPrefix + ":definitions")
-	seen := make(map[string]bool, len(attrs))
-	for _, a := range attrs {
-		if seen[a.name] {
+	for i, a := range attrs {
+		dup := false
+		for _, prev := range attrs[:i] {
+			if prev.name == a.name {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[a.name] = true
-		fmt.Fprintf(buf, " %s=%q", a.name, a.value)
+		qattr(buf, a.name, a.value)
 	}
 	buf.WriteString(">\n")
 
@@ -113,11 +173,12 @@ func marshalTo(buf *bytes.Buffer, d *Definitions) error {
 	buf.WriteString("  <" + wsdlPrefix + ":types>\n")
 	if d.Types != nil {
 		for _, sch := range d.Types.Schemas {
-			b, err := xsd.MarshalSchema(sch, nil)
-			if err != nil {
+			// Stream the schema straight into the document buffer at its
+			// embedding indentation — the hand-rolled writer produces the
+			// same bytes the old marshal-then-reindent pass did.
+			if err := xsd.MarshalSchemaTo(buf, sch, nil, "    "); err != nil {
 				return fmt.Errorf("marshal embedded schema %q: %w", sch.TargetNamespace, err)
 			}
-			buf.Write(indent(b, "    "))
 			buf.WriteByte('\n')
 		}
 	}
@@ -125,42 +186,61 @@ func marshalTo(buf *bytes.Buffer, d *Definitions) error {
 
 	// <message>
 	for _, m := range d.Messages {
-		fmt.Fprintf(buf, "  <%s:message name=%q>\n", wsdlPrefix, m.Name)
+		buf.WriteString("  <" + wsdlPrefix + ":message")
+		qattr(buf, "name", m.Name)
+		buf.WriteString(">\n")
 		for _, p := range m.Parts {
-			fmt.Fprintf(buf, "    <%s:part name=%q", wsdlPrefix, p.Name)
+			buf.WriteString("    <" + wsdlPrefix + ":part")
+			qattr(buf, "name", p.Name)
 			if !p.Element.IsZero() {
-				fmt.Fprintf(buf, " element=%q", pt.Ref(p.Element))
+				qref(buf, "element", pt, p.Element)
 			}
 			if !p.Type.IsZero() {
-				fmt.Fprintf(buf, " type=%q", pt.Ref(p.Type))
+				qref(buf, "type", pt, p.Type)
 			}
 			buf.WriteString("/>\n")
 		}
-		fmt.Fprintf(buf, "  </%s:message>\n", wsdlPrefix)
+		buf.WriteString("  </" + wsdlPrefix + ":message>\n")
 	}
 
 	// <portType>
 	for _, ptype := range d.PortTypes {
-		fmt.Fprintf(buf, "  <%s:portType name=%q>\n", wsdlPrefix, ptype.Name)
+		buf.WriteString("  <" + wsdlPrefix + ":portType")
+		qattr(buf, "name", ptype.Name)
+		buf.WriteString(">\n")
 		for _, op := range ptype.Operations {
-			fmt.Fprintf(buf, "    <%s:operation name=%q>\n", wsdlPrefix, op.Name)
+			buf.WriteString("    <" + wsdlPrefix + ":operation")
+			qattr(buf, "name", op.Name)
+			buf.WriteString(">\n")
 			if op.Input.Message != "" {
-				fmt.Fprintf(buf, "      <%s:input message=\"tns:%s\"/>\n", wsdlPrefix, op.Input.Message)
+				buf.WriteString("      <" + wsdlPrefix + ":input message=\"tns:")
+				buf.WriteString(op.Input.Message)
+				buf.WriteString("\"/>\n")
 			}
 			if op.Output.Message != "" {
-				fmt.Fprintf(buf, "      <%s:output message=\"tns:%s\"/>\n", wsdlPrefix, op.Output.Message)
+				buf.WriteString("      <" + wsdlPrefix + ":output message=\"tns:")
+				buf.WriteString(op.Output.Message)
+				buf.WriteString("\"/>\n")
 			}
 			for _, f := range op.Faults {
-				fmt.Fprintf(buf, "      <%s:fault name=%q message=\"tns:%s\"/>\n", wsdlPrefix, f.Name, f.Message)
+				buf.WriteString("      <" + wsdlPrefix + ":fault")
+				qattr(buf, "name", f.Name)
+				buf.WriteString(" message=\"tns:")
+				buf.WriteString(f.Message)
+				buf.WriteString("\"/>\n")
 			}
-			fmt.Fprintf(buf, "    </%s:operation>\n", wsdlPrefix)
+			buf.WriteString("    </" + wsdlPrefix + ":operation>\n")
 		}
-		fmt.Fprintf(buf, "  </%s:portType>\n", wsdlPrefix)
+		buf.WriteString("  </" + wsdlPrefix + ":portType>\n")
 	}
 
 	// <binding>
 	for _, b := range d.Bindings {
-		fmt.Fprintf(buf, "  <%s:binding name=%q type=\"tns:%s\">\n", wsdlPrefix, b.Name, b.PortType)
+		buf.WriteString("  <" + wsdlPrefix + ":binding")
+		qattr(buf, "name", b.Name)
+		buf.WriteString(" type=\"tns:")
+		buf.WriteString(b.PortType)
+		buf.WriteString("\">\n")
 		style := b.Style
 		if style == "" {
 			style = StyleDocument
@@ -169,10 +249,17 @@ func marshalTo(buf *bytes.Buffer, d *Definitions) error {
 		if transport == "" {
 			transport = NamespaceSOAPHTTP
 		}
-		fmt.Fprintf(buf, "    <%s:binding transport=%q style=%q/>\n", soapPrefix, transport, style)
+		buf.WriteString("    <" + soapPrefix + ":binding")
+		qattr(buf, "transport", transport)
+		qattr(buf, "style", string(style))
+		buf.WriteString("/>\n")
 		for _, bop := range b.Operations {
-			fmt.Fprintf(buf, "    <%s:operation name=%q>\n", wsdlPrefix, bop.Name)
-			fmt.Fprintf(buf, "      <%s:operation soapAction=%q/>\n", soapPrefix, bop.SOAPAction)
+			buf.WriteString("    <" + wsdlPrefix + ":operation")
+			qattr(buf, "name", bop.Name)
+			buf.WriteString(">\n")
+			buf.WriteString("      <" + soapPrefix + ":operation")
+			qattr(buf, "soapAction", bop.SOAPAction)
+			buf.WriteString("/>\n")
 			inUse, outUse := bop.InputUse, bop.OutputUse
 			if inUse == "" {
 				inUse = UseLiteral
@@ -180,26 +267,40 @@ func marshalTo(buf *bytes.Buffer, d *Definitions) error {
 			if outUse == "" {
 				outUse = UseLiteral
 			}
-			nsAttr := ""
+			buf.WriteString("      <" + wsdlPrefix + ":input><" + soapPrefix + ":body")
+			qattr(buf, "use", string(inUse))
 			if bop.BodyNamespace != "" {
-				nsAttr = fmt.Sprintf(" namespace=%q", bop.BodyNamespace)
+				qattr(buf, "namespace", bop.BodyNamespace)
 			}
-			fmt.Fprintf(buf, "      <%s:input><%s:body use=%q%s/></%s:input>\n", wsdlPrefix, soapPrefix, inUse, nsAttr, wsdlPrefix)
-			fmt.Fprintf(buf, "      <%s:output><%s:body use=%q%s/></%s:output>\n", wsdlPrefix, soapPrefix, outUse, nsAttr, wsdlPrefix)
-			fmt.Fprintf(buf, "    </%s:operation>\n", wsdlPrefix)
+			buf.WriteString("/></" + wsdlPrefix + ":input>\n")
+			buf.WriteString("      <" + wsdlPrefix + ":output><" + soapPrefix + ":body")
+			qattr(buf, "use", string(outUse))
+			if bop.BodyNamespace != "" {
+				qattr(buf, "namespace", bop.BodyNamespace)
+			}
+			buf.WriteString("/></" + wsdlPrefix + ":output>\n")
+			buf.WriteString("    </" + wsdlPrefix + ":operation>\n")
 		}
-		fmt.Fprintf(buf, "  </%s:binding>\n", wsdlPrefix)
+		buf.WriteString("  </" + wsdlPrefix + ":binding>\n")
 	}
 
 	// <service>
 	for _, svc := range d.Services {
-		fmt.Fprintf(buf, "  <%s:service name=%q>\n", wsdlPrefix, svc.Name)
+		buf.WriteString("  <" + wsdlPrefix + ":service")
+		qattr(buf, "name", svc.Name)
+		buf.WriteString(">\n")
 		for _, p := range svc.Ports {
-			fmt.Fprintf(buf, "    <%s:port name=%q binding=\"tns:%s\">\n", wsdlPrefix, p.Name, p.Binding)
-			fmt.Fprintf(buf, "      <%s:address location=%q/>\n", soapPrefix, p.Location)
-			fmt.Fprintf(buf, "    </%s:port>\n", wsdlPrefix)
+			buf.WriteString("    <" + wsdlPrefix + ":port")
+			qattr(buf, "name", p.Name)
+			buf.WriteString(" binding=\"tns:")
+			buf.WriteString(p.Binding)
+			buf.WriteString("\">\n")
+			buf.WriteString("      <" + soapPrefix + ":address")
+			qattr(buf, "location", p.Location)
+			buf.WriteString("/>\n")
+			buf.WriteString("    </" + wsdlPrefix + ":port>\n")
 		}
-		fmt.Fprintf(buf, "  </%s:service>\n", wsdlPrefix)
+		buf.WriteString("  </" + wsdlPrefix + ":service>\n")
 	}
 
 	buf.WriteString("</" + wsdlPrefix + ":definitions>\n")
@@ -212,21 +313,6 @@ func escape(s string) string {
 		return s
 	}
 	return b.String()
-}
-
-func indent(b []byte, prefix string) []byte {
-	lines := bytes.Split(b, []byte("\n"))
-	var out bytes.Buffer
-	for i, ln := range lines {
-		if i > 0 {
-			out.WriteByte('\n')
-		}
-		if len(ln) > 0 {
-			out.WriteString(prefix)
-			out.Write(ln)
-		}
-	}
-	return out.Bytes()
 }
 
 // ---- parsing ----

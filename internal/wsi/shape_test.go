@@ -1,0 +1,166 @@
+package wsi
+
+import (
+	"strings"
+	"testing"
+
+	"wsinterop/internal/wsdl"
+	"wsinterop/internal/xsd"
+)
+
+func TestNameInvariantClassification(t *testing.T) {
+	sensitive := map[string]bool{"R2105": true, "R2001": true, "R2101": true}
+	for _, a := range AllAssertions() {
+		if got, want := NameInvariant(a), !sensitive[a.ID]; got != want {
+			t.Errorf("NameInvariant(%s) = %v, want %v", a.ID, got, want)
+		}
+	}
+	for _, a := range MessageAssertions() {
+		if !NameInvariant(a) {
+			t.Errorf("message assertion %s should be name-invariant", a.ID)
+		}
+	}
+}
+
+func TestSubstitutionSafe(t *testing.T) {
+	cases := []struct {
+		service, namespace, simple string
+		want                       bool
+	}{
+		{"EchoSvc", "http://types.example.org/", "Point", true},
+		{"_svc", "urn:a", "T_1", true},
+		// Invalid NCNames.
+		{"", "urn:a", "T", false},
+		{"1Svc", "urn:a", "T", false},
+		{"a:b", "urn:a", "T", false},
+		{"Svc", "urn:a", "ty pe", false},
+		{"S vc", "urn:a", "T", false},
+		// Degenerate namespaces.
+		{"Svc", "", "T", false},
+		{"Svc", "urn:a&b", "T", false},
+		{"Svc", "urn:a\"b", "T", false},
+		{"Svc", "urn:\xc3\xa9", "T", false},
+		{"Svc", "urn:a\nb", "T", false},
+		// Reserved specification namespaces.
+		{"Svc", xsd.NamespaceXSD, "T", false},
+		{"Svc", xsd.NamespaceXML, "T", false},
+		{"Svc", wsdl.NamespaceWSDL, "T", false},
+		{"Svc", wsdl.NamespaceSOAP, "T", false},
+		{"Svc", wsdl.NamespaceSOAPHTTP, "T", false},
+	}
+	for _, c := range cases {
+		if got := SubstitutionSafe(c.service, c.namespace, c.simple); got != c.want {
+			t.Errorf("SubstitutionSafe(%q, %q, %q) = %v, want %v",
+				c.service, c.namespace, c.simple, got, c.want)
+		}
+	}
+}
+
+// substitutedDoc builds a minimal but complete document-literal
+// description whose name-derived strings are exactly the three
+// template variable slots — the document family the campaign's shape
+// templates substitute into.
+func substitutedDoc(service, namespace, simple string) *wsdl.Definitions {
+	elem := xsd.QName{Space: namespace, Local: simple}
+	return &wsdl.Definitions{
+		Name:            service,
+		TargetNamespace: namespace,
+		Types: xsd.NewSchemaSet(&xsd.Schema{
+			TargetNamespace: namespace,
+			Elements: []xsd.Element{
+				{Name: simple, Inline: &xsd.ComplexType{
+					Sequence: []xsd.Element{{Name: "value", Type: xsd.TypeString}},
+				}},
+			},
+		}),
+		Messages: []wsdl.Message{
+			{Name: "echoRequest", Parts: []wsdl.Part{{Name: "parameters", Element: elem}}},
+			{Name: "echoResponse", Parts: []wsdl.Part{{Name: "parameters", Element: elem}}},
+		},
+		PortTypes: []wsdl.PortType{
+			{Name: service + "PortType", Operations: []wsdl.Operation{
+				{Name: "echo",
+					Input:  wsdl.IORef{Message: "echoRequest"},
+					Output: wsdl.IORef{Message: "echoResponse"}},
+			}},
+		},
+		Bindings: []wsdl.Binding{
+			{Name: service + "Binding", PortType: service + "PortType",
+				Transport: wsdl.NamespaceSOAPHTTP, Style: wsdl.StyleDocument,
+				Operations: []wsdl.BindingOperation{
+					{Name: "echo", SOAPAction: namespace + "echo",
+						InputUse: wsdl.UseLiteral, OutputUse: wsdl.UseLiteral},
+				}},
+		},
+		Services: []wsdl.Service{
+			{Name: service, Ports: []wsdl.Port{
+				{Name: service + "Port", Binding: service + "Binding",
+					Location: "http://localhost/" + service},
+			}},
+		},
+	}
+}
+
+func verdictIDs(r *Report) string {
+	ids := make([]string, len(r.Violations))
+	for i, v := range r.Violations {
+		ids[i] = v.Assertion.ID
+	}
+	return strings.Join(ids, ",")
+}
+
+// FuzzWSISubstitutionSafe is the chunk-predicate soundness fuzz: for
+// any (service, namespace, simple) triple the predicates accept,
+// substituting the triple into a document must leave the checker's
+// violated-assertion sequence identical to a known-good baseline's —
+// including after a serialize → re-parse round trip, which is how a
+// rendered template's bytes would actually reach a consumer. Hostile
+// seeds concentrate on NCName edge forms and strings that mimic the
+// template chunk boundaries (sentinel tokens, attribute-closing
+// quotes, namespace collisions).
+func FuzzWSISubstitutionSafe(f *testing.F) {
+	f.Add("EchoSvc", "http://types.example.org/", "Point")
+	// Sentinel tokens: exactly what sits at template chunk boundaries.
+	f.Add("Zz9ShapeSvcQx", "http://zz9shapepkgqx/", "Zz9ShapeTypeQx")
+	// NCName edge forms.
+	f.Add("_", "urn:a", "_")
+	f.Add("1Svc", "urn:a", "Point")
+	f.Add("a:b", "urn:a", "c:d")
+	f.Add("svc-with.dots_и", "urn:a", "T·x")
+	// Chunk-boundary escapes: values that would terminate the
+	// enclosing attribute or element if substituted unescaped.
+	f.Add(`Svc"/><fake>`, "urn:a", `T"><!--`)
+	f.Add("Svc", `urn:a"/><wsdl:binding name="X`, "T")
+	f.Add("Svc&amp;", "urn:a&amp;b", "T&lt;")
+	// Reserved namespace collisions.
+	f.Add("Svc", xsd.NamespaceXSD, "T")
+	f.Add("Svc", wsdl.NamespaceWSDL, "T")
+	// Whitespace and controls crossing boundaries.
+	f.Add("Svc\n", "urn:a\tb", "T\r")
+
+	checker := NewChecker()
+	baseline := verdictIDs(checker.Check(substitutedDoc("BaseSvc", "urn:wsi-base", "BaseType")))
+
+	f.Fuzz(func(t *testing.T, service, namespace, simple string) {
+		if !SubstitutionSafe(service, namespace, simple) {
+			return // rejected: the campaign takes the per-class path
+		}
+		doc := substitutedDoc(service, namespace, simple)
+		if got := verdictIDs(checker.Check(doc)); got != baseline {
+			t.Fatalf("verdict changed under substitution (%q, %q, %q): got [%s], baseline [%s]",
+				service, namespace, simple, got, baseline)
+		}
+		raw, err := wsdl.Marshal(doc)
+		if err != nil {
+			t.Fatalf("marshal (%q, %q, %q): %v", service, namespace, simple, err)
+		}
+		reparsed, err := wsdl.Unmarshal(raw)
+		if err != nil {
+			t.Fatalf("re-parse (%q, %q, %q): %v", service, namespace, simple, err)
+		}
+		if got := verdictIDs(checker.Check(reparsed)); got != baseline {
+			t.Fatalf("verdict changed after round trip (%q, %q, %q): got [%s], baseline [%s]",
+				service, namespace, simple, got, baseline)
+		}
+	})
+}

@@ -253,6 +253,12 @@ func (c *Checker) checkSchemas(d *wsdl.Definitions, r *Report) {
 }
 
 func (c *Checker) checkForeignAttrs(sch *xsd.Schema, r *Report) {
+	// Most schemas carry no foreign attribute at all; probe with an
+	// allocation-free walk first and build the location strings only
+	// for the schemas that will actually report.
+	if !schemaHasForeignAttr(sch) {
+		return
+	}
 	var walk func(ct *xsd.ComplexType, where string)
 	walk = func(ct *xsd.ComplexType, where string) {
 		for _, at := range ct.Attributes {
@@ -275,6 +281,36 @@ func (c *Checker) checkForeignAttrs(sch *xsd.Schema, r *Report) {
 			walk(sch.Elements[i].Inline, "element "+sch.Elements[i].Name)
 		}
 	}
+}
+
+// schemaHasForeignAttr reports whether any complex type in the schema
+// (at any inline depth) references an xml-namespace attribute.
+func schemaHasForeignAttr(sch *xsd.Schema) bool {
+	for i := range sch.ComplexTypes {
+		if ctHasForeignAttr(&sch.ComplexTypes[i]) {
+			return true
+		}
+	}
+	for i := range sch.Elements {
+		if sch.Elements[i].Inline != nil && ctHasForeignAttr(sch.Elements[i].Inline) {
+			return true
+		}
+	}
+	return false
+}
+
+func ctHasForeignAttr(ct *xsd.ComplexType) bool {
+	for _, at := range ct.Attributes {
+		if at.Ref.Space == xsd.NamespaceXML {
+			return true
+		}
+	}
+	for i := range ct.Sequence {
+		if ct.Sequence[i].Inline != nil && ctHasForeignAttr(ct.Sequence[i].Inline) {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *Checker) checkStructure(d *wsdl.Definitions, r *Report) {

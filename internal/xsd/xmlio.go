@@ -101,41 +101,90 @@ type innerXML struct {
 }
 
 // PrefixTable maps namespace URIs to prefixes for one schema document.
+// The mapping is a pair of parallel slices in assignment order: a
+// document declares a handful of namespaces, where a linear probe
+// beats a map and construction costs two small allocations.
 type PrefixTable struct {
-	byNS   map[string]string
-	order  []string
+	ns     []string
+	prefix []string
 	target string
 }
+
+// ptInlineSlots sizes the inline namespace arrays: the three standing
+// assignments plus a few foreign namespaces cover every document the
+// study generates.
+const ptInlineSlots = 6
 
 // NewPrefixTable creates a deterministic prefix assignment for the
 // given target namespace.
 func NewPrefixTable(target string) *PrefixTable {
-	pt := &PrefixTable{byNS: make(map[string]string, 4), target: target}
+	pt := &PrefixTable{
+		ns:     make([]string, 0, ptInlineSlots),
+		prefix: make([]string, 0, ptInlineSlots),
+	}
+	pt.init(target)
+	return pt
+}
+
+func (pt *PrefixTable) init(target string) {
+	pt.target = target
 	pt.assign(NamespaceXSD, "xs")
 	if target != "" {
 		pt.assign(target, "tns")
 	}
 	pt.assign(NamespaceXML, "xml")
+}
+
+var prefixTables = sync.Pool{New: func() any { return NewPrefixTable("") }}
+
+// AcquirePrefixTable returns a pooled table initialized for the target
+// namespace. Release with ReleasePrefixTable once the document using
+// it has been fully written; tables are never retained by marshaling.
+func AcquirePrefixTable(target string) *PrefixTable {
+	pt := prefixTables.Get().(*PrefixTable)
+	pt.ns = pt.ns[:0]
+	pt.prefix = pt.prefix[:0]
+	pt.init(target)
 	return pt
 }
 
+// ReleasePrefixTable recycles a table obtained from AcquirePrefixTable.
+func ReleasePrefixTable(pt *PrefixTable) {
+	prefixTables.Put(pt)
+}
+
 func (pt *PrefixTable) assign(ns, prefix string) {
-	if _, ok := pt.byNS[ns]; ok {
-		return
+	for _, have := range pt.ns {
+		if have == ns {
+			return
+		}
 	}
-	pt.byNS[ns] = prefix
-	pt.order = append(pt.order, ns)
+	pt.ns = append(pt.ns, ns)
+	pt.prefix = append(pt.prefix, prefix)
 }
 
 // Prefix returns the prefix for ns, assigning q1..qN on first use of a
 // foreign namespace.
 func (pt *PrefixTable) Prefix(ns string) string {
-	if p, ok := pt.byNS[ns]; ok {
-		return p
+	for i, have := range pt.ns {
+		if have == ns {
+			return pt.prefix[i]
+		}
 	}
-	p := "q" + strconv.Itoa(len(pt.order))
-	pt.assign(ns, p)
+	p := "q" + strconv.Itoa(len(pt.ns))
+	pt.ns = append(pt.ns, ns)
+	pt.prefix = append(pt.prefix, p)
 	return p
+}
+
+// Note assigns a prefix for the QName's namespace without rendering
+// the reference — the allocation-free form the pre-assignment walks
+// use, where only the assignment order matters.
+func (pt *PrefixTable) Note(q QName) {
+	if q.IsZero() || q.Space == "" {
+		return
+	}
+	pt.Prefix(q.Space)
 }
 
 // Ref renders a QName as prefix:local using this table.
@@ -152,23 +201,25 @@ func (pt *PrefixTable) Ref(q QName) string {
 // Declarations returns the xmlns attributes for every assigned prefix
 // except the reserved xml: prefix.
 func (pt *PrefixTable) Declarations() []xml.Attr {
-	attrs := make([]xml.Attr, 0, len(pt.order))
-	for _, ns := range pt.order {
+	attrs := make([]xml.Attr, 0, len(pt.ns))
+	for i, ns := range pt.ns {
 		if ns == NamespaceXML {
 			continue
 		}
 		attrs = append(attrs, xml.Attr{
-			Name:  xml.Name{Local: "xmlns:" + pt.byNS[ns]},
+			Name:  xml.Name{Local: "xmlns:" + pt.prefix[i]},
 			Value: ns,
 		})
 	}
 	return attrs
 }
 
-// MarshalSchema serializes one schema block to XML. The prefix table
-// may be shared with an enclosing WSDL writer; pass nil to create a
-// fresh one.
-func MarshalSchema(sch *Schema, pt *PrefixTable) ([]byte, error) {
+// MarshalSchemaReference serializes one schema block through the wire
+// structs and encoding/xml — the original implementation, retained as
+// the differential-testing oracle for the hand-rolled writer
+// (fastwrite.go). MarshalSchema must produce byte-identical output;
+// the equivalence tests prove it over the full published corpus.
+func MarshalSchemaReference(sch *Schema, pt *PrefixTable) ([]byte, error) {
 	if pt == nil {
 		pt = NewPrefixTable(sch.TargetNamespace)
 	}

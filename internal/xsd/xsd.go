@@ -304,13 +304,21 @@ func (s *SchemaSet) Resolve() ([]*UnresolvedError, error) {
 	}
 	var unresolved []*UnresolvedError
 	for _, sch := range s.Schemas {
-		located := make(map[string]bool, len(sch.Imports))
+		var located map[string]bool
 		for _, imp := range sch.Imports {
 			if imp.SchemaLocation != "" {
+				if located == nil {
+					located = make(map[string]bool, len(sch.Imports))
+				}
 				located[imp.Namespace] = true
 			}
 		}
 		ctx := &resolveContext{set: s, located: located}
+		if ctx.schemaClean(sch) {
+			// Every reference resolves: skip the error pass and the
+			// location strings it would build.
+			continue
+		}
 		for i := range sch.Elements {
 			unresolved = append(unresolved, ctx.checkElement(&sch.Elements[i], "global element "+sch.Elements[i].Name)...)
 		}
@@ -335,6 +343,66 @@ type resolveContext struct {
 
 func (c *resolveContext) vouched(ns string) bool {
 	return c.located[ns] || ns == NamespaceXSD
+}
+
+// schemaClean reports whether every reference in the schema resolves —
+// the allocation-free probe Resolve runs before the error-building
+// pass, mirroring its conditions exactly.
+func (c *resolveContext) schemaClean(sch *Schema) bool {
+	for i := range sch.Elements {
+		if !c.elementClean(&sch.Elements[i]) {
+			return false
+		}
+	}
+	for i := range sch.ComplexTypes {
+		if !c.complexTypeClean(&sch.ComplexTypes[i]) {
+			return false
+		}
+	}
+	for i := range sch.SimpleTypes {
+		st := &sch.SimpleTypes[i]
+		if !st.Base.IsZero() && !c.set.TypeExists(st.Base) && !c.located[st.Base.Space] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *resolveContext) elementClean(el *Element) bool {
+	switch {
+	case !el.Ref.IsZero():
+		_, ok := c.set.Element(el.Ref)
+		vouched := c.located[el.Ref.Space] && el.Ref.Space != NamespaceXSD
+		return ok || vouched
+	case el.Inline != nil:
+		return c.complexTypeClean(el.Inline)
+	case !el.Type.IsZero():
+		return c.set.TypeExists(el.Type) || c.vouched(el.Type.Space)
+	}
+	return true
+}
+
+func (c *resolveContext) complexTypeClean(ct *ComplexType) bool {
+	if !ct.Base.IsZero() {
+		if _, ok := c.set.ComplexType(ct.Base); !ok && !c.vouched(ct.Base.Space) {
+			return false
+		}
+	}
+	for i := range ct.Sequence {
+		if !c.elementClean(&ct.Sequence[i]) {
+			return false
+		}
+	}
+	for _, at := range ct.Attributes {
+		if !at.Ref.IsZero() {
+			if at.Ref.Space != NamespaceXML && !c.vouched(at.Ref.Space) {
+				return false
+			}
+		} else if !at.Type.IsZero() && !c.set.TypeExists(at.Type) && !c.vouched(at.Type.Space) {
+			return false
+		}
+	}
+	return true
 }
 
 func (c *resolveContext) checkElement(el *Element, from string) []*UnresolvedError {
@@ -499,6 +567,25 @@ func cloneComplexType(ct *ComplexType) *ComplexType {
 func SanitizeNCName(name string) string {
 	if name == "" {
 		return "_"
+	}
+	// Fast path: most names are already clean ASCII identifiers, in
+	// which case the input is returned unchanged with no allocation.
+	clean := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '_', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case (c == '-' || c == '.') && i > 0:
+		case c >= '0' && c <= '9' && i > 0:
+		default:
+			clean = false
+		}
+		if !clean {
+			break
+		}
+	}
+	if clean {
+		return name
 	}
 	var b strings.Builder
 	b.Grow(len(name))

@@ -8,6 +8,7 @@
 //	        [-faults] [-reparse] [-dedup=false] [-cpuprofile FILE]
 //	        [-metrics-json FILE] [-debug ADDR]
 //	        [-checkpoint DIR] [-resume]
+//	        [-shard I/N] [-merge DIR,DIR,...] [-serve ADDR]
 //
 // With no flags it runs the full campaign (22 024 services, 79 629
 // tests) and prints every textual report. -report comm additionally
@@ -22,12 +23,22 @@
 // finishes the rest — producing output identical to an uninterrupted
 // run (DESIGN.md §9).
 //
+// Distribution: -shard I/N runs one deterministic slice of the
+// campaign — N worker processes, each with its own -checkpoint DIR,
+// cover every cell exactly once — and -merge DIR,DIR,... folds the
+// completed shard journals into one report identical to a
+// single-process run (DESIGN.md §11). -serve ADDR runs the command as
+// a long-lived campaign daemon instead: POST /campaigns streams a
+// campaign's progress as NDJSON, POST /services publishes a class's
+// WSDL over real TCP, and the debug endpoint is mounted at /debug/.
+//
 // Observability: -report metrics prints the runner's stage-scoped
 // counters and latency histograms as text; -metrics-json FILE exports
-// the same snapshot as JSON (composable with any -report); -debug ADDR
-// serves a live debug endpoint for the duration of the run —
-// /debug/metrics (JSON snapshot), /debug/events (campaign event
-// stream), /debug/vars (expvar) and /debug/pprof/*.
+// the same snapshot as JSON (composable with any -report, and written
+// on failure too, marked "partial"); -debug ADDR serves a live debug
+// endpoint for the duration of the run — /debug/metrics (JSON
+// snapshot), /debug/events (campaign event stream), /debug/vars
+// (expvar) and /debug/pprof/*.
 package main
 
 import (
@@ -45,8 +56,10 @@ import (
 	"os/signal"
 	"runtime/pprof"
 	"slices"
+	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"wsinterop/internal/campaign"
 	"wsinterop/internal/framework"
@@ -61,6 +74,14 @@ var validReports = []string{
 	"fig4", "findings", "json", "markdown", "maturity", "metrics",
 	"robust", "table3",
 }
+
+// Test hooks for -serve: serveListening (when set) receives the bound
+// base URL once the daemon accepts connections, and closing serveStop
+// shuts the daemon down as if it had been signalled.
+var (
+	serveListening func(url string)
+	serveStop      chan struct{}
+)
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -88,13 +109,19 @@ func run(args []string, out io.Writer) error {
 	dedup := fs.Bool("dedup", true,
 		"memoize publish/WS-I/client-test work per structural shape; -dedup=false runs every class individually (the shape-memo ablation)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	metricsJSON := fs.String("metrics-json", "", "write the observability metrics snapshot as JSON to this file")
+	metricsJSON := fs.String("metrics-json", "", "write the observability metrics snapshot as JSON to this file (marked partial if the run failed)")
 	debugAddr := fs.String("debug", "",
 		"serve the live debug endpoint (/debug/metrics, /debug/events, /debug/vars, /debug/pprof) on this address for the duration of the run")
 	checkpoint := fs.String("checkpoint", "",
 		"journal every completed cell to this directory so an interrupted run can be continued with -resume")
 	resume := fs.Bool("resume", false,
 		"replay the cells journaled under -checkpoint DIR instead of re-executing them, then finish the rest")
+	shard := fs.String("shard", "",
+		"run one deterministic slice INDEX/COUNT of the campaign; combine with -checkpoint so the shard can be merged later (DESIGN.md §11)")
+	merge := fs.String("merge", "",
+		"merge completed shard journals (comma-separated checkpoint directories; positional arguments are appended) into one report")
+	serveAddr := fs.String("serve", "",
+		"run as a long-lived campaign daemon on this address: POST /campaigns (NDJSON progress stream), POST /services (publish a WSDL over TCP), /debug/*")
 	progress := fs.Bool("progress", false,
 		"print per-server progress lines and the WS-I memoized-vs-executed summary to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -109,6 +136,34 @@ func run(args []string, out io.Writer) error {
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint DIR")
 	}
+	if *serveAddr != "" {
+		for flagName, set := range map[string]bool{
+			"-merge": *merge != "", "-shard": *shard != "",
+			"-checkpoint": *checkpoint != "", "-resume": *resume,
+			"-explain": *explainClass != "",
+		} {
+			if set {
+				return fmt.Errorf("-serve runs a daemon; it cannot be combined with %s", flagName)
+			}
+		}
+	}
+	var mergeDirs []string
+	if *merge != "" {
+		for _, dir := range strings.Split(*merge, ",") {
+			if dir = strings.TrimSpace(dir); dir != "" {
+				mergeDirs = append(mergeDirs, dir)
+			}
+		}
+		mergeDirs = append(mergeDirs, fs.Args()...)
+		for flagName, set := range map[string]bool{
+			"-shard": *shard != "", "-checkpoint": *checkpoint != "",
+			"-resume": *resume, "-explain": *explainClass != "",
+		} {
+			if set {
+				return fmt.Errorf("-merge reads completed shard journals; it cannot be combined with %s", flagName)
+			}
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -122,48 +177,75 @@ func run(args []string, out io.Writer) error {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := campaign.Config{
-		Limit: *limit, Workers: *workers, Reparse: *reparse, NoDedup: !*dedup,
-		Checkpoint: *checkpoint, Resume: *resume,
+	opts := []campaign.Option{
+		campaign.WithLimit(*limit), campaign.WithWorkers(*workers),
+	}
+	if *reparse {
+		opts = append(opts, campaign.WithReparse())
+	}
+	if !*dedup {
+		opts = append(opts, campaign.WithoutDedup())
+	}
+	if *checkpoint != "" {
+		opts = append(opts, campaign.WithCheckpoint(*checkpoint))
+	}
+	if *resume {
+		opts = append(opts, campaign.WithResume())
+	}
+	if *shard != "" {
+		index, count, err := parseShard(*shard)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, campaign.WithShard(index, count))
 	}
 	if *progress {
-		cfg.Progress = func(stage string, done, total int) {
+		opts = append(opts, campaign.WithProgress(func(stage string, done, total int) {
 			fmt.Fprintf(os.Stderr, "interop: %-12s %d/%d services\r", stage, done, total)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
-		}
+		}))
 	}
-	allServers := framework.Servers()
+	servers := framework.Servers()
 	if *extended {
-		allServers = append(allServers, framework.NewAxis2Server())
-		cfg.Servers = allServers
+		servers = append(servers, framework.NewAxis2Server())
+		opts = append(opts, campaign.WithServers(servers...))
 	}
 	if *serverName != "" {
-		cfg.Servers = nil
-		for _, s := range allServers {
+		var matched []framework.ServerFramework
+		for _, s := range servers {
 			if strings.Contains(strings.ToLower(s.Name()), strings.ToLower(*serverName)) {
-				cfg.Servers = append(cfg.Servers, s)
+				matched = append(matched, s)
 			}
 		}
-		if len(cfg.Servers) == 0 {
+		if len(matched) == 0 {
 			return fmt.Errorf("no server framework matches %q", *serverName)
 		}
+		servers = matched
+		opts = append(opts, campaign.WithServers(servers...))
 	}
 	if *clientName != "" {
+		var clients []framework.ClientFramework
 		for _, c := range framework.Clients() {
 			if strings.Contains(strings.ToLower(c.Name()), strings.ToLower(*clientName)) {
-				cfg.Clients = append(cfg.Clients, c)
+				clients = append(clients, c)
 			}
 		}
-		if len(cfg.Clients) == 0 {
+		if len(clients) == 0 {
 			return fmt.Errorf("no client framework matches %q", *clientName)
 		}
+		opts = append(opts, campaign.WithClients(clients...))
+	}
+	if *reportKind == "failures" || *reportKind == "json" || *reportKind == "all" {
+		opts = append(opts, campaign.WithKeepFailures())
 	}
 
-	cfg.KeepFailures = *reportKind == "failures" || *reportKind == "json" || *reportKind == "all"
+	if *serveAddr != "" {
+		return runServe(*serveAddr, opts)
+	}
 
-	runner := campaign.NewRunner(cfg)
+	runner := campaign.New(opts...)
 
 	if *debugAddr != "" {
 		ln, err := net.Listen("tcp", *debugAddr)
@@ -171,31 +253,52 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("debug listener: %w", err)
 		}
 		obs.PublishExpvar(runner.Obs())
-		srv := &http.Server{Handler: debugMux(runner.Obs())}
+		// Hardened like transport.Host.Start: a client that stalls mid
+		// request header cannot pin a connection forever, and shutdown is
+		// graceful — in-flight metric scrapes drain within the grace
+		// window instead of being aborted by Close.
+		srv := &http.Server{
+			Handler:           debugMux(runner.Obs()),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
 		go func() { _ = srv.Serve(ln) }()
-		defer srv.Close()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				_ = srv.Close()
+			}
+		}()
 		fmt.Fprintf(os.Stderr, "interop: debug endpoint on http://%s/debug/metrics\n", ln.Addr())
 	}
 
-	// finish runs after the selected reports: the snapshot then covers
-	// the static campaign plus any extension that ran.
-	finish := func(err error) error {
-		if err != nil || *metricsJSON == "" {
-			return err
+	// finish runs after the selected reports — the snapshot then covers
+	// the static campaign plus any extension that ran. It writes on
+	// failure too: a partial snapshot is most useful exactly when a run
+	// died, so a run error annotates the export ("partial") rather than
+	// suppressing it.
+	finish := func(runErr error) error {
+		if *metricsJSON == "" {
+			return runErr
 		}
 		f, err := os.Create(*metricsJSON)
 		if err != nil {
-			return fmt.Errorf("metrics-json: %w", err)
+			return errors.Join(runErr, fmt.Errorf("metrics-json: %w", err))
 		}
-		defer f.Close()
-		if err := report.MetricsJSON(f, runner.Metrics()); err != nil {
-			return fmt.Errorf("metrics-json: %w", err)
+		snap := runner.Metrics()
+		snap.Partial = runErr != nil
+		werr := report.MetricsJSON(f, snap)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
 		}
-		return nil
+		if werr != nil {
+			werr = fmt.Errorf("metrics-json: %w", werr)
+		}
+		return errors.Join(runErr, werr)
 	}
 
 	if *explainClass != "" {
-		return finish(explain(out, runner, cfg, *explainClass))
+		return finish(explain(out, runner, servers, *explainClass))
 	}
 
 	// With a checkpoint configured, SIGINT/SIGTERM cancel the campaign
@@ -212,13 +315,19 @@ func run(args []string, out io.Writer) error {
 			stop()
 		}()
 	}
-	res, err := runner.Run(ctx)
+	execute := runner.Run
+	if len(mergeDirs) > 0 {
+		execute = func(ctx context.Context) (*campaign.Result, error) {
+			return runner.Merge(ctx, mergeDirs)
+		}
+	}
+	res, err := execute(ctx)
 	if err != nil {
 		if *checkpoint != "" && errors.Is(err, context.Canceled) {
-			return fmt.Errorf("interrupted — journal flushed to %s; rerun with -checkpoint %s -resume to continue",
+			err = fmt.Errorf("interrupted — journal flushed to %s; rerun with -checkpoint %s -resume to continue",
 				*checkpoint, *checkpoint)
 		}
-		return err
+		return finish(err)
 	}
 	if *progress && res.Dedup != nil && res.Dedup.Enabled {
 		d := res.Dedup
@@ -229,13 +338,13 @@ func run(args []string, out io.Writer) error {
 	var comm *campaign.CommResult
 	if *reportKind == "comm" || *reportKind == "json" || *reportKind == "markdown" {
 		if comm, err = runner.RunCommunication(ctx); err != nil {
-			return err
+			return finish(err)
 		}
 	}
 	var robust *campaign.RobustResult
 	if *faults || *reportKind == "robust" {
 		if robust, err = runner.RunRobustness(ctx); err != nil {
-			return err
+			return finish(err)
 		}
 	}
 	switch *reportKind {
@@ -299,6 +408,52 @@ func run(args []string, out io.Writer) error {
 	return finish(nil)
 }
 
+// parseShard parses the -shard argument, INDEX/COUNT.
+func parseShard(s string) (index, count int, err error) {
+	is, ns, ok := strings.Cut(s, "/")
+	if ok {
+		index, err = strconv.Atoi(strings.TrimSpace(is))
+		if err == nil {
+			count, err = strconv.Atoi(strings.TrimSpace(ns))
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("-shard wants INDEX/COUNT (e.g. 0/4), got %q", s)
+	}
+	return index, count, nil
+}
+
+// runServe runs the campaign daemon until SIGINT/SIGTERM, then shuts
+// it down gracefully: running campaigns are cancelled cooperatively
+// and their NDJSON streams end with an error line before the listener
+// closes.
+func runServe(addr string, baseOpts []campaign.Option) error {
+	reg := obs.NewRegistry()
+	obs.PublishExpvar(reg)
+	d := campaign.NewDaemon(reg, baseOpts...)
+	root := http.NewServeMux()
+	root.Handle("/", d.Handler())
+	root.Handle("/debug/", debugMux(reg))
+	url, err := d.Start(addr, root)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "interop: campaign daemon on %s — POST %s/campaigns, debug on %s/debug/metrics\n",
+		url, url, url)
+	if serveListening != nil {
+		serveListening(url)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-serveStop:
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return d.Shutdown(sctx)
+}
+
 // debugMux builds the live debug endpoint: the obs snapshot and event
 // stream as JSON, expvar, and the pprof handlers (registered on a
 // private mux so the command never touches http.DefaultServeMux).
@@ -325,11 +480,7 @@ func debugMux(reg *obs.Registry) *http.ServeMux {
 
 // explain prints the §IV.B-style drill-down for one class on every
 // configured (or matching) server framework.
-func explain(out io.Writer, runner *campaign.Runner, cfg campaign.Config, class string) error {
-	servers := cfg.Servers
-	if servers == nil {
-		servers = framework.Servers()
-	}
+func explain(out io.Writer, runner *campaign.Runner, servers []framework.ServerFramework, class string) error {
 	found := false
 	for _, s := range servers {
 		e, err := runner.Explain(s.Name(), class)

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -326,5 +327,148 @@ func TestDebugMuxEndpoints(t *testing.T) {
 	}
 	if body := get("/debug/pprof/"); !bytes.Contains(body, []byte("goroutine")) {
 		t.Errorf("/debug/pprof/ missing index content")
+	}
+}
+
+// TestRunShardMergeCLI is the CLI-level distributed acceptance check:
+// N shard workers with private checkpoints plus a merge must print the
+// same report as one single-process run.
+func TestRunShardMergeCLI(t *testing.T) {
+	var single bytes.Buffer
+	if err := run([]string{"-limit", "40", "-report", "table3"}, &single); err != nil {
+		t.Fatalf("single run: %v", err)
+	}
+	dirs := []string{t.TempDir(), t.TempDir()}
+	for i, dir := range dirs {
+		var buf bytes.Buffer
+		args := []string{
+			"-limit", "40", "-report", "findings",
+			"-shard", fmt.Sprintf("%d/%d", i, len(dirs)), "-checkpoint", dir,
+		}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("shard %d run: %v", i, err)
+		}
+	}
+	var merged bytes.Buffer
+	if err := run([]string{"-limit", "40", "-report", "table3", "-merge", strings.Join(dirs, ",")}, &merged); err != nil {
+		t.Fatalf("merge run: %v", err)
+	}
+	if merged.String() != single.String() {
+		t.Errorf("merged report differs from single-process run:\n--- single ---\n%s--- merged ---\n%s",
+			single.String(), merged.String())
+	}
+}
+
+func TestRunShardMergeServeFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-shard", "zero/4", "-limit", "10"},     // unparsable index
+		{"-shard", "2", "-limit", "10"},          // missing /COUNT
+		{"-shard", "4/4", "-limit", "10"},        // index out of range
+		{"-merge", "x", "-shard", "0/2"},         // merge excludes shard
+		{"-merge", "x", "-checkpoint", "y"},      // merge excludes checkpoint
+		{"-serve", "127.0.0.1:0", "-merge", "x"}, // serve excludes merge
+		{"-serve", "127.0.0.1:0", "-shard", "0/2"},
+		{"-serve", "127.0.0.1:0", "-checkpoint", "y"},
+		{"-serve", "not-an-address"}, // unbindable daemon address
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+// TestRunMetricsJSONPartialOnFailure: a failed run must still export
+// the metrics snapshot — annotated partial — because the partial
+// snapshot is most useful exactly when the run died.
+func TestRunMetricsJSONPartialOnFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	missing := filepath.Join(t.TempDir(), "no-such-journal")
+	var buf bytes.Buffer
+	err := run([]string{"-limit", "10", "-report", "findings", "-merge", missing, "-metrics-json", path}, &buf)
+	if err == nil {
+		t.Fatal("merging a missing journal should fail")
+	}
+	data, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("metrics snapshot not written on failure: %v", rerr)
+	}
+	var snap struct {
+		Partial bool `json:"partial"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics JSON does not parse: %v", err)
+	}
+	if !snap.Partial {
+		t.Errorf("failed run's snapshot not marked partial: %s", data)
+	}
+	// A successful run's snapshot stays unmarked.
+	if err := run([]string{"-limit", "10", "-report", "findings", "-metrics-json", path}, &buf); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	data, _ = os.ReadFile(path)
+	if strings.Contains(string(data), `"partial"`) {
+		t.Errorf("clean run's snapshot marked partial: %s", data)
+	}
+}
+
+// TestRunServeEndToEnd drives the -serve daemon through the CLI: boot,
+// stream one campaign over TCP, hit the mounted debug endpoint, stop.
+func TestRunServeEndToEnd(t *testing.T) {
+	urls := make(chan string, 1)
+	serveListening = func(u string) { urls <- u }
+	serveStop = make(chan struct{})
+	defer func() { serveListening, serveStop = nil, nil }()
+
+	done := make(chan error, 1)
+	go func() {
+		var buf bytes.Buffer
+		done <- run([]string{"-serve", "127.0.0.1:0"}, &buf)
+	}()
+	var base string
+	select {
+	case base = <-urls:
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v", err)
+	}
+
+	resp, err := http.Post(base+"/campaigns", "application/json",
+		strings.NewReader(`{"limit":20,"server":"Metro"}`))
+	if err != nil {
+		t.Fatalf("POST /campaigns: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /campaigns: status %d", resp.StatusCode)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	var last struct {
+		Type    string `json:"type"`
+		Summary struct {
+			TotalServices int `json:"totalServices"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("final stream line does not parse: %v\n%s", err, body)
+	}
+	if last.Type != "result" || last.Summary.TotalServices != 20 {
+		t.Errorf("final line = %+v, want result with 20 services", last)
+	}
+
+	// The debug mux is mounted on the daemon's registry.
+	resp, err = http.Get(base + "/debug/metrics")
+	if err != nil {
+		t.Fatalf("GET /debug/metrics: %v", err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "daemon.campaigns.started") {
+		t.Errorf("GET /debug/metrics: status %d, body %s", resp.StatusCode, body)
+	}
+
+	close(serveStop)
+	if err := <-done; err != nil {
+		t.Errorf("daemon shutdown: %v", err)
 	}
 }

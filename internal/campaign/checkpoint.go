@@ -125,16 +125,40 @@ func (r *Runner) checkpointFingerprint() string {
 	return obs.TraceID(parts...)
 }
 
+// shardMeta is the journal identity of this runner's shard lease; nil
+// for a whole-campaign run. The lease is (re)derived from the
+// configuration fingerprint, and a caller-supplied lease that was
+// minted for a different campaign is refused — the lease check that
+// keeps a planned spec bound to its configuration.
+func (r *Runner) shardMeta() (*journal.ShardMeta, error) {
+	sh := r.cfg.Shard
+	if err := sh.validate(); err != nil {
+		return nil, err
+	}
+	if !sh.enabled() {
+		return nil, nil
+	}
+	lease := shardLease(r.checkpointFingerprint(), sh.Index, sh.Count)
+	if sh.Lease != "" && sh.Lease != lease {
+		return nil, fmt.Errorf("campaign: shard lease %s was issued for a different campaign configuration", sh.Lease)
+	}
+	return &journal.ShardMeta{Index: sh.Index, Count: sh.Count, Lease: lease}, nil
+}
+
 // openCheckpoint opens the journal configured by Config.Checkpoint (a
 // no-op without one) and starts the serial writer goroutine.
 func (r *Runner) openCheckpoint() error {
+	shard, err := r.shardMeta()
+	if err != nil {
+		return err
+	}
 	if r.cfg.Checkpoint == "" {
 		if r.cfg.Resume {
 			return fmt.Errorf("campaign: Resume requires a Checkpoint directory")
 		}
 		return nil
 	}
-	meta := journal.Meta{Fingerprint: r.checkpointFingerprint()}
+	meta := journal.Meta{Fingerprint: r.checkpointFingerprint(), Shard: shard}
 	j, err := journal.Open(r.cfg.Checkpoint, meta, r.cfg.Resume)
 	if err != nil {
 		return err
@@ -212,12 +236,17 @@ func (r *Runner) closeCheckpoint() error {
 }
 
 // append hands one completed cell to the writer goroutine; nil-safe so
-// call sites need no checkpoint-enabled branch.
+// call sites need no checkpoint-enabled branch. A replay-only state —
+// the merge coordinator's, which has no journal of its own — counts
+// the cell but has nowhere to write it.
 func (cs *checkpointState) append(rec journal.Record) {
 	if cs == nil {
 		return
 	}
 	cs.executed.Inc()
+	if cs.ch == nil {
+		return
+	}
 	cs.ch <- rec
 }
 

@@ -11,7 +11,6 @@ import (
 	"wsinterop/internal/services"
 	"wsinterop/internal/shape"
 	"wsinterop/internal/wsdl"
-	"wsinterop/internal/wsi"
 )
 
 // This file implements the structural-shape memoization layer
@@ -224,8 +223,7 @@ func (r *Runner) publishOne(_ context.Context, server framework.ServerFramework,
 		s.mode = modeMemoFallback
 		return s
 	}
-	vars := shape.VarsArray(def)
-	if !wsi.SubstitutionSafe(vars[shape.SlotService], vars[shape.SlotNamespace], vars[shape.SlotSimple]) {
+	if !substitutionSafe(def) {
 		// The name-sensitive WS-I chunk predicates failed: the shape's
 		// memoized verdict may not transfer to this class's names, so
 		// it takes the full per-class path (DESIGN.md §10).
@@ -238,7 +236,7 @@ func (r *Runner) publishOne(_ context.Context, server framework.ServerFramework,
 	var raw []byte
 	if needDoc {
 		var err error
-		raw, err = e.tmpl.Render(vars[:])
+		raw, err = e.tmpl.Render(shape.Vars(def))
 		if err != nil {
 			// Unreachable (slot arity is fixed); stay correct regardless.
 			r.dedup.fallbacks.Add(1)

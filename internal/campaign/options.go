@@ -131,3 +131,18 @@ func WithCheckpoint(dir string) Option {
 func WithResume() Option {
 	return func(cfg *Config) { cfg.Resume = true }
 }
+
+// WithShard restricts the run to one deterministic slice of every
+// catalog — shard index of count — for distributed execution
+// (DESIGN.md §11). Combine with WithCheckpoint so the shard journals
+// for a later Merge.
+func WithShard(index, count int) Option {
+	return func(cfg *Config) { cfg.Shard = ShardSpec{Index: index, Count: count} }
+}
+
+// WithShardSpec is WithShard taking a planned spec (PlanShards),
+// including its lease: a lease minted for a different campaign
+// configuration is refused at Run.
+func WithShardSpec(spec ShardSpec) Option {
+	return func(cfg *Config) { cfg.Shard = spec }
+}

@@ -57,10 +57,44 @@ var ErrExists = errors.New("journal: checkpoint state already exists (resume it,
 // does not match the one the journal was written with.
 var ErrFingerprint = errors.New("journal: checkpoint was written by a different campaign configuration")
 
+// ErrShard reports a resume attempt under a shard lease that does not
+// match the one the journal was written for: a worker must finish the
+// slice it started, not a different one.
+var ErrShard = errors.New("journal: checkpoint was written for a different shard lease")
+
 // Meta identifies the run a journal belongs to.
 type Meta struct {
 	Version     int    `json:"version"`
 	Fingerprint string `json:"fingerprint"`
+	// Shard identifies the catalog slice a distributed worker journaled
+	// (nil for a whole-campaign journal). The merge coordinator uses it
+	// to verify that a set of journals tiles the campaign exactly once.
+	Shard *ShardMeta `json:"shard,omitempty"`
+}
+
+// ShardMeta is the journal-side record of one shard lease: which slice
+// of the campaign this journal holds and the content-addressed lease ID
+// the planner issued for it.
+type ShardMeta struct {
+	Index int    `json:"index"`
+	Count int    `json:"count"`
+	Lease string `json:"lease,omitempty"`
+}
+
+// equal reports whether two shard identities match; both-nil matches.
+func (s *ShardMeta) equal(o *ShardMeta) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	return s.Index == o.Index && s.Count == o.Count && s.Lease == o.Lease
+}
+
+// describe renders a shard identity for error messages.
+func (s *ShardMeta) describe() string {
+	if s == nil {
+		return "the whole campaign"
+	}
+	return fmt.Sprintf("shard %d/%d", s.Index, s.Count)
 }
 
 // TestRecord is one client framework's classified outcome within a
@@ -162,6 +196,9 @@ func Open(dir string, meta Meta, resume bool) (*Journal, error) {
 		return nil, fmt.Errorf("journal: %s has schema version %d, this build writes %d", dir, existing.Version, meta.Version)
 	case existing.Fingerprint != meta.Fingerprint:
 		return nil, fmt.Errorf("%w: %s", ErrFingerprint, dir)
+	case !existing.Shard.equal(meta.Shard):
+		return nil, fmt.Errorf("%w: %s holds %s, resuming as %s", ErrShard, dir,
+			existing.Shard.describe(), meta.Shard.describe())
 	}
 
 	j := &Journal{
@@ -431,6 +468,80 @@ func (j *Journal) compact() error {
 	j.sinceCompact = 0
 	j.sinceFlush = 0
 	j.compactions++
+	return nil
+}
+
+// Load reads the checkpoint store in dir without opening it for
+// writing: the meta identity plus every record, snapshot first then
+// journal, tolerating a torn final journal line exactly as a resume
+// open would (but without truncating the file — Load never mutates the
+// store). It is the merge coordinator's view of a shard worker's
+// journal.
+func Load(dir string) (*Meta, []Record, error) {
+	meta, err := readMeta(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if meta == nil {
+		return nil, nil, fmt.Errorf("journal: %s holds no checkpoint (missing %s)", dir, metaFile)
+	}
+	if meta.Version != Version {
+		return nil, nil, fmt.Errorf("journal: %s has schema version %d, this build reads %d", dir, meta.Version, Version)
+	}
+	j := &Journal{records: make(map[string]Record)}
+	if err := j.loadFile(filepath.Join(dir, snapshotFile), false); err != nil {
+		return nil, nil, err
+	}
+	j.dir = dir
+	if _, err := j.loadJournal(); err != nil {
+		return nil, nil, err
+	}
+	return meta, j.Records(), nil
+}
+
+// CheckShards verifies that a set of journal identities tiles one
+// campaign exactly once: same schema version and configuration
+// fingerprint everywhere, and the shard identities are 0..Count-1 of a
+// single Count with no slice missing or duplicated. A single
+// whole-campaign journal (nil Shard) is also a valid tiling.
+func CheckShards(metas []*Meta) error {
+	if len(metas) == 0 {
+		return errors.New("journal: no shard journals to check")
+	}
+	first := metas[0]
+	for _, m := range metas[1:] {
+		if m.Version != first.Version {
+			return fmt.Errorf("journal: mixed schema versions %d and %d", first.Version, m.Version)
+		}
+		if m.Fingerprint != first.Fingerprint {
+			return fmt.Errorf("%w: shard journals disagree on the campaign fingerprint", ErrFingerprint)
+		}
+	}
+	if first.Shard == nil {
+		if len(metas) > 1 {
+			return errors.New("journal: a whole-campaign journal cannot be merged with shard journals")
+		}
+		return nil
+	}
+	count := first.Shard.Count
+	if count != len(metas) {
+		return fmt.Errorf("journal: %d journals for a %d-shard campaign", len(metas), count)
+	}
+	seen := make([]bool, count)
+	for _, m := range metas {
+		sh := m.Shard
+		switch {
+		case sh == nil:
+			return errors.New("journal: a whole-campaign journal cannot be merged with shard journals")
+		case sh.Count != count:
+			return fmt.Errorf("journal: shard %d/%d mixed into a %d-shard merge", sh.Index, sh.Count, count)
+		case sh.Index < 0 || sh.Index >= count:
+			return fmt.Errorf("journal: shard index %d out of range for count %d", sh.Index, count)
+		case seen[sh.Index]:
+			return fmt.Errorf("journal: shard %d/%d appears twice", sh.Index, count)
+		}
+		seen[sh.Index] = true
+	}
 	return nil
 }
 

@@ -436,3 +436,130 @@ func TestFlushEveryTornTailRecovery(t *testing.T) {
 		t.Errorf("torn reopen surfaced %d records, want 8", got)
 	}
 }
+
+// shardMeta builds a shard-stamped Meta for the distributed tests.
+func shardMeta(index, count int) Meta {
+	return Meta{Fingerprint: "fp-test", Shard: &ShardMeta{Index: index, Count: count, Lease: fmt.Sprintf("lease-%d-%d", index, count)}}
+}
+
+func TestShardMetaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, shardMeta(1, 4), false)
+	if err != nil {
+		t.Fatalf("open sharded: %v", err)
+	}
+	if err := j.Append(record(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume under the identical shard identity succeeds.
+	j2, err := Open(dir, shardMeta(1, 4), true)
+	if err != nil {
+		t.Fatalf("resume same shard: %v", err)
+	}
+	_ = j2.Close()
+
+	// A different shard identity — or none — is refused.
+	for _, meta := range []Meta{shardMeta(2, 4), shardMeta(1, 8), testMeta()} {
+		if _, err := Open(dir, meta, true); !errors.Is(err, ErrShard) {
+			t.Errorf("resume as %s: err = %v, want ErrShard", meta.Shard.describe(), err)
+		}
+	}
+	// And a whole-campaign journal refuses a shard resume.
+	plain := t.TempDir()
+	jp, err := Open(plain, testMeta(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = jp.Close()
+	if _, err := Open(plain, shardMeta(0, 2), true); !errors.Is(err, ErrShard) {
+		t.Errorf("shard resume of whole-campaign journal: err = %v, want ErrShard", err)
+	}
+}
+
+// TestLoadReadOnly: Load sees snapshot + journal records, tolerates a
+// torn final journal line, and never mutates the store.
+func TestLoadReadOnly(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, shardMeta(0, 2), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.CompactEvery = 10
+	var want []Record
+	for i := 0; i < 25; i++ { // crosses two compactions: snapshot + live journal
+		rec := record(i)
+		want = append(want, rec)
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the final journal line the way a hard kill would.
+	path := filepath.Join(dir, "journal.jsonl")
+	pre, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := append(append([]byte{}, pre...), []byte(`{"trace":"torn`)...)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	meta, recs, err := Load(dir)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if meta.Shard == nil || meta.Shard.Index != 0 || meta.Shard.Count != 2 {
+		t.Errorf("loaded meta shard = %+v", meta.Shard)
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Errorf("loaded records differ: got %d, want %d", len(recs), len(want))
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(after, torn) {
+		t.Error("Load mutated the journal file")
+	}
+	if _, _, err := Load(t.TempDir()); err == nil {
+		t.Error("Load of an empty directory should fail")
+	}
+}
+
+func TestCheckShards(t *testing.T) {
+	sm := func(index, count int) *Meta {
+		m := shardMeta(index, count)
+		return &m
+	}
+	whole := &Meta{Version: Version, Fingerprint: "fp-test"}
+	cases := []struct {
+		name  string
+		metas []*Meta
+		ok    bool
+	}{
+		{"complete-pair", []*Meta{sm(0, 2), sm(1, 2)}, true},
+		{"order-free", []*Meta{sm(1, 2), sm(0, 2)}, true},
+		{"single-shard", []*Meta{sm(0, 1)}, true},
+		{"whole-campaign", []*Meta{whole}, true},
+		{"none", nil, false},
+		{"missing", []*Meta{sm(0, 2)}, false},
+		{"duplicate", []*Meta{sm(0, 2), sm(0, 2)}, false},
+		{"mixed-count", []*Meta{sm(0, 2), sm(1, 3)}, false},
+		{"whole-plus-shard", []*Meta{whole, sm(1, 2)}, false},
+		{"index-out-of-range", []*Meta{&Meta{Fingerprint: "fp-test", Shard: &ShardMeta{Index: 2, Count: 2}}, sm(0, 2)}, false},
+		{"mixed-fingerprint", []*Meta{sm(0, 2), {Fingerprint: "other", Shard: &ShardMeta{Index: 1, Count: 2}}}, false},
+	}
+	for _, c := range cases {
+		if err := CheckShards(c.metas); (err == nil) != c.ok {
+			t.Errorf("%s: CheckShards = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}

@@ -272,6 +272,10 @@ type Snapshot struct {
 	Counters   []CounterSnapshot   `json:"counters"`
 	Gauges     []GaugeSnapshot     `json:"gauges,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms"`
+	// Partial marks a snapshot taken from a run that ended in an error:
+	// the instruments are consistent (every recorded unit of work is
+	// counted) but the campaign they describe did not finish.
+	Partial bool `json:"partial,omitempty"`
 }
 
 // CounterSnapshot is one counter's exported state.

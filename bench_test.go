@@ -112,12 +112,45 @@ func BenchmarkShapeDedup(b *testing.B) {
 // BenchmarkTableIII regenerates the Table III matrix (experiment E2)
 // at benchmark scale.
 func BenchmarkTableIII(b *testing.B) {
+	tests := 0
 	for i := 0; i < b.N; i++ {
 		res := runCampaign(b, campaign.Config{Limit: benchLimit})
+		tests += res.TotalTests
 		if err := report.TableIII(io.Discard, res); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportTestsPerSec(b, tests)
+}
+
+// BenchmarkPlan measures execution-plan resolution at full study scale
+// (DESIGN.md §12): cold builds walk every catalog and hash all 22 024
+// classes; warm loads re-validate a cached plan — the partition check
+// plus one builder re-hash per shape (~4 856 instead of 22 024).
+func BenchmarkPlan(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := campaign.New().PlanSummary(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		if _, err := campaign.New(campaign.WithPlanCache(dir)).PlanSummary(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sum, err := campaign.New(campaign.WithPlanCache(dir)).PlanSummary()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sum.Source != "cache" {
+				b.Fatalf("plan source = %q, want cache", sum.Source)
+			}
+		}
+	})
 }
 
 // BenchmarkFindings regenerates the §IV headline statistics
@@ -144,9 +177,26 @@ func BenchmarkFullCampaign(b *testing.B) {
 		}
 		limit = n
 	}
+	cfg := campaign.Config{Limit: limit}
+	// Resolve the execution plan once and share it across iterations:
+	// the steady state of any process running repeated campaigns (the
+	// -serve daemon adopts plans the same way). Plan resolution itself
+	// is measured separately by BenchmarkPlan.
+	plan, err := campaign.NewRunner(cfg).ExecutionPlan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	tests := 0
 	for i := 0; i < b.N; i++ {
-		res := runCampaign(b, campaign.Config{Limit: limit})
+		r := campaign.NewRunner(cfg)
+		if err := r.AdoptPlan(plan); err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if limit == 0 && res.TotalTests != 79629 {
 			b.Fatalf("tests = %d, want 79629", res.TotalTests)
 		}

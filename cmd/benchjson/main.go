@@ -45,6 +45,14 @@ type Trajectory struct {
 	Goarch string `json:"goarch,omitempty"`
 	CPU    string `json:"cpu,omitempty"`
 	Pkg    string `json:"pkg,omitempty"`
+	// Gomaxprocs is the -N suffix of the benchmark lines: the
+	// GOMAXPROCS the run used — and, since the campaign benches run
+	// with Config.Workers=0, the worker-pool size behind every
+	// throughput number.
+	Gomaxprocs int `json:"gomaxprocs,omitempty"`
+	// Workers is the campaign worker count the numbers were measured
+	// at (equal to Gomaxprocs for the default-configured benches).
+	Workers int `json:"workers,omitempty"`
 	// Benchmarks holds one entry per benchmark line, in input order.
 	Benchmarks []Benchmark `json:"benchmarks"`
 	// History holds one compact snapshot per previous recording, in
@@ -186,9 +194,13 @@ func parse(r io.Reader) (*Trajectory, error) {
 		case strings.HasPrefix(line, "pkg:"):
 			traj.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
 		case strings.HasPrefix(line, "Benchmark"):
-			bm, ok := parseBenchLine(line)
+			bm, procs, ok := parseBenchLine(line)
 			if ok {
 				traj.Benchmarks = append(traj.Benchmarks, bm)
+				if traj.Gomaxprocs == 0 && procs > 0 {
+					traj.Gomaxprocs = procs
+					traj.Workers = procs
+				}
 			}
 		}
 	}
@@ -198,46 +210,53 @@ func parse(r io.Reader) (*Trajectory, error) {
 	if len(traj.Benchmarks) == 0 {
 		return nil, fmt.Errorf("no benchmark lines found on stdin")
 	}
+	if traj.Gomaxprocs == 0 {
+		// go test omits the -N suffix exactly when GOMAXPROCS is 1.
+		traj.Gomaxprocs, traj.Workers = 1, 1
+	}
 	return traj, nil
 }
 
-// parseBenchLine parses one result line:
+// parseBenchLine parses one result line, returning the benchmark and
+// the -N GOMAXPROCS marker (0 when the name carries none):
 //
 //	BenchmarkFig4Campaign-8   10   79370513 ns/op   124455 tests/s
-func parseBenchLine(line string) (Benchmark, bool) {
+func parseBenchLine(line string) (Benchmark, int, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || len(fields)%2 != 0 {
-		return Benchmark{}, false
+		return Benchmark{}, 0, false
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return Benchmark{}, false
+		return Benchmark{}, 0, false
 	}
+	name, procs := splitCPUSuffix(strings.TrimPrefix(fields[0], "Benchmark"))
 	bm := Benchmark{
-		Name:       trimCPUSuffix(strings.TrimPrefix(fields[0], "Benchmark")),
+		Name:       name,
 		Iterations: iters,
 		Metrics:    make(map[string]float64, (len(fields)-2)/2),
 	}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return Benchmark{}, false
+			return Benchmark{}, 0, false
 		}
 		bm.Metrics[fields[i+1]] = v
 	}
-	return bm, true
+	return bm, procs, true
 }
 
-// trimCPUSuffix drops the trailing -N GOMAXPROCS marker from the last
-// path segment of a benchmark name.
-func trimCPUSuffix(name string) string {
+// splitCPUSuffix drops the trailing -N GOMAXPROCS marker from the last
+// path segment of a benchmark name and returns its value (0 if none).
+func splitCPUSuffix(name string) (string, int) {
 	slash := strings.LastIndexByte(name, '/')
 	dash := strings.LastIndexByte(name, '-')
 	if dash <= slash {
-		return name
+		return name, 0
 	}
-	if _, err := strconv.Atoi(name[dash+1:]); err != nil {
-		return name
+	procs, err := strconv.Atoi(name[dash+1:])
+	if err != nil {
+		return name, 0
 	}
-	return name[:dash]
+	return name[:dash], procs
 }

@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	interop [-report fig4|chart|table3|findings|deploy|failures|dedup|maturity|compare|comm|robust|metrics|json|markdown|all]
+//	interop [-report fig4|chart|table3|findings|deploy|failures|dedup|maturity|compare|comm|robust|plan|metrics|json|markdown|all]
 //	        [-limit N] [-workers N] [-server NAME] [-client NAME]
-//	        [-faults] [-reparse] [-dedup=false] [-cpuprofile FILE]
-//	        [-metrics-json FILE] [-debug ADDR]
+//	        [-faults] [-reparse] [-dedup=false] [-plan=false] [-plan-cache DIR]
+//	        [-cpuprofile FILE] [-metrics-json FILE] [-debug ADDR]
 //	        [-checkpoint DIR] [-resume]
 //	        [-shard I/N] [-merge DIR,DIR,...] [-serve ADDR]
 //
@@ -22,6 +22,13 @@
 // with -checkpoint DIR -resume replays the journaled cells and
 // finishes the rest — producing output identical to an uninterrupted
 // run (DESIGN.md §9).
+//
+// Planning: the campaign executes shape-first from a precomputed plan
+// (DESIGN.md §12); -plan-cache DIR persists built plans keyed by the
+// campaign configuration so repeated runs skip the catalog walk,
+// -report plan prints the plan without running anything, and
+// -plan=false selects the lazy class-first path (the planner
+// ablation).
 //
 // Distribution: -shard I/N runs one deterministic slice of the
 // campaign — N worker processes, each with its own -checkpoint DIR,
@@ -72,7 +79,7 @@ import (
 var validReports = []string{
 	"all", "chart", "comm", "compare", "dedup", "deploy", "failures",
 	"fig4", "findings", "json", "markdown", "maturity", "metrics",
-	"robust", "table3",
+	"plan", "robust", "table3",
 }
 
 // Test hooks for -serve: serveListening (when set) receives the bound
@@ -108,6 +115,10 @@ func run(args []string, out io.Writer) error {
 		"re-parse the WSDL bytes in every client test instead of sharing one analysis per service (the cache ablation)")
 	dedup := fs.Bool("dedup", true,
 		"memoize publish/WS-I/client-test work per structural shape; -dedup=false runs every class individually (the shape-memo ablation)")
+	plan := fs.Bool("plan", true,
+		"build the shape-first execution plan up front; -plan=false runs the lazy class-first path (the planner ablation)")
+	planCache := fs.String("plan-cache", "",
+		"cache built execution plans in this directory, keyed by the campaign configuration, so repeated runs skip the catalog walk")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	metricsJSON := fs.String("metrics-json", "", "write the observability metrics snapshot as JSON to this file (marked partial if the run failed)")
 	debugAddr := fs.String("debug", "",
@@ -185,6 +196,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if !*dedup {
 		opts = append(opts, campaign.WithoutDedup())
+	}
+	if !*plan {
+		opts = append(opts, campaign.WithoutPlan())
+	}
+	if *planCache != "" {
+		opts = append(opts, campaign.WithPlanCache(*planCache))
 	}
 	if *checkpoint != "" {
 		opts = append(opts, campaign.WithCheckpoint(*checkpoint))
@@ -299,6 +316,17 @@ func run(args []string, out io.Writer) error {
 
 	if *explainClass != "" {
 		return finish(explain(out, runner, servers, *explainClass))
+	}
+
+	if *reportKind == "plan" {
+		// -report plan resolves the execution plan — from the cache when
+		// -plan-cache holds one, from a catalog walk otherwise — and
+		// describes it without running any campaign work.
+		sum, err := runner.PlanSummary()
+		if err != nil {
+			return finish(err)
+		}
+		return finish(report.Plan(out, sum))
 	}
 
 	// With a checkpoint configured, SIGINT/SIGTERM cancel the campaign

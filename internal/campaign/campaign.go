@@ -309,6 +309,28 @@ type Config struct {
 	// identical either way (see TestDedupEquivalenceFull); Result.Dedup
 	// reports the layer's statistics.
 	NoDedup bool
+	// NoPlan disables shape-first planned execution (plan.go, DESIGN.md
+	// §12): the runner then discovers shapes lazily per class through the
+	// mutex-guarded memo table, exactly as before the planner existed —
+	// the planning ablation. When false — the default — the runner builds
+	// an immutable execution plan up front (one catalog pass grouping
+	// classes by shape per server) and the execution phase is lock-free:
+	// workers own whole shape groups and clone fan-out is a columnar
+	// broadcast of the representative's outcome codes. The Result is
+	// identical either way (TestPlanEquivalenceFull). NoPlan is
+	// deliberately outside the checkpoint fingerprint: either mode may
+	// resume the other's journal.
+	NoPlan bool
+	// PlanCache, when non-empty, persists built execution plans to this
+	// directory, content-addressed by the campaign configuration
+	// fingerprint. Later runs with the same configuration — repeated
+	// benchmarks, every POST /campaigns of a -serve daemon, resumed
+	// -checkpoint runs — load the plan instead of re-walking the catalog
+	// and re-fingerprinting 22 024 shapes. A cache file that fails any
+	// validation (fingerprint, digest, version, catalog binding) is
+	// ignored and rebuilt, never trusted. Ignored when CatalogFor is set:
+	// the fingerprint cannot distinguish custom catalogs.
+	PlanCache string
 	// Variant selects the service interface complexity (the paper's
 	// future-work extension); zero means services.VariantSimple.
 	Variant services.Variant
@@ -320,7 +342,10 @@ type Config struct {
 	// services fully resolved so far — every client test finished, or
 	// rejected at the description step — out of the stage's created
 	// total. Calls are serialized (never concurrent) and done is
-	// strictly monotonic within a stage.
+	// strictly increasing within a stage. Delivery is asynchronous:
+	// consecutive completions may coalesce into one callback under load
+	// (a slow callback never stalls the workers), and the final callback
+	// of a completed stage always reports done == total.
 	Progress func(stage string, done, total int)
 	// Checker overrides the compliance checker; nil uses the default
 	// (extended assertions enabled).
@@ -381,6 +406,15 @@ type Runner struct {
 	// ckpt is the open journal of the current Run when Config.Checkpoint
 	// is set (checkpoint.go); nil otherwise.
 	ckpt *checkpointState
+	// plan is the immutable execution plan, built or cache-loaded once
+	// per runner (plan.go); nil until ensurePlan, and never set when
+	// Config.NoPlan is on.
+	planOnce sync.Once
+	plan     *campaignPlan
+	planErr  error
+	// sharedPlan is a plan adopted from another runner with the same
+	// configuration (AdoptPlan); ensurePlan uses it instead of building.
+	sharedPlan *campaignPlan
 }
 
 // NewRunner builds a runner from the configuration.
@@ -565,12 +599,13 @@ func runTest(_ context.Context, client framework.ClientFramework, svc *Published
 	start := m.now()
 	gen := generationFor(client, svc, reparse)
 	t.Gen.mergeIssues(gen.Issues)
-	m.recordGen(start, t.Gen.Error)
+	// The generation stage's end stamp doubles as the compile stage's
+	// start: one clock read fewer on a path taken ~52k times per run.
+	start = m.recordGen(start, t.Gen.Error)
 	if gen.Unit == nil {
 		return t
 	}
 	t.CompileRan = true
-	start = m.now()
 	t.Compile.mergeDiagnostics(client.Verify(gen.Unit))
 	// The unit is dead once its diagnostics are folded in; hand the
 	// arena storage back to the generator pool.
@@ -607,12 +642,24 @@ func generationFor(client framework.ClientFramework, svc *PublishedService, repa
 // Config.Resume replays the journal into an identical Result
 // (checkpoint.go, DESIGN.md §9).
 func (r *Runner) Run(ctx context.Context) (*Result, error) {
+	// The plan is resolved before the checkpoint opens so the journal
+	// meta can record its provenance.
+	if _, err := r.ensurePlan(); err != nil {
+		return nil, err
+	}
 	if err := r.openCheckpoint(); err != nil {
 		return nil, err
 	}
 	res, err := r.runCampaign(ctx)
 	if cerr := r.closeCheckpoint(); err == nil {
 		err = cerr
+	}
+	if err == nil {
+		// The journal's durable-point probes fire from the writer
+		// goroutine, which execution can outrun by the channel buffer; a
+		// cancellation they trigger during the final flush must still win,
+		// or an interrupted-at-N run could report clean completion.
+		err = ctx.Err()
 	}
 	if err != nil {
 		return nil, err
@@ -709,37 +756,151 @@ type testJob struct {
 // shard is one test worker's private partial Result for the current
 // server stage: the Fig. 4 / Table III counters folded locally, with
 // no cross-worker synchronization. Shards replace the serial
-// classification loop; the per-server merge restores the totals.
+// classification loop; the per-server tree merge restores the totals.
 type shard struct {
-	server                   ServerSummary
-	clients                  []ClientSummary
-	cells                    []Cell
+	server  ServerSummary
+	clients []ClientSummary
+	cells   []Cell
+	// deployed and descriptionWarnings count the stage's folded
+	// (published) services. They live in the shard so the merge is a
+	// pure columnar sum — no retained per-service state to scan.
+	deployed                 int
+	descriptionWarnings      int
 	interopErrors            int
 	sameFrameworkErrors      int
 	flaggedCleanServices     int
 	unflaggedFailingServices int
 }
 
-// progress serializes Config.Progress callbacks for one server stage;
-// a nil progress (no callback configured) is a no-op.
+// newShard allocates one worker's private stage shard.
+func newShard(clients int) *shard {
+	return &shard{clients: make([]ClientSummary, clients), cells: make([]Cell, clients)}
+}
+
+// add folds another shard of the same stage into s. Every field is an
+// integer sum, so folding is associative and commutative — the
+// property the tree merge relies on.
+func (s *shard) add(o *shard) {
+	s.server.Tests += o.server.Tests
+	s.server.GenWarnings += o.server.GenWarnings
+	s.server.GenErrors += o.server.GenErrors
+	s.server.CompileWarnings += o.server.CompileWarnings
+	s.server.CompileErrors += o.server.CompileErrors
+	for ci := range s.clients {
+		s.clients[ci].add(&o.clients[ci])
+		s.cells[ci].add(&o.cells[ci])
+	}
+	s.deployed += o.deployed
+	s.descriptionWarnings += o.descriptionWarnings
+	s.interopErrors += o.interopErrors
+	s.sameFrameworkErrors += o.sameFrameworkErrors
+	s.flaggedCleanServices += o.flaggedCleanServices
+	s.unflaggedFailingServices += o.unflaggedFailingServices
+}
+
+// mergeShards folds a stage's shards pairwise in parallel rounds — a
+// tree merge. Shard addition is order-independent, so the result is
+// identical to the old serial fold regardless of pairing.
+func mergeShards(shards []*shard) *shard {
+	for len(shards) > 1 {
+		half := (len(shards) + 1) / 2
+		var wg sync.WaitGroup
+		for i := 0; i+half < len(shards); i++ {
+			wg.Add(1)
+			go func(dst, src *shard) {
+				defer wg.Done()
+				dst.add(src)
+			}(shards[i], shards[i+half])
+		}
+		wg.Wait()
+		shards = shards[:half]
+	}
+	if len(shards) == 0 {
+		return nil
+	}
+	return shards[0]
+}
+
+// progress delivers Config.Progress callbacks for one server stage
+// from a dedicated notifier goroutine, so a slow callback — a terminal
+// write, the daemon's NDJSON encoder — never stalls the workers
+// reporting completions: serviceDone is one atomic add plus a
+// non-blocking doorbell. The notifier serializes callbacks with
+// strictly increasing done counts, may coalesce consecutive
+// completions into one callback under load, and close guarantees the
+// latest count (done == total for a completed stage) is delivered
+// before the stage returns. A nil progress (no callback configured) is
+// a no-op.
 type progress struct {
-	mu    sync.Mutex
 	fn    func(stage string, done, total int)
 	stage string
-	done  int
 	total int
+	done  atomic.Int64
+	kick  chan struct{}
+	quit  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// newProgress starts the stage's notifier; returns nil (a no-op
+// progress) when no callback is configured.
+func newProgress(fn func(stage string, done, total int), stage string, total int) *progress {
+	if fn == nil {
+		return nil
+	}
+	p := &progress{
+		fn: fn, stage: stage, total: total,
+		kick: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.notify()
+	return p
+}
+
+func (p *progress) notify() {
+	defer p.wg.Done()
+	var last int64
+	report := func() {
+		if n := p.done.Load(); n > last {
+			last = n
+			p.fn(p.stage, int(n), p.total)
+		}
+	}
+	for {
+		select {
+		case <-p.kick:
+			report()
+		case <-p.quit:
+			report()
+			return
+		}
+	}
 }
 
 // serviceDone reports one more service resolved: fully tested, or
 // rejected at the description step.
-func (p *progress) serviceDone() {
+func (p *progress) serviceDone() { p.add(1) }
+
+// add reports n more services resolved at once — the planned
+// executor's clone broadcast resolves a whole group in one step.
+func (p *progress) add(n int) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.done.Add(int64(n))
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// close ends the stage, delivering the final count first.
+func (p *progress) close() {
 	if p == nil {
 		return
 	}
-	p.mu.Lock()
-	p.done++
-	p.fn(p.stage, p.done, p.total)
-	p.mu.Unlock()
+	close(p.quit)
+	p.wg.Wait()
 }
 
 // defsFor generates the (possibly limited) service definition list
@@ -774,66 +935,54 @@ func (r *Runner) defsFor(server framework.ServerFramework) ([]services.Definitio
 	return defs, nil
 }
 
-// runServer executes one server's full stage as a streaming pipeline
-// and merges the outcome into res.
+// runServer executes one server's full stage and merges the outcome
+// into res: shape-first planned execution by default (plan.go), the
+// lazy streaming pipeline under the Config.NoPlan ablation.
 func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework, res *Result) error {
+	sp, err := r.planFor(server)
+	if err != nil {
+		return err
+	}
+	if sp != nil {
+		return r.runServerPlanned(ctx, server, res, sp)
+	}
 	defs, err := r.defsFor(server)
 	if err != nil {
 		return fmt.Errorf("publish on %s: %w", server.Name(), err)
 	}
+	return r.runServerLazy(ctx, server, res, defs)
+}
+
+// runServerLazy executes one server's stage as the class-first
+// streaming pipeline: publish workers feed published services into the
+// test pool and shapes are discovered lazily through the memo table.
+// Retained as the planning ablation (Config.NoPlan); the planned path
+// must stay byte-identical to it.
+func (r *Runner) runServerLazy(ctx context.Context, server framework.ServerFramework, res *Result, defs []services.Definition) error {
 	workers := r.workers()
-	states := make([]*svcState, len(defs))
 	pubErrs := make([]error, len(defs))
 	var failures [][]TestResult
 	if r.cfg.KeepFailures {
 		failures = make([][]TestResult, len(defs))
 	}
-	var prog *progress
-	if r.cfg.Progress != nil {
-		prog = &progress{fn: r.cfg.Progress, stage: server.Name(), total: len(defs)}
-	}
+	prog := newProgress(r.cfg.Progress, server.Name(), len(defs))
+	defer prog.close()
 
 	// Resume: re-seed the shape memo table from the journal, then
-	// serially replay every journaled cell into a dedicated shard
-	// before the streaming pool starts. The executed remainder then
-	// takes exactly the paths the interrupted run would have taken.
-	plan := r.replayPlan(server, defs)
+	// replay every journaled cell into a dedicated shard before the
+	// streaming pool starts. The executed remainder then takes exactly
+	// the paths the interrupted run would have taken.
+	replay := r.replayPlan(server, defs)
 	var replayShard *shard
-	if plan != nil {
-		if err := r.seedMemoFromJournal(server, defs, plan); err != nil {
+	if replay != nil {
+		if err := r.seedMemoFromJournal(server, defs, replay); err != nil {
 			return err
 		}
-		replayShard = &shard{
-			clients: make([]ClientSummary, len(r.clients)),
-			cells:   make([]Cell, len(r.clients)),
+		var err error
+		replayShard, err = r.replayStage(server, replay, failures, prog)
+		if err != nil {
+			return err
 		}
-		for i := range defs {
-			rec, ok := plan[i]
-			if !ok {
-				continue
-			}
-			st, err := r.replayService(rec)
-			if err != nil {
-				return err
-			}
-			r.ckpt.resumed.Inc()
-			if st != nil {
-				states[i] = st
-				fails := r.foldService(st, replayShard)
-				if failures != nil {
-					failures[i] = fails
-				}
-				st.svc.Doc = nil
-				st.svc.analysis = nil
-			}
-			prog.serviceDone()
-		}
-		r.obs.Emit(obs.Event{
-			Trace:  obs.TraceID(server.Name(), "resume"),
-			Stage:  "resume",
-			Server: server.Name(),
-			Detail: fmt.Sprintf("%d cells replayed from journal", len(plan)),
-		})
 	}
 
 	shards := make([]*shard, workers)
@@ -844,10 +993,7 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 
 	var pubWG, testWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		sh := &shard{
-			clients: make([]ClientSummary, len(r.clients)),
-			cells:   make([]Cell, len(r.clients)),
-		}
+		sh := newShard(len(r.clients))
 		shards[w] = sh
 		testWG.Add(1)
 		go func() {
@@ -864,13 +1010,6 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 						failures[j.svcIdx] = fails
 					}
 					r.journalService(j.st)
-					// Folded and journaled: nothing reads the document or
-					// analysis again (mergeServer only reads Flagged), so
-					// release them instead of keeping every published
-					// document live until the stage ends. Shape
-					// representatives keep their own copies in the memo.
-					j.st.svc.Doc = nil
-					j.st.svc.analysis = nil
 					prog.serviceDone()
 				}
 			}
@@ -898,7 +1037,6 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 						codes:    make([]outcomeCode, len(r.clients)),
 					}
 					st.remaining.Store(int32(len(r.clients)))
-					states[i] = st
 					// Feed the tests straight into the streaming pool;
 					// test workers drain testCh until it closes, so this
 					// send cannot deadlock.
@@ -913,7 +1051,7 @@ func (r *Runner) runServer(ctx context.Context, server framework.ServerFramework
 
 feed:
 	for i := range defs {
-		if _, replayed := plan[i]; replayed {
+		if _, replayed := replay[i]; replayed {
 			continue
 		}
 		select {
@@ -937,7 +1075,7 @@ feed:
 	if replayShard != nil {
 		shards = append(shards, replayShard)
 	}
-	r.mergeServer(res, server.Name(), len(defs), states, shards, failures)
+	r.mergeServer(res, server.Name(), len(defs), shards, failures)
 	r.obs.Emit(obs.Event{
 		Trace:        obs.TraceID(server.Name()),
 		Stage:        "server-stage",
@@ -954,63 +1092,87 @@ feed:
 // errored tests in client roster order for the Failures index (nil
 // unless Config.KeepFailures).
 func (r *Runner) foldService(st *svcState, sh *shard) []TestResult {
-	svc := &st.svc
+	errored := r.foldCodes(sh, st.svc.Server, st.svc.Flagged, st.codes, 1)
+	if !errored || !r.cfg.KeepFailures {
+		return nil
+	}
+	return r.failsFor(st.svc.Server, st.svc.Class, st.codes)
+}
+
+// foldCodes folds one columnar outcome row into a shard n times — the
+// classification fold's core. n > 1 is the planned executor's clone
+// broadcast: every safe clone of a verified shape carries exactly the
+// representative's codes and flagged status, so the whole fan-out is
+// one multiplied fold instead of a per-class pass. Returns whether any
+// cell of the row errored.
+func (r *Runner) foldCodes(sh *shard, server string, flagged bool, codes []outcomeCode, n int) bool {
+	sh.deployed += n
+	if flagged {
+		sh.descriptionWarnings += n
+	}
 	cleanEverywhere := true
-	var fails []TestResult
-	for ci := range r.clients {
-		code := st.codes[ci]
+	for ci := range codes {
+		code := codes[ci]
 		cell := &sh.cells[ci]
 		sum := &sh.server
 		cli := &sh.clients[ci]
 
-		cell.Tests++
-		sum.Tests++
-		cli.Tests++
+		cell.Tests += n
+		sum.Tests += n
+		cli.Tests += n
 		if code&codeGenWarning != 0 {
-			cell.GenWarnings++
-			sum.GenWarnings++
-			cli.GenWarnings++
+			cell.GenWarnings += n
+			sum.GenWarnings += n
+			cli.GenWarnings += n
 		}
 		if code&codeGenError != 0 {
-			cell.GenErrors++
-			sum.GenErrors++
-			cli.GenErrors++
-			sh.interopErrors++
+			cell.GenErrors += n
+			sum.GenErrors += n
+			cli.GenErrors += n
+			sh.interopErrors += n
 		}
 		if code&codeCompileRan != 0 {
 			if code&codeCompileWarning != 0 {
-				cell.CompileWarnings++
-				sum.CompileWarnings++
-				cli.CompileWarnings++
+				cell.CompileWarnings += n
+				sum.CompileWarnings += n
+				cli.CompileWarnings += n
 			}
 			if code&codeCompileError != 0 {
-				cell.CompileErrors++
-				sum.CompileErrors++
-				cli.CompileErrors++
-				sh.interopErrors++
+				cell.CompileErrors += n
+				sum.CompileErrors += n
+				cli.CompileErrors += n
+				sh.interopErrors += n
 			}
 		}
 		if code.errorAnywhere() {
 			cleanEverywhere = false
-			if svc.Flagged {
-				cli.ErrorsOnFlagged++
+			if flagged {
+				cli.ErrorsOnFlagged += n
 			} else {
-				cli.ErrorsOnClean++
+				cli.ErrorsOnClean += n
 			}
-			clientName := r.clients[ci].Name()
-			if r.sameFramework[clientName] == svc.Server {
-				sh.sameFrameworkErrors++
-			}
-			if r.cfg.KeepFailures {
-				fails = append(fails, code.testResult(svc.Server, clientName, svc.Class))
+			if r.sameFramework[r.clients[ci].Name()] == server {
+				sh.sameFrameworkErrors += n
 			}
 		}
 	}
-	if svc.Flagged && cleanEverywhere {
-		sh.flaggedCleanServices++
+	if flagged && cleanEverywhere {
+		sh.flaggedCleanServices += n
 	}
-	if !svc.Flagged && !cleanEverywhere {
-		sh.unflaggedFailingServices++
+	if !flagged && !cleanEverywhere {
+		sh.unflaggedFailingServices += n
+	}
+	return !cleanEverywhere
+}
+
+// failsFor materializes the errored cells of one outcome row for the
+// Failures index, in client roster order.
+func (r *Runner) failsFor(server, class string, codes []outcomeCode) []TestResult {
+	var fails []TestResult
+	for ci, code := range codes {
+		if code.errorAnywhere() {
+			fails = append(fails, code.testResult(server, r.clients[ci].Name(), class))
+		}
 	}
 	return fails
 }
@@ -1035,46 +1197,37 @@ func (c *ClientSummary) add(o *ClientSummary) {
 	c.ErrorsOnClean += o.ErrorsOnClean
 }
 
-// mergeServer folds one stage's shards and publish outcomes into the
-// aggregate. Counter sums are order-independent and failures are
+// mergeServer tree-merges one stage's shards and folds the total into
+// the aggregate. Counter sums are order-independent and failures are
 // concatenated by service definition index, so the merged Result is
-// identical to the serial fold's.
+// identical to the old serial fold's.
 func (r *Runner) mergeServer(res *Result, serverName string, created int,
-	states []*svcState, shards []*shard, failures [][]TestResult) {
+	shards []*shard, failures [][]TestResult) {
 	sum := res.Servers[serverName]
 	sum.Created = created
 	res.TotalServices += created
-	for _, st := range states {
-		if st == nil {
-			continue
-		}
-		sum.Deployed++
-		res.TotalPublished++
-		if st.svc.Flagged {
-			sum.DescriptionWarnings++
-			res.FlaggedServices++
-		}
+	sh := mergeShards(shards)
+	if sh == nil {
+		sh = newShard(len(r.clients))
 	}
+	sum.Deployed += sh.deployed
+	res.TotalPublished += sh.deployed
+	sum.DescriptionWarnings += sh.descriptionWarnings
+	res.FlaggedServices += sh.descriptionWarnings
 	for ci, c := range r.clients {
-		cell := res.Matrix[c.Name()][serverName]
-		cli := res.Clients[c.Name()]
-		for _, sh := range shards {
-			cell.add(&sh.cells[ci])
-			cli.add(&sh.clients[ci])
-		}
+		res.Matrix[c.Name()][serverName].add(&sh.cells[ci])
+		res.Clients[c.Name()].add(&sh.clients[ci])
 	}
-	for _, sh := range shards {
-		sum.Tests += sh.server.Tests
-		sum.GenWarnings += sh.server.GenWarnings
-		sum.GenErrors += sh.server.GenErrors
-		sum.CompileWarnings += sh.server.CompileWarnings
-		sum.CompileErrors += sh.server.CompileErrors
-		res.TotalTests += sh.server.Tests
-		res.InteropErrors += sh.interopErrors
-		res.SameFrameworkErrors += sh.sameFrameworkErrors
-		res.FlaggedCleanServices += sh.flaggedCleanServices
-		res.UnflaggedFailingServices += sh.unflaggedFailingServices
-	}
+	sum.Tests += sh.server.Tests
+	sum.GenWarnings += sh.server.GenWarnings
+	sum.GenErrors += sh.server.GenErrors
+	sum.CompileWarnings += sh.server.CompileWarnings
+	sum.CompileErrors += sh.server.CompileErrors
+	res.TotalTests += sh.server.Tests
+	res.InteropErrors += sh.interopErrors
+	res.SameFrameworkErrors += sh.sameFrameworkErrors
+	res.FlaggedCleanServices += sh.flaggedCleanServices
+	res.UnflaggedFailingServices += sh.unflaggedFailingServices
 	for _, fails := range failures {
 		res.Failures = append(res.Failures, fails...)
 	}

@@ -27,6 +27,7 @@ package campaign
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -159,6 +160,11 @@ func (r *Runner) openCheckpoint() error {
 		return nil
 	}
 	meta := journal.Meta{Fingerprint: r.checkpointFingerprint(), Shard: shard}
+	if p := r.plan; p != nil {
+		// Provenance only — journal.Open does not compare it on resume,
+		// so planned and lazy sessions may finish each other's journals.
+		meta.Plan = &journal.PlanMeta{Fingerprint: p.fingerprint, Classes: p.classes, Shapes: p.shapes}
+	}
 	j, err := journal.Open(r.cfg.Checkpoint, meta, r.cfg.Resume)
 	if err != nil {
 		return err
@@ -265,16 +271,22 @@ func (r *Runner) journalService(st *svcState) {
 		Verified:  st.verified,
 		Flagged:   svc.Flagged,
 		Compliant: svc.Compliant,
-		Tests:     make([]journal.TestRecord, len(r.clients)),
+		Tests:     r.testRecords(st.codes),
 	}
 	if st.mode == modeBuilt {
 		// Only builder records carry the document: resume re-splits the
 		// shape template from it, and clones re-render.
 		rec.Doc = svc.Doc
 	}
+	r.ckpt.append(rec)
+}
+
+// testRecords expands a columnar outcome row into journal form.
+func (r *Runner) testRecords(codes []outcomeCode) []journal.TestRecord {
+	recs := make([]journal.TestRecord, len(r.clients))
 	for ci := range r.clients {
-		code := st.codes[ci]
-		rec.Tests[ci] = journal.TestRecord{
+		code := codes[ci]
+		recs[ci] = journal.TestRecord{
 			Client:         r.clients[ci].Name(),
 			Ran:            code.executed(),
 			GenWarning:     code&codeGenWarning != 0,
@@ -284,7 +296,28 @@ func (r *Runner) journalService(st *svcState) {
 			CompileError:   code&codeCompileError != 0,
 		}
 	}
-	r.ckpt.append(rec)
+	return recs
+}
+
+// journalClone records one broadcast-resolved clone cell. Field-for-
+// field what journalService writes for a memoized service: published,
+// unverified (clones never byte-verify), the entry's flagged and
+// compliance verdicts, and the representative's outcome row with the
+// executed bits already cleared by the caller.
+func (r *Runner) journalClone(server, class string, e *shapeEntry, codes []outcomeCode) {
+	if r.ckpt == nil {
+		return
+	}
+	r.ckpt.append(journal.Record{
+		Trace:     cellTrace(server, class),
+		Server:    server,
+		Class:     class,
+		Mode:      modeMemoized.id(),
+		Published: true,
+		Flagged:   e.flagged,
+		Compliant: e.compliant,
+		Tests:     r.testRecords(codes),
+	})
 }
 
 // journalRejected records a service the description step rejected —
@@ -402,6 +435,76 @@ func (r *Runner) seedMemoFromJournal(server framework.ServerFramework, defs []se
 		}
 	}
 	return nil
+}
+
+// replayStage replays every journaled cell of one server stage into a
+// dedicated replay shard and returns it. Cells are independent — the
+// counters they re-apply are atomic and each fold lands in a private
+// per-slice shard — so replay runs across the worker pool in
+// contiguous index slices and the slice shards tree-merge; the old
+// serial replay loop was the dominant cost of resuming (and of every
+// distributed Merge, which replays the entire campaign).
+func (r *Runner) replayStage(server framework.ServerFramework, replay map[int]journal.Record,
+	failures [][]TestResult, prog *progress) (*shard, error) {
+	idxs := make([]int, 0, len(replay))
+	for i := range replay {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	workers := r.workers()
+	if workers > len(idxs) {
+		workers = len(idxs)
+	}
+	shards := make([]*shard, workers)
+	errs := make([]error, workers)
+	chunk := (len(idxs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sh := newShard(len(r.clients))
+		shards[w] = sh
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(idxs) {
+			hi = len(idxs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w int, slice []int, sh *shard) {
+			defer wg.Done()
+			for _, i := range slice {
+				st, err := r.replayService(replay[i])
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = err
+					}
+					return
+				}
+				r.ckpt.resumed.Inc()
+				if st != nil {
+					fails := r.foldService(st, sh)
+					if failures != nil {
+						failures[i] = fails
+					}
+				}
+				prog.serviceDone()
+			}
+		}(w, idxs[lo:hi], sh)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.obs.Emit(obs.Event{
+		Trace:  obs.TraceID(server.Name(), "resume"),
+		Stage:  "resume",
+		Server: server.Name(),
+		Detail: fmt.Sprintf("%d cells replayed from journal", len(replay)),
+	})
+	return mergeShards(shards), nil
 }
 
 // replayService re-applies one journaled cell: the exact counter and

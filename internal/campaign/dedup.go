@@ -81,7 +81,14 @@ type shapeEntry struct {
 	err error
 	// tmpl is the verified document template; nil means verification
 	// failed and same-shape classes must take the per-class path.
-	tmpl               *wsdl.Template
+	tmpl *wsdl.Template
+	// solo marks a shape the execution plan proved single-member: no
+	// clone will ever render from the template, so buildShape skips
+	// constructing and verifying it (about 91% of shapes at full
+	// scale). Only the planned executor sets it — the lazy path cannot
+	// know a shape's future population, which is exactly the
+	// information advantage the plan buys.
+	solo               bool
 	flagged, compliant bool
 	// rep is the shape's representative: the first-seen class, whose
 	// outputs were produced on the per-class path and verified against
@@ -192,7 +199,15 @@ func (r *Runner) publishOne(_ context.Context, server framework.ServerFramework,
 		return s
 	}
 	r.dedup.pubTotal.Add(1)
-	e := r.shapeFor(server, def)
+	return r.publishEntry(r.shapeFor(server, def), server, def, needDoc)
+}
+
+// publishEntry routes one memoizable definition through its shape memo
+// entry — publishOne's body once the entry is resolved. The planned
+// executor (plan.go) calls it directly with entries resolved in bulk,
+// so the hot path shares every memo branch (and every counter
+// contribution) with the lazy path.
+func (r *Runner) publishEntry(e *shapeEntry, server framework.ServerFramework, def services.Definition, needDoc bool) (s publishSlot) {
 	built := false
 	e.once.Do(func() {
 		built = true
@@ -201,7 +216,12 @@ func (r *Runner) publishOne(_ context.Context, server framework.ServerFramework,
 	})
 	if built {
 		s.mode = modeBuilt
-		s.verified = e.tmpl != nil
+		// verified means the memo is usable: the template reproduced the
+		// document byte-for-byte, or the plan proved the shape solo (no
+		// clone will ever consult the template). Resume replay credits
+		// memo-path counters from this flag, so it must track memo
+		// validity, not template existence.
+		s.verified = e.tmpl != nil || e.solo
 		return s
 	}
 	switch {
@@ -288,7 +308,9 @@ func (r *Runner) buildShape(e *shapeEntry, server framework.ServerFramework, def
 	report := r.checkDoc(doc)
 	e.flagged = len(report.Violations) > 0
 	e.compliant = report.Compliant()
-	e.tmpl = r.splitShape(server, def, raw)
+	if !e.solo {
+		e.tmpl = r.splitShape(server, def, raw)
+	}
 	s.ok = true
 	s.svc = PublishedService{
 		Server:    server.Name(),
@@ -298,8 +320,10 @@ func (r *Runner) buildShape(e *shapeEntry, server framework.ServerFramework, def
 		Compliant: e.compliant,
 		analysis:  &sharedAnalysis{},
 	}
-	if e.tmpl != nil {
-		// Only a verified shape may share memoized test outcomes. Seed
+	if e.tmpl != nil || e.solo {
+		// Only a verified shape may share memoized test outcomes (a
+		// solo shape has nobody to share with, so it keeps the memo's
+		// seeded analysis without needing the template proof). Seed
 		// the representative's analysis from the in-memory document:
 		// its serialized form just passed byte-for-byte verification,
 		// so the serialize→re-parse round trip of the per-class path is

@@ -143,9 +143,9 @@ func runShardWorkers(t *testing.T, limit, workers, n, killShard, killAt int) []s
 	return dirs
 }
 
-// mergeShards folds shard journals with a fresh frozen-clock runner of
+// mergeShardJournals folds shard journals with a fresh frozen-clock runner of
 // the same campaign configuration.
-func mergeShards(t *testing.T, limit, workers int, dirs []string) (*Result, *obs.Snapshot) {
+func mergeShardJournals(t *testing.T, limit, workers int, dirs []string) (*Result, *obs.Snapshot) {
 	t.Helper()
 	cfg := resumeConfig(limit, workers)
 	r := NewRunner(cfg)
@@ -176,7 +176,7 @@ func runDistributedMatrix(t *testing.T, limit int) {
 				killShard, killAt = 1, clean.TotalServices/(n*4)
 			}
 			dirs := runShardWorkers(t, limit, 4, n, killShard, killAt)
-			res, snap := mergeShards(t, limit, 4, dirs)
+			res, snap := mergeShardJournals(t, limit, 4, dirs)
 
 			compareResults(t, clean, res)
 			if !reflect.DeepEqual(clean.Dedup, res.Dedup) {
@@ -225,7 +225,7 @@ func TestDistributedEquivalenceFull(t *testing.T) {
 				killShard, killAt = 2, clean.TotalServices/(n*2)
 			}
 			dirs := runShardWorkers(t, 0, 0, n, killShard, killAt)
-			res, snap := mergeShards(t, 0, 0, dirs)
+			res, snap := mergeShardJournals(t, 0, 0, dirs)
 			compareResults(t, clean, res)
 			if !reflect.DeepEqual(clean.Dedup, res.Dedup) {
 				t.Errorf("dedup stats differ:\nsingle: %+v\nmerged: %+v", clean.Dedup, res.Dedup)

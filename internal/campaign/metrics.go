@@ -40,6 +40,15 @@ type runnerMetrics struct {
 	testMemoized    *obs.Counter // tests served by cloning a memoized outcome
 	commCells       *obs.Counter // communication cells exchanged
 
+	// Plan bookkeeping (plan.go) — deliberately namespaced under
+	// campaign.plan. so the planned-vs-lazy equivalence tests can strip
+	// them: the lazy ablation never builds a plan.
+	planBuilds        *obs.Counter // plans built from a catalog walk
+	planCacheHits     *obs.Counter // plans loaded from the on-disk cache
+	planCacheMisses   *obs.Counter // cache lookups with no file
+	planCacheRejected *obs.Counter // cache files refused (stale, corrupt, version skew)
+	planShared        *obs.Counter // plans adopted from another runner (AdoptPlan)
+
 	// Robustness outcome counters (folded deterministically).
 	robustSkipped      *obs.Counter
 	robustDetected     *obs.Counter
@@ -78,6 +87,11 @@ func newRunnerMetrics(reg *obs.Registry) *runnerMetrics {
 		testTotal:          reg.Counter("campaign.test.total"),
 		testMemoized:       reg.Counter("campaign.test.memoized"),
 		commCells:          reg.Counter("campaign.communication.cells"),
+		planBuilds:         reg.Counter("campaign.plan.builds"),
+		planCacheHits:      reg.Counter("campaign.plan.cache.hits"),
+		planCacheMisses:    reg.Counter("campaign.plan.cache.misses"),
+		planCacheRejected:  reg.Counter("campaign.plan.cache.rejected"),
+		planShared:         reg.Counter("campaign.plan.shared"),
 		robustSkipped:      reg.Counter("campaign.robust.skipped"),
 		robustDetected:     reg.Counter("campaign.robust.detected"),
 		robustMasked:       reg.Counter("campaign.robust.masked"),
@@ -112,16 +126,20 @@ func (m *runnerMetrics) observe(h *obs.Histogram, start time.Time) {
 	h.Observe(m.reg.Since(start))
 }
 
-// recordGen folds one artifact-generation run.
-func (m *runnerMetrics) recordGen(start time.Time, errored bool) {
+// recordGen folds one artifact-generation run and returns the stage
+// boundary it stamped, so the caller can start the next stage on the
+// same clock read instead of taking another.
+func (m *runnerMetrics) recordGen(start time.Time, errored bool) time.Time {
 	if m == nil {
-		return
+		return time.Time{}
 	}
-	m.genSeconds.Observe(m.reg.Since(start))
+	end := m.reg.Now()
+	m.genSeconds.Observe(end.Sub(start))
 	m.genRuns.Inc()
 	if errored {
 		m.genErrors.Inc()
 	}
+	return end
 }
 
 // recordCompile folds one compilation run.

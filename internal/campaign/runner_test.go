@@ -218,7 +218,10 @@ func TestProgressCallback(t *testing.T) {
 			stages = append(stages, stage)
 			last = 0
 		}
-		if done != last+1 || done > total {
+		// Delivery is asynchronous and coalescing: consecutive
+		// completions may arrive as one callback, so done can jump by
+		// more than one — but never backward or past the total.
+		if done <= last || done > total {
 			t.Fatalf("non-monotonic progress: stage %s done %d after %d (total %d)", stage, done, last, total)
 		}
 		last, lastTotal = done, total

@@ -56,9 +56,10 @@ type CampaignSpec struct {
 	// CLI's -server/-client semantics.
 	Server string `json:"server,omitempty"`
 	Client string `json:"client,omitempty"`
-	// Reparse and NoDedup select the ablation paths.
+	// Reparse, NoDedup, and NoPlan select the ablation paths.
 	Reparse bool `json:"reparse,omitempty"`
 	NoDedup bool `json:"noDedup,omitempty"`
+	NoPlan  bool `json:"noPlan,omitempty"`
 	// KeepFailures retains the per-test failure index in the report.
 	KeepFailures bool `json:"keepFailures,omitempty"`
 }
@@ -74,6 +75,9 @@ func (s *CampaignSpec) options() ([]Option, error) {
 	}
 	if s.NoDedup {
 		opts = append(opts, WithoutDedup())
+	}
+	if s.NoPlan {
+		opts = append(opts, WithoutPlan())
 	}
 	if s.KeepFailures {
 		opts = append(opts, WithKeepFailures())
@@ -166,6 +170,12 @@ type Daemon struct {
 	order []string
 	seq   int
 
+	// plans shares resolved execution plans across campaigns: the first
+	// campaign with a given configuration fingerprint builds the plan,
+	// every later one adopts it (AdoptPlan) and skips the catalog walk.
+	planMu sync.Mutex
+	plans  map[string]*Plan
+
 	srv      *net.Listener
 	server   *http.Server
 	done     chan struct{}
@@ -188,6 +198,7 @@ func NewDaemon(reg *obs.Registry, baseOpts ...Option) *Daemon {
 		ctx:    ctx,
 		cancel: cancel,
 		jobs:   make(map[string]*campaignJob),
+		plans:  make(map[string]*Plan),
 	}
 }
 
@@ -350,7 +361,24 @@ func (d *Daemon) startCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 	runner := New(append(append([]Option{}, d.base...),
 		append(opts, WithObs(job.reg), WithProgress(progress))...)...)
+	fp := runner.PlanFingerprint()
+	if fp != "" {
+		d.planMu.Lock()
+		p := d.plans[fp]
+		d.planMu.Unlock()
+		if p != nil {
+			// Same configuration as an earlier campaign: reuse its plan.
+			_ = runner.AdoptPlan(p)
+		}
+	}
 	res, err := runner.Run(ctx)
+	if err == nil && fp != "" {
+		if p, perr := runner.ExecutionPlan(); perr == nil {
+			d.planMu.Lock()
+			d.plans[fp] = p
+			d.planMu.Unlock()
+		}
+	}
 
 	job.mu.Lock()
 	if err != nil {

@@ -142,6 +142,25 @@ func Dedup(w io.Writer, res *campaign.Result) error {
 	return nil
 }
 
+// Plan writes the execution-plan summary (-report plan): how the
+// planner partitions each server's catalog into shape groups, and how
+// much of the campaign the clone broadcast will serve (DESIGN.md §12).
+func Plan(w io.Writer, sum *campaign.PlanSummary) error {
+	fmt.Fprintf(w, "plan fingerprint: %s (source: %s)\n", sum.Fingerprint, sum.Source)
+	if sum.NoDedup {
+		fmt.Fprintln(w, "shape memoization disabled: every class runs the direct path")
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "server\tclasses\tshapes\tclones\tunsafe\tloose")
+	for _, s := range sum.Servers {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\t%d\n",
+			s.Server, s.Classes, s.Shapes, s.Clones, s.Unsafe, s.Loose)
+	}
+	fmt.Fprintf(tw, "total\t%d\t%d\t%d\t%d\t%d\n",
+		sum.Classes, sum.Shapes, sum.Clones, sum.Unsafe, sum.Loose)
+	return tw.Flush()
+}
+
 // Deploy writes the Preparation Phase / description-step filtering
 // summary (services created vs published per server).
 func Deploy(w io.Writer, res *campaign.Result) error {

@@ -3,8 +3,8 @@
 //
 // Usage:
 //
-//	interop [-report fig4|chart|table3|findings|deploy|failures|dedup|maturity|compare|comm|robust|plan|metrics|json|markdown|all]
-//	        [-limit N] [-workers N] [-server NAME] [-client NAME]
+//	interop [-report fig4|chart|table3|findings|deploy|failures|dedup|profiles|maturity|compare|comm|robust|plan|metrics|json|markdown|all]
+//	        [-limit N] [-workers N] [-server NAME] [-client NAME] [-wsi-profile NAME]
 //	        [-faults] [-reparse] [-dedup=false] [-plan=false] [-plan-cache DIR]
 //	        [-cpuprofile FILE] [-metrics-json FILE] [-debug ADDR]
 //	        [-checkpoint DIR] [-resume]
@@ -72,6 +72,7 @@ import (
 	"wsinterop/internal/framework"
 	"wsinterop/internal/obs"
 	"wsinterop/internal/report"
+	"wsinterop/internal/wsi"
 )
 
 // validReports are the accepted -report modes, alphabetically, for
@@ -79,7 +80,7 @@ import (
 var validReports = []string{
 	"all", "chart", "comm", "compare", "dedup", "deploy", "failures",
 	"fig4", "findings", "json", "markdown", "maturity", "metrics",
-	"plan", "robust", "table3",
+	"plan", "profiles", "robust", "table3",
 }
 
 // Test hooks for -serve: serveListening (when set) receives the bound
@@ -135,6 +136,8 @@ func run(args []string, out io.Writer) error {
 		"run as a long-lived campaign daemon on this address: POST /campaigns (NDJSON progress stream), POST /services (publish a WSDL over TCP), /debug/*")
 	progress := fs.Bool("progress", false,
 		"print per-server progress lines and the WS-I memoized-vs-executed summary to stderr")
+	wsiProfile := fs.String("wsi-profile", "",
+		"compliance profile driving the campaign's WS-I verdicts (default bp11; see wsicheck -profiles)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,6 +193,14 @@ func run(args []string, out io.Writer) error {
 
 	opts := []campaign.Option{
 		campaign.WithLimit(*limit), campaign.WithWorkers(*workers),
+	}
+	if *wsiProfile != "" {
+		p, ok := wsi.Lookup(*wsiProfile)
+		if !ok {
+			return fmt.Errorf("unknown WS-I profile %q (registered: %s)",
+				*wsiProfile, strings.Join(wsi.ProfileIDs(), ", "))
+		}
+		opts = append(opts, campaign.WithChecker(wsi.NewChecker(wsi.WithProfile(p))))
 	}
 	if *reparse {
 		opts = append(opts, campaign.WithReparse())
@@ -394,6 +405,7 @@ func run(args []string, out io.Writer) error {
 		{"failures", "Failure index (Table III footnotes)", func() error { return report.Failures(out, res, 12) }},
 		{"findings", "Main findings (§IV)", func() error { return report.Findings(out, res) }},
 		{"dedup", "Shape memoization statistics", func() error { return report.Dedup(out, res) }},
+		{"profiles", "Compliance-profile matrix", func() error { return report.Profiles(out, res) }},
 		{"maturity", "Client tool maturity (§IV.A)", func() error { return report.Maturity(out, res) }},
 		{"compare", "Paper vs measured", func() error {
 			return report.WriteComparisons(out, report.Comparisons(res))

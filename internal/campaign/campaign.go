@@ -106,6 +106,11 @@ type PublishedService struct {
 	Flagged bool
 	// Compliant reports WS-I (official profile) compliance.
 	Compliant bool
+	// Profiles is the per-profile verdict row: bit i is set when the
+	// document satisfies the i-th registered compliance profile
+	// (wsi.Profiles() roster order). It feeds the campaign's
+	// per-profile compliance matrix.
+	Profiles uint64
 
 	// analysis is the lazily computed shared document analysis; the
 	// cell pointer (not the cell) is copied with the service, so every
@@ -209,6 +214,21 @@ type ServerSummary struct {
 	CompileErrors       int
 }
 
+// ProfileCompliance is one compliance profile's row of the campaign's
+// per-profile matrix: how many of each server's published services
+// satisfied the profile's core assertions.
+type ProfileCompliance struct {
+	// ID and Name identify the registered wsi profile.
+	ID   string
+	Name string
+	// Compliant maps server name → count of published services that
+	// satisfied the profile. Checked counts per server are
+	// Result.Servers[name].Deployed.
+	Compliant map[string]int
+	// TotalCompliant sums Compliant across servers.
+	TotalCompliant int
+}
+
 // Result is the complete campaign outcome.
 type Result struct {
 	// Servers maps server framework name to its Fig. 4 column.
@@ -252,6 +272,14 @@ type Result struct {
 	// the data behind the Table III footnotes (1 588 entries at full
 	// scale).
 	Failures []TestResult
+
+	// Profiles is the per-profile compliance matrix: one row per
+	// registered compliance profile (wsi.Profiles() roster order),
+	// counting, per server, the published services that satisfied the
+	// profile. The number of checked services per server is the
+	// server's Deployed count — every published service is evaluated
+	// against every registered profile.
+	Profiles []*ProfileCompliance
 
 	// Dedup reports the structural-shape memo layer's statistics for
 	// this run: Enabled=false (all other fields zero) when
@@ -392,6 +420,11 @@ type Runner struct {
 	servers []framework.ServerFramework
 	clients []framework.ClientFramework
 	checker *wsi.Checker
+	// profiles is the registered compliance-profile roster (wsi
+	// registry order); every published document is evaluated against
+	// each for the per-profile compliance matrix. Verdicts travel as a
+	// bitmask over this roster.
+	profiles []*wsi.Profile
 	// sameFramework maps client name → server name of the same
 	// framework, for the same-framework failure statistic.
 	sameFramework map[string]string
@@ -421,7 +454,8 @@ type Runner struct {
 func NewRunner(cfg Config) *Runner {
 	r := &Runner{
 		cfg: cfg, servers: cfg.Servers, clients: cfg.Clients, checker: cfg.Checker,
-		dedup: &dedupState{entries: make(map[shapeKey]*shapeEntry)},
+		dedup:    &dedupState{entries: make(map[shapeKey]*shapeEntry)},
+		profiles: wsi.Profiles(),
 	}
 	r.obs = cfg.Obs
 	if r.obs == nil {
@@ -526,16 +560,63 @@ type publishSlot struct {
 	verified bool
 }
 
-// checkDoc runs the WS-I compliance check under the stage timer.
-func (r *Runner) checkDoc(doc *wsdl.Definitions) *wsi.Report {
+// checkDoc runs the WS-I compliance check under the stage timer,
+// returning the primary checker's report plus the per-profile verdict
+// mask over the registered roster. The primary checker's own profile
+// reuses its report instead of evaluating twice.
+func (r *Runner) checkDoc(doc *wsdl.Definitions) (*wsi.Report, uint64) {
 	start := r.met.now()
 	report := r.checker.Check(doc)
+	primary := r.checker.Profile()
+	var mask uint64
+	for i, p := range r.profiles {
+		compliant := false
+		if p == primary {
+			compliant = report.Compliant()
+		} else {
+			compliant = p.Evaluate(doc).Compliant()
+		}
+		if compliant {
+			mask |= 1 << uint(i)
+		}
+	}
 	r.met.observe(r.met.wsiSeconds, start)
 	r.met.wsiChecks.Inc()
 	if len(report.Violations) > 0 {
 		r.met.wsiFlagged.Inc()
 	}
-	return report
+	return report, mask
+}
+
+// profileIDs expands a verdict mask into the compliant profiles' IDs
+// in roster order; nil when none.
+func (r *Runner) profileIDs(mask uint64) []string {
+	if mask == 0 {
+		return nil
+	}
+	var ids []string
+	for i, p := range r.profiles {
+		if mask&(1<<uint(i)) != 0 {
+			ids = append(ids, p.ID)
+		}
+	}
+	return ids
+}
+
+// profileMask rebuilds a verdict mask from journaled profile IDs.
+// Unknown IDs cannot occur — the checkpoint fingerprint covers the
+// roster — but are dropped defensively rather than misattributed.
+func (r *Runner) profileMask(ids []string) uint64 {
+	var mask uint64
+	for _, id := range ids {
+		for i, p := range r.profiles {
+			if p.ID == id {
+				mask |= 1 << uint(i)
+				break
+			}
+		}
+	}
+	return mask
 }
 
 // publishDirect runs the description step for one definition without
@@ -557,7 +638,7 @@ func (r *Runner) publishDirect(server framework.ServerFramework, def services.De
 		s.err = fmt.Errorf("marshal WSDL for %s on %s: %w", def.Parameter.Name, server.Name(), err)
 		return s
 	}
-	report := r.checkDoc(doc)
+	report, profiles := r.checkDoc(doc)
 	s.ok = true
 	s.svc = PublishedService{
 		Server:    server.Name(),
@@ -565,6 +646,7 @@ func (r *Runner) publishDirect(server framework.ServerFramework, def services.De
 		Doc:       raw,
 		Flagged:   len(report.Violations) > 0,
 		Compliant: report.Compliant(),
+		Profiles:  profiles,
 		analysis:  &sharedAnalysis{},
 	}
 	return s
@@ -721,6 +803,13 @@ func newResult(r *Runner) *Result {
 		res.Clients[c.Name()] = &ClientSummary{}
 		res.ClientOrder = append(res.ClientOrder, c.Name())
 	}
+	for _, p := range r.profiles {
+		res.Profiles = append(res.Profiles, &ProfileCompliance{
+			ID:        p.ID,
+			Name:      p.Name,
+			Compliant: make(map[string]int, len(r.servers)),
+		})
+	}
 	return res
 }
 
@@ -770,11 +859,18 @@ type shard struct {
 	sameFrameworkErrors      int
 	flaggedCleanServices     int
 	unflaggedFailingServices int
+	// profileCompliant counts the stage's folded services compliant
+	// with each registered profile, indexed in roster order.
+	profileCompliant []int
 }
 
 // newShard allocates one worker's private stage shard.
-func newShard(clients int) *shard {
-	return &shard{clients: make([]ClientSummary, clients), cells: make([]Cell, clients)}
+func newShard(clients, profiles int) *shard {
+	return &shard{
+		clients:          make([]ClientSummary, clients),
+		cells:            make([]Cell, clients),
+		profileCompliant: make([]int, profiles),
+	}
 }
 
 // add folds another shard of the same stage into s. Every field is an
@@ -796,6 +892,9 @@ func (s *shard) add(o *shard) {
 	s.sameFrameworkErrors += o.sameFrameworkErrors
 	s.flaggedCleanServices += o.flaggedCleanServices
 	s.unflaggedFailingServices += o.unflaggedFailingServices
+	for pi := range s.profileCompliant {
+		s.profileCompliant[pi] += o.profileCompliant[pi]
+	}
 }
 
 // mergeShards folds a stage's shards pairwise in parallel rounds — a
@@ -993,7 +1092,7 @@ func (r *Runner) runServerLazy(ctx context.Context, server framework.ServerFrame
 
 	var pubWG, testWG sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		sh := newShard(len(r.clients))
+		sh := newShard(len(r.clients), len(r.profiles))
 		shards[w] = sh
 		testWG.Add(1)
 		go func() {
@@ -1092,7 +1191,7 @@ feed:
 // errored tests in client roster order for the Failures index (nil
 // unless Config.KeepFailures).
 func (r *Runner) foldService(st *svcState, sh *shard) []TestResult {
-	errored := r.foldCodes(sh, st.svc.Server, st.svc.Flagged, st.codes, 1)
+	errored := r.foldCodes(sh, st.svc.Server, st.svc.Flagged, st.svc.Profiles, st.codes, 1)
 	if !errored || !r.cfg.KeepFailures {
 		return nil
 	}
@@ -1105,10 +1204,16 @@ func (r *Runner) foldService(st *svcState, sh *shard) []TestResult {
 // representative's codes and flagged status, so the whole fan-out is
 // one multiplied fold instead of a per-class pass. Returns whether any
 // cell of the row errored.
-func (r *Runner) foldCodes(sh *shard, server string, flagged bool, codes []outcomeCode, n int) bool {
+func (r *Runner) foldCodes(sh *shard, server string, flagged bool, profiles uint64, codes []outcomeCode, n int) bool {
 	sh.deployed += n
 	if flagged {
 		sh.descriptionWarnings += n
+	}
+	for pi := range sh.profileCompliant {
+		if profiles&(1<<uint(pi)) != 0 {
+			sh.profileCompliant[pi] += n
+			r.met.profileCompliant[pi].Add(int64(n))
+		}
 	}
 	cleanEverywhere := true
 	for ci := range codes {
@@ -1208,12 +1313,16 @@ func (r *Runner) mergeServer(res *Result, serverName string, created int,
 	res.TotalServices += created
 	sh := mergeShards(shards)
 	if sh == nil {
-		sh = newShard(len(r.clients))
+		sh = newShard(len(r.clients), len(r.profiles))
 	}
 	sum.Deployed += sh.deployed
 	res.TotalPublished += sh.deployed
 	sum.DescriptionWarnings += sh.descriptionWarnings
 	res.FlaggedServices += sh.descriptionWarnings
+	for pi, pc := range res.Profiles {
+		pc.Compliant[serverName] += sh.profileCompliant[pi]
+		pc.TotalCompliant += sh.profileCompliant[pi]
+	}
 	for ci, c := range r.clients {
 		res.Matrix[c.Name()][serverName].add(&sh.cells[ci])
 		res.Clients[c.Name()].add(&sh.clients[ci])

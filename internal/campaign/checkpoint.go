@@ -116,6 +116,13 @@ func (r *Runner) checkpointFingerprint() string {
 		"variant=" + strconv.Itoa(int(r.cfg.Variant)),
 		"style=" + string(r.cfg.Style),
 		"custom-catalog=" + strconv.FormatBool(r.cfg.CatalogFor != nil),
+		// The primary profile shapes Flagged/Compliant and the roster
+		// shapes the per-profile verdict lists, so a journal written
+		// under a different profile configuration must be refused.
+		"profile=" + r.checker.Profile().ID,
+	}
+	for _, p := range r.profiles {
+		parts = append(parts, "wsi-profile="+p.ID)
 	}
 	for _, s := range r.servers {
 		parts = append(parts, "server="+s.Name())
@@ -271,6 +278,7 @@ func (r *Runner) journalService(st *svcState) {
 		Verified:  st.verified,
 		Flagged:   svc.Flagged,
 		Compliant: svc.Compliant,
+		Profiles:  r.profileIDs(svc.Profiles),
 		Tests:     r.testRecords(st.codes),
 	}
 	if st.mode == modeBuilt {
@@ -316,6 +324,7 @@ func (r *Runner) journalClone(server, class string, e *shapeEntry, codes []outco
 		Published: true,
 		Flagged:   e.flagged,
 		Compliant: e.compliant,
+		Profiles:  r.profileIDs(e.profiles),
 		Tests:     r.testRecords(codes),
 	})
 }
@@ -390,6 +399,7 @@ func (r *Runner) seedMemoFromJournal(server framework.ServerFramework, defs []se
 			e.rejected = true
 		default:
 			e.flagged, e.compliant = rec.Flagged, rec.Compliant
+			e.profiles = r.profileMask(rec.Profiles)
 			if rec.Verified {
 				if len(rec.Doc) == 0 {
 					return fmt.Errorf("campaign: journal record %s (%s on %s): verified builder without a document", rec.Trace, rec.Class, rec.Server)
@@ -404,6 +414,7 @@ func (r *Runner) seedMemoFromJournal(server framework.ServerFramework, defs []se
 					Doc:       rec.Doc,
 					Flagged:   rec.Flagged,
 					Compliant: rec.Compliant,
+					Profiles:  e.profiles,
 					analysis:  &sharedAnalysis{},
 					memo:      e,
 				}
@@ -460,7 +471,7 @@ func (r *Runner) replayStage(server framework.ServerFramework, replay map[int]jo
 	chunk := (len(idxs) + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		sh := newShard(len(r.clients))
+		sh := newShard(len(r.clients), len(r.profiles))
 		shards[w] = sh
 		lo := w * chunk
 		hi := lo + chunk
@@ -557,6 +568,7 @@ func (r *Runner) replayService(rec journal.Record) (*svcState, error) {
 			Doc:       rec.Doc,
 			Flagged:   rec.Flagged,
 			Compliant: rec.Compliant,
+			Profiles:  r.profileMask(rec.Profiles),
 			analysis:  &sharedAnalysis{},
 		},
 		mode:     mode,

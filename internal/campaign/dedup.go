@@ -90,6 +90,12 @@ type shapeEntry struct {
 	// information advantage the plan buys.
 	solo               bool
 	flagged, compliant bool
+	// profiles is the shape's per-profile verdict mask (bit i set =
+	// compliant with the i-th registered profile). Like flagged and
+	// compliant it is name-invariant under the SubstitutionSafe guard —
+	// every registered profile's name-sensitive assertion set is covered
+	// by the chunk predicates — so clones inherit it verbatim.
+	profiles uint64
 	// rep is the shape's representative: the first-seen class, whose
 	// outputs were produced on the per-class path and verified against
 	// the template. Memoized tests always run against rep (its analysis
@@ -279,6 +285,7 @@ func (r *Runner) publishEntry(e *shapeEntry, server framework.ServerFramework, d
 		Doc:       raw,
 		Flagged:   e.flagged,
 		Compliant: e.compliant,
+		Profiles:  e.profiles,
 		analysis:  &sharedAnalysis{},
 		memo:      e,
 	}
@@ -305,9 +312,10 @@ func (r *Runner) buildShape(e *shapeEntry, server framework.ServerFramework, def
 		s.err = fmt.Errorf("marshal WSDL for %s on %s: %w", def.Parameter.Name, server.Name(), err)
 		return s
 	}
-	report := r.checkDoc(doc)
+	report, profiles := r.checkDoc(doc)
 	e.flagged = len(report.Violations) > 0
 	e.compliant = report.Compliant()
+	e.profiles = profiles
 	if !e.solo {
 		e.tmpl = r.splitShape(server, def, raw)
 	}
@@ -318,6 +326,7 @@ func (r *Runner) buildShape(e *shapeEntry, server framework.ServerFramework, def
 		Doc:       raw,
 		Flagged:   e.flagged,
 		Compliant: e.compliant,
+		Profiles:  e.profiles,
 		analysis:  &sharedAnalysis{},
 	}
 	if e.tmpl != nil || e.solo {

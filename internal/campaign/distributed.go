@@ -272,7 +272,8 @@ func normalizeShapeGroup(server string, group []shardMember, loaded map[string]j
 		// by diverging builds and the merge would be fiction.
 		a, b := group[builderAt].rec, group[i].rec
 		if a.Published != b.Published || a.Verified != b.Verified ||
-			a.Flagged != b.Flagged || a.Compliant != b.Compliant {
+			a.Flagged != b.Flagged || a.Compliant != b.Compliant ||
+			!equalProfiles(a.Profiles, b.Profiles) {
 			return fmt.Errorf("campaign: shard journals disagree on the shape of %s and %s on %s",
 				a.Class, b.Class, server)
 		}
@@ -302,6 +303,7 @@ func normalizeShapeGroup(server string, group []shardMember, loaded map[string]j
 			rec.Mode = modeMemoRejected.id()
 			rec.Published, rec.Verified = false, false
 			rec.Flagged, rec.Compliant = false, false
+			rec.Profiles = nil
 			rec.Doc, rec.Tests = nil, nil
 		case builder.Verified && substitutionSafe(group[i].def):
 			rec.Mode = modeMemoized.id()
@@ -331,6 +333,22 @@ func normalizeShapeGroup(server string, group []shardMember, loaded map[string]j
 		loaded[group[builderAt].trace] = builder
 	}
 	return nil
+}
+
+// equalProfiles compares two journaled per-profile verdict lists.
+// Profile IDs are written in roster order by every shard (the
+// fingerprint pins the roster), so element-wise equality is the right
+// comparison.
+func equalProfiles(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // substitutionSafe reports whether the class's name-derived strings

@@ -71,6 +71,14 @@ func compareResults(t *testing.T, a, b *Result) {
 			}
 		}
 	}
+	if len(a.Profiles) != len(b.Profiles) {
+		t.Fatalf("profile roster length: cached %d != reparse %d", len(a.Profiles), len(b.Profiles))
+	}
+	for i := range a.Profiles {
+		if !reflect.DeepEqual(a.Profiles[i], b.Profiles[i]) {
+			t.Errorf("profile %s matrix: %+v != %+v", a.Profiles[i].ID, *a.Profiles[i], *b.Profiles[i])
+		}
+	}
 	if len(a.Failures) != len(b.Failures) {
 		t.Fatalf("failure index length: cached %d != reparse %d", len(a.Failures), len(b.Failures))
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"wsinterop/internal/obs"
+	"wsinterop/internal/wsi"
 )
 
 // runnerMetrics caches the campaign's observability instruments so the
@@ -32,6 +33,13 @@ type runnerMetrics struct {
 	wsiChecks       *obs.Counter // WS-I document checks executed
 	wsiFlagged      *obs.Counter // checks that raised at least one finding
 	wsiMemoized     *obs.Counter // verdicts served from the shape memo
+
+	// profileCompliant counts folded services compliant with each
+	// registered profile (campaign.wsi.profile.<id>.compliant), indexed
+	// in roster order. Incremented only inside the deterministic
+	// classification fold (foldCodes), so the values obey the obs
+	// determinism contract like every other fold counter.
+	profileCompliant []*obs.Counter
 	genRuns         *obs.Counter // artifact generations executed
 	genErrors       *obs.Counter // generations classified as errors
 	compileRuns     *obs.Counter // compilations executed
@@ -66,6 +74,11 @@ func newRunnerMetrics(reg *obs.Registry) *runnerMetrics {
 	if reg == nil {
 		return nil
 	}
+	var profileCompliant []*obs.Counter
+	for _, p := range wsi.Profiles() {
+		profileCompliant = append(profileCompliant,
+			reg.Counter("campaign.wsi.profile."+p.ID+".compliant"))
+	}
 	return &runnerMetrics{
 		reg:                reg,
 		publishSeconds:     reg.Histogram("campaign.publish.seconds"),
@@ -80,6 +93,7 @@ func newRunnerMetrics(reg *obs.Registry) *runnerMetrics {
 		wsiChecks:          reg.Counter("campaign.wsi.checks"),
 		wsiFlagged:         reg.Counter("campaign.wsi.flagged"),
 		wsiMemoized:        reg.Counter("campaign.wsi.memoized"),
+		profileCompliant:   profileCompliant,
 		genRuns:            reg.Counter("campaign.generate.runs"),
 		genErrors:          reg.Counter("campaign.generate.errors"),
 		compileRuns:        reg.Counter("campaign.compile.runs"),

@@ -636,7 +636,7 @@ func (r *Runner) runServerPlanned(ctx context.Context, server framework.ServerFr
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		sh := newShard(len(r.clients))
+		sh := newShard(len(r.clients), len(r.profiles))
 		shards[w] = sh
 		wg.Add(1)
 		go func(w int, sh *shard) {
@@ -789,7 +789,7 @@ func (r *Runner) broadcastClones(server framework.ServerFramework, defs []servic
 	for ci := 0; ci < nc; ci++ {
 		codes[ci] = e.tests[ci].code &^ codeExecuted
 	}
-	errored := r.foldCodes(sh, server.Name(), e.flagged, codes, len(clones))
+	errored := r.foldCodes(sh, server.Name(), e.flagged, e.profiles, codes, len(clones))
 	keep := failures != nil && errored
 	if keep || r.ckpt != nil {
 		for _, di := range clones {

@@ -35,9 +35,8 @@ func wsiVerdictKey(checker *wsi.Checker, server framework.ServerFramework, def s
 	return strings.Join(ids, ",")
 }
 
-func runWSIShapeEquivalence(t *testing.T, limit int) {
+func runWSIShapeEquivalence(t *testing.T, checker *wsi.Checker, limit int) {
 	t.Helper()
-	checker := wsi.NewChecker()
 	catalogs := map[typesys.Language]*typesys.Catalog{
 		typesys.Java:   typesys.JavaCatalog(),
 		typesys.CSharp: typesys.CSharpCatalog(),
@@ -87,16 +86,25 @@ func runWSIShapeEquivalence(t *testing.T, limit int) {
 }
 
 func TestWSIShapeEquivalenceScaled(t *testing.T) {
-	runWSIShapeEquivalence(t, 300)
+	for _, p := range wsi.Profiles() {
+		t.Run(p.ID, func(t *testing.T) {
+			runWSIShapeEquivalence(t, wsi.NewChecker(wsi.WithProfile(p)), 300)
+		})
+	}
 }
 
 // TestWSIShapeEquivalenceFull replays every class of the study corpus
 // (22 024 service definitions across the seven servers) through the
 // per-class checker and requires each class's verdict to match its
-// shape representative's.
+// shape representative's — once per registered compliance profile,
+// proving the (shape, profile) memo key sound for the whole roster.
 func TestWSIShapeEquivalenceFull(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-scale equivalence skipped in -short mode")
 	}
-	runWSIShapeEquivalence(t, 0)
+	for _, p := range wsi.Profiles() {
+		t.Run(p.ID, func(t *testing.T) {
+			runWSIShapeEquivalence(t, wsi.NewChecker(wsi.WithProfile(p)), 0)
+		})
+	}
 }

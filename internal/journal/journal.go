@@ -143,6 +143,12 @@ type Record struct {
 	Verified  bool         `json:"verified,omitempty"`
 	Flagged   bool         `json:"flagged,omitempty"`
 	Compliant bool         `json:"compliant,omitempty"`
+	// Profiles lists the IDs of the compliance profiles the published
+	// description satisfied (the per-profile verdict row of the
+	// campaign's compliance matrix). The campaign fingerprint covers
+	// the profile roster, so a nil list on a published record always
+	// means "checked, compliant with none", never "not checked".
+	Profiles  []string     `json:"profiles,omitempty"`
 	Doc       []byte       `json:"doc,omitempty"`
 	Tests     []TestRecord `json:"tests,omitempty"`
 }

@@ -26,6 +26,9 @@ type jsonResult struct {
 	Communication       []campaign.CommSummary `json:"communication,omitempty"`
 	Robustness          []jsonRobust           `json:"robustness,omitempty"`
 	Dedup               *jsonDedup             `json:"dedup,omitempty"`
+	// Profiles is the per-profile compliance matrix: one row per
+	// registered compliance profile, keyed per server.
+	Profiles []jsonProfile `json:"profiles,omitempty"`
 	// Metrics carries the runner's observability snapshot as taken at
 	// the end of the static campaign (Result.Metrics).
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
@@ -42,6 +45,16 @@ type jsonDedup struct {
 	Fallbacks       int  `json:"fallbacks"`
 	WSIChecks       int  `json:"wsiChecks"`
 	WSIMemoized     int  `json:"wsiMemoized"`
+}
+
+// jsonProfile is one compliance profile's row of the per-profile
+// matrix.
+type jsonProfile struct {
+	ID             string         `json:"id"`
+	Name           string         `json:"name"`
+	Compliant      map[string]int `json:"compliantByServer"`
+	TotalCompliant int            `json:"totalCompliant"`
+	Checked        int            `json:"checked"`
 }
 
 // jsonRobust is one (server × fault) row of the robustness matrix.
@@ -133,6 +146,16 @@ func JSON(w io.Writer, res *campaign.Result, comm *campaign.CommResult, robust *
 			Fallbacks: d.Fallbacks,
 			WSIChecks: d.WSIChecks, WSIMemoized: d.WSIMemoized,
 		}
+	}
+	for _, pc := range res.Profiles {
+		compliant := make(map[string]int, len(pc.Compliant))
+		for server, n := range pc.Compliant {
+			compliant[server] = n
+		}
+		out.Profiles = append(out.Profiles, jsonProfile{
+			ID: pc.ID, Name: pc.Name, Compliant: compliant,
+			TotalCompliant: pc.TotalCompliant, Checked: res.TotalPublished,
+		})
 	}
 	out.Metrics = res.Metrics
 	for _, c := range Comparisons(res) {

@@ -72,6 +72,24 @@ func Markdown(w io.Writer, res *campaign.Result, comm *campaign.CommResult, robu
 			fmt.Sprintf("%d", c.ErrorsOnClean), verdict(c)})
 	}
 
+	if len(res.Profiles) > 0 {
+		mw.heading(3, "Compliance profiles")
+		head := append([]string{"profile"}, res.ServerOrder...)
+		mw.tableHeader(append(head, "total", "checked"))
+		for _, pc := range res.Profiles {
+			cells := []string{pc.ID}
+			for _, s := range res.ServerOrder {
+				cells = append(cells, fmt.Sprintf("%d", pc.Compliant[s]))
+			}
+			mw.tableRow(append(cells,
+				fmt.Sprintf("%d", pc.TotalCompliant), fmt.Sprintf("%d", res.TotalPublished)))
+		}
+		for _, pc := range res.Profiles {
+			mw.printf("\n`%s`: %s", pc.ID, pc.Name)
+		}
+		mw.printf("\n")
+	}
+
 	mw.heading(3, "Paper vs measured")
 	mw.tableHeader([]string{"metric", "paper", "measured", "Δ"})
 	for _, c := range Comparisons(res) {

@@ -142,6 +142,40 @@ func Dedup(w io.Writer, res *campaign.Result) error {
 	return nil
 }
 
+// Profiles writes the per-profile compliance matrix: for every
+// registered compliance profile, how many of each server's published
+// descriptions satisfied it. The primary profile drives the campaign's
+// Flagged/Compliant verdicts; the other registered profiles are
+// evaluated alongside it on the same documents.
+func Profiles(w io.Writer, res *campaign.Result) error {
+	if len(res.Profiles) == 0 {
+		_, err := fmt.Fprintln(w, "no compliance profiles registered")
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "profile")
+	for _, s := range res.ServerOrder {
+		fmt.Fprintf(tw, "\t%s", s)
+	}
+	fmt.Fprintln(tw, "\ttotal\tchecked")
+	for _, pc := range res.Profiles {
+		fmt.Fprintf(tw, "%s", pc.ID)
+		for _, s := range res.ServerOrder {
+			fmt.Fprintf(tw, "\t%d", pc.Compliant[s])
+		}
+		fmt.Fprintf(tw, "\t%d\t%d\n", pc.TotalCompliant, res.TotalPublished)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, pc := range res.Profiles {
+		if _, err := fmt.Fprintf(w, "%s: %s\n", pc.ID, pc.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Plan writes the execution-plan summary (-report plan): how the
 // planner partitions each server's catalog into shape groups, and how
 // much of the campaign the clone broadcast will serve (DESIGN.md §12).

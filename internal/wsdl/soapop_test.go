@@ -1,0 +1,114 @@
+package wsdl
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests pin the soapbind:operation attribute model: soapAction
+// presence is a fact of the document (OmitSOAPAction), distinct from
+// an empty soapAction value, and a per-operation style override
+// survives the Marshal/Unmarshal round trip. Both distinctions feed
+// WS-I assertions (R2745 and R2705), so losing either in serialization
+// would silently blind the checker on parsed documents.
+
+func TestMarshalOmitsSOAPActionWhenAbsent(t *testing.T) {
+	d := testDefinitions()
+	d.Bindings[0].Operations[0].OmitSOAPAction = true
+	raw, err := Marshal(d)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if strings.Contains(string(raw), "soapAction") {
+		t.Errorf("OmitSOAPAction operation still serialized a soapAction attribute:\n%s", raw)
+	}
+
+	// The default (zero value) keeps the historical byte output: an
+	// explicit soapAction="" attribute.
+	if raw, err = Marshal(testDefinitions()); err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if !strings.Contains(string(raw), `soapAction=""`) {
+		t.Errorf("declared empty soapAction must serialize as soapAction=\"\":\n%s", raw)
+	}
+}
+
+func TestRoundTripSOAPActionPresence(t *testing.T) {
+	d := testDefinitions()
+	d.Bindings[0].Operations[0].OmitSOAPAction = true
+	raw, err := Marshal(d)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\n%s", err, raw)
+	}
+	if !got.Bindings[0].Operations[0].OmitSOAPAction {
+		t.Error("absent soapAction parsed as declared")
+	}
+
+	// And the inverse: a declared empty soapAction must not read back
+	// as absent — encoding/xml alone cannot make this distinction,
+	// which is exactly why the parser scans raw attributes.
+	got, err = Unmarshal(mustMarshal(t, testDefinitions()))
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Bindings[0].Operations[0].OmitSOAPAction {
+		t.Error("declared empty soapAction parsed as absent")
+	}
+	if got.Bindings[0].Operations[0].SOAPAction != "" {
+		t.Errorf("soapAction value = %q, want empty", got.Bindings[0].Operations[0].SOAPAction)
+	}
+}
+
+func TestRoundTripPerOperationStyle(t *testing.T) {
+	d := testDefinitions()
+	d.Bindings[0].Operations[0].Style = StyleRPC
+	raw, err := Marshal(d)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if !strings.Contains(string(raw), `style="rpc"`) {
+		t.Errorf("per-operation style not serialized:\n%s", raw)
+	}
+	got, err := Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\n%s", err, raw)
+	}
+	if got.Bindings[0].Operations[0].Style != StyleRPC {
+		t.Errorf("per-operation style = %q after round trip, want rpc", got.Bindings[0].Operations[0].Style)
+	}
+
+	// No per-op style declared → none serialized, none parsed.
+	got, err = Unmarshal(mustMarshal(t, testDefinitions()))
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if got.Bindings[0].Operations[0].Style != "" {
+		t.Errorf("phantom per-operation style %q after round trip", got.Bindings[0].Operations[0].Style)
+	}
+}
+
+func TestEffectiveStyle(t *testing.T) {
+	b := &Binding{Style: StyleDocument}
+	if s := b.EffectiveStyle(&BindingOperation{}); s != StyleDocument {
+		t.Errorf("inherit binding style: got %q", s)
+	}
+	if s := b.EffectiveStyle(&BindingOperation{Style: StyleRPC}); s != StyleRPC {
+		t.Errorf("per-op override: got %q", s)
+	}
+	if s := (&Binding{}).EffectiveStyle(&BindingOperation{}); s != StyleDocument {
+		t.Errorf("WSDL default is document: got %q", s)
+	}
+}
+
+func mustMarshal(t *testing.T, d *Definitions) []byte {
+	t.Helper()
+	raw, err := Marshal(d)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	return raw
+}

@@ -110,6 +110,30 @@ type BindingOperation struct {
 	InputUse      Use
 	OutputUse     Use
 	BodyNamespace string
+	// Style is the per-operation soapbind:operation style attribute;
+	// empty means the operation inherits the binding's style. WS-I
+	// R2705 requires every operation of a binding to use one style.
+	Style Style
+	// OmitSOAPAction records that the parsed soapbind:operation carried
+	// no soapAction attribute at all — distinct from soapAction="",
+	// which is a declared (empty) action and satisfies WS-I R2745. The
+	// zero value means "declared", matching both the documents this
+	// model constructs programmatically and the serializer, which
+	// always emits the attribute unless this flag is set.
+	OmitSOAPAction bool
+}
+
+// EffectiveStyle resolves the operation's SOAP style against the
+// binding default: the per-operation style when declared, otherwise
+// the binding's style, otherwise document (the WSDL 1.1 default).
+func (b *Binding) EffectiveStyle(bop *BindingOperation) Style {
+	if bop.Style != "" {
+		return bop.Style
+	}
+	if b.Style != "" {
+		return b.Style
+	}
+	return StyleDocument
 }
 
 // Service exposes ports at concrete endpoint addresses.

@@ -258,7 +258,12 @@ func marshalTo(buf *bytes.Buffer, d *Definitions) error {
 			qattr(buf, "name", bop.Name)
 			buf.WriteString(">\n")
 			buf.WriteString("      <" + soapPrefix + ":operation")
-			qattr(buf, "soapAction", bop.SOAPAction)
+			if !bop.OmitSOAPAction {
+				qattr(buf, "soapAction", bop.SOAPAction)
+			}
+			if bop.Style != "" {
+				qattr(buf, "style", string(bop.Style))
+			}
 			buf.WriteString("/>\n")
 			inUse, outUse := bop.InputUse, bop.OutputUse
 			if inUse == "" {
@@ -389,7 +394,11 @@ type xmlBindOp struct {
 }
 
 type xmlSOAPOp struct {
-	SOAPAction string `xml:"soapAction,attr"`
+	// encoding/xml cannot distinguish an absent attribute from an
+	// empty one through a tagged string field, and WS-I R2745 needs
+	// exactly that distinction for soapAction — so capture the raw
+	// attribute list and scan it.
+	Attrs []xml.Attr `xml:",any,attr"`
 }
 
 type xmlBodyWrap struct {
@@ -483,9 +492,23 @@ func Unmarshal(data []byte) (*Definitions, error) {
 			bind.Style = Style(b.SOAP[0].Style)
 		}
 		for _, bop := range b.Operations {
-			bo := BindingOperation{Name: bop.Name}
+			// An operation with no soapbind:operation element, or one
+			// whose element lacks the attribute, has no declared
+			// soapAction; soapAction="" stays a declared empty action.
+			bo := BindingOperation{Name: bop.Name, OmitSOAPAction: true}
 			if len(bop.SOAPOp) > 0 {
-				bo.SOAPAction = bop.SOAPOp[0].SOAPAction
+				for _, a := range bop.SOAPOp[0].Attrs {
+					if a.Name.Space != "" {
+						continue
+					}
+					switch a.Name.Local {
+					case "soapAction":
+						bo.SOAPAction = a.Value
+						bo.OmitSOAPAction = false
+					case "style":
+						bo.Style = Style(a.Value)
+					}
+				}
 			}
 			if bop.Input != nil && bop.Input.Body != nil {
 				bo.InputUse = Use(bop.Input.Body.Use)

@@ -1,0 +1,178 @@
+package wsi
+
+import (
+	"strings"
+	"testing"
+
+	"wsinterop/internal/wsdl"
+	"wsinterop/internal/xsd"
+)
+
+// Regression tests for four checker defects. Each test fails against
+// the pre-fix checker: the first two assertions were "phantoms"
+// (advertised by AllAssertions but emitted by no check), R2800 held
+// for any port regardless of its binding, schema-resolution errors
+// were swallowed, and CheckMessage passed unparseable payloads clean.
+
+// TestParsedDocMissingSOAPActionFailsR2745 drives the fix end-to-end
+// through the byte layer: a document whose soapbind:operation carries
+// no soapAction attribute must fail R2745 after parsing. Pre-fix the
+// parser could not even represent attribute absence, and no check
+// emitted R2745.
+func TestParsedDocMissingSOAPActionFailsR2745(t *testing.T) {
+	d := cleanDoc()
+	d.Bindings[0].Operations[0].OmitSOAPAction = true
+	raw, err := wsdl.Marshal(d)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	if strings.Contains(string(raw), "soapAction") {
+		t.Fatalf("fixture still declares soapAction:\n%s", raw)
+	}
+	parsed, err := wsdl.Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	r := NewChecker().Check(parsed)
+	if !violated(r, AssertionSOAPAction.ID) {
+		t.Errorf("expected R2745 for missing soapAction, got %v", r.Violations)
+	}
+
+	// A declared-but-empty soapAction (every corpus document) is fine.
+	clean := NewChecker().Check(cleanDoc())
+	if violated(clean, AssertionSOAPAction.ID) {
+		t.Errorf("declared empty soapAction must pass R2745: %v", clean.Violations)
+	}
+}
+
+// TestMixedOperationStylesFailR2705 exercises the other phantom: a
+// binding mixing document- and rpc-style operations must fail R2705.
+// Pre-fix the model had no per-operation style, so the mix was
+// unrepresentable and the assertion never fired.
+func TestMixedOperationStylesFailR2705(t *testing.T) {
+	d := cleanDoc()
+	pt := &d.PortTypes[0]
+	second := pt.Operations[0]
+	second.Name = "echoTwice"
+	pt.Operations = append(pt.Operations, second)
+	b := &d.Bindings[0]
+	bsecond := b.Operations[0]
+	bsecond.Name = "echoTwice"
+	bsecond.Style = wsdl.StyleRPC
+	b.Operations = append(b.Operations, bsecond)
+
+	// Through the byte layer too: the per-op style must survive the
+	// round trip for parsed documents to be checkable.
+	raw, err := wsdl.Marshal(d)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	parsed, err := wsdl.Unmarshal(raw)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	for _, doc := range []*wsdl.Definitions{d, parsed} {
+		r := NewChecker().Check(doc)
+		if !violated(r, AssertionConsistentStyle.ID) {
+			t.Errorf("expected R2705 for mixed styles, got %v", r.Violations)
+		}
+	}
+
+	// Uniform per-op styles that merely restate the binding style are
+	// not a mix.
+	u := cleanDoc()
+	u.Bindings[0].Operations[0].Style = wsdl.StyleDocument
+	if r := NewChecker().Check(u); violated(r, AssertionConsistentStyle.ID) {
+		t.Errorf("uniform styles flagged as mixed: %v", r.Violations)
+	}
+}
+
+// TestPortBindingMustResolveForR2800 pins the R2800 fix: a service
+// "has a SOAP port" only if some port's binding resolves and uses the
+// SOAP/HTTP transport. Pre-fix any port at all satisfied the check.
+func TestPortBindingMustResolveForR2800(t *testing.T) {
+	// Port references a binding that does not exist.
+	d := cleanDoc()
+	d.Services[0].Ports[0].Binding = "NoSuchBinding"
+	r := NewChecker().Check(d)
+	if !violated(r, AssertionServicePresent.ID) {
+		t.Errorf("expected R2800 when the only port's binding is unresolvable, got %v", r.Violations)
+	}
+
+	// Port's binding resolves but is not SOAP-over-HTTP.
+	d = cleanDoc()
+	d.Bindings[0].Transport = "http://schemas.xmlsoap.org/soap/smtp"
+	r = NewChecker().Check(d)
+	if !violated(r, AssertionServicePresent.ID) {
+		t.Errorf("expected R2800 when the only port's binding is non-HTTP, got %v", r.Violations)
+	}
+
+	// A resolvable SOAP/HTTP port still satisfies R2800.
+	if r = NewChecker().Check(cleanDoc()); violated(r, AssertionServicePresent.ID) {
+		t.Errorf("clean document must pass R2800: %v", r.Violations)
+	}
+	// An empty transport means the SOAP/HTTP default: also satisfied.
+	d = cleanDoc()
+	d.Bindings[0].Transport = ""
+	if r = NewChecker().Check(d); violated(r, AssertionServicePresent.ID) {
+		t.Errorf("default transport must pass R2800: %v", r.Violations)
+	}
+}
+
+// TestSchemaResolutionErrorSurfacesAsR2001 pins the swallowed-error
+// fix: a schema set whose Resolve fails outright (here: a nil schema
+// entry) must surface as an R2001 violation. Pre-fix the error was
+// discarded — and this particular input panicked the checker before
+// reaching Resolve at all.
+func TestSchemaResolutionErrorSurfacesAsR2001(t *testing.T) {
+	d := cleanDoc()
+	d.Types.Schemas = append(d.Types.Schemas, nil)
+	r := NewChecker().Check(d)
+	if !violated(r, AssertionResolvableRefs.ID) {
+		t.Errorf("expected R2001 for a failing schema resolution, got %v", r.Violations)
+	}
+	if r.Compliant() {
+		t.Error("document with unresolvable schema set must not be compliant")
+	}
+}
+
+// TestCheckMessageUnparseablePayloads pins the RM9980 fix: payloads
+// that never yield a root element — empty, non-XML garbage, truncated
+// before the root closes enough to parse — must fail RM9980 instead of
+// passing clean, and a payload whose XML breaks off after the root is
+// reported as truncated.
+func TestCheckMessageUnparseablePayloads(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"garbage":        "HTTP/500 definitely } not xml <<<",
+		"truncated-root": "<soap:Envel",
+	}
+	for name, raw := range cases {
+		r := NewChecker().CheckMessage([]byte(raw), cleanMeta())
+		if !violated(r, AssertionMsgEnvelope.ID) {
+			t.Errorf("%s: expected RM9980, got %v", name, r.Violations)
+		}
+	}
+
+	// Root parses, then the document breaks off: truncation, also
+	// RM9980.
+	trunc := `<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/"><soap:Body>`
+	r := NewChecker().CheckMessage([]byte(trunc), cleanMeta())
+	if !violated(r, AssertionMsgEnvelope.ID) {
+		t.Errorf("truncated-after-root: expected RM9980, got %v", r.Violations)
+	}
+
+	// The clean envelope still passes.
+	if r = NewChecker().CheckMessage([]byte(cleanEnvelope), cleanMeta()); len(r.Violations) != 0 {
+		t.Errorf("clean envelope regressed: %v", r.Violations)
+	}
+}
+
+// TestNilSchemaEntryResolveError pins the xsd-level half of the R2001
+// fix at its source.
+func TestNilSchemaEntryResolveError(t *testing.T) {
+	s := xsd.NewSchemaSet(cleanDoc().Types.Schemas[0], nil)
+	if _, err := s.Resolve(); err == nil {
+		t.Error("Resolve must reject a nil schema entry")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/xml"
 	"fmt"
+	"io"
 	"mime"
 	"strings"
 )
@@ -83,16 +84,21 @@ func (c *Checker) CheckMessage(raw []byte, meta MessageMeta) *Report {
 
 	dec := xml.NewDecoder(bytes.NewReader(raw))
 	depth := 0
+	sawRoot := false
 	inBody := false
 	bodyDepth := 0
 	bodyChildren := 0
 	isFault := false
 	var faultFields map[string]bool
 	var pathStack []xml.Name
+	var tokenErr error
 
 	for {
 		tok, err := dec.Token()
 		if err != nil {
+			if err != io.EOF {
+				tokenErr = err
+			}
 			break
 		}
 		switch t := tok.(type) {
@@ -101,6 +107,7 @@ func (c *Checker) CheckMessage(raw []byte, meta MessageMeta) *Report {
 			pathStack = append(pathStack, t.Name)
 			switch {
 			case depth == 1:
+				sawRoot = true
 				if t.Name.Local != "Envelope" || t.Name.Space != soapEnvelopeNS {
 					r.add(AssertionMsgEnvelope,
 						"root element is {%s}%s", t.Name.Space, t.Name.Local)
@@ -130,6 +137,22 @@ func (c *Checker) CheckMessage(raw []byte, meta MessageMeta) *Report {
 				pathStack = pathStack[:len(pathStack)-1]
 			}
 		}
+	}
+
+	// A payload that never yields a root element is not a soap:Envelope
+	// at all — empty bodies, non-XML garbage and truncated-before-root
+	// documents must not pass RM9980 by breaking out of the token loop
+	// early. A payload whose root parsed but whose XML then broke off
+	// is counted as truncated.
+	switch {
+	case !sawRoot && len(raw) == 0:
+		r.add(AssertionMsgEnvelope, "message payload is empty")
+	case !sawRoot && tokenErr != nil:
+		r.add(AssertionMsgEnvelope, "no root element parses in %d bytes: %v", len(raw), tokenErr)
+	case !sawRoot:
+		r.add(AssertionMsgEnvelope, "no root element in %d bytes of payload", len(raw))
+	case tokenErr != nil:
+		r.add(AssertionMsgEnvelope, "message truncated after %d bytes: %v", len(raw), tokenErr)
 	}
 
 	if bodyChildren > 1 {

@@ -1,0 +1,247 @@
+package wsi
+
+// Compliance-profile engine. A Profile packages one interoperability
+// profile as data — identifier, advertised assertion sets — plus the
+// predicate functions that enforce it over *wsdl.Definitions documents
+// and captured messages. Profiles live in a package-level registry so
+// the campaign, the report renderers and the CLI tools enumerate the
+// same roster; adding a profile (a SOAP 1.2 / BP 2.0-style set, say)
+// is one Register call, with no checker surgery.
+//
+// Two real profiles are registered:
+//
+//   - bp11 — WS-I Basic Profile 1.1, the paper's profile. This is the
+//     default profile and the one AllAssertions describes; NewChecker
+//     without options checks against it, so the historical checker
+//     behaviour is exactly the bp11 profile.
+//
+//   - ivoa — the IVOA Web Services Basic Profile (PAPERS.md,
+//     arXiv:1110.0511), a stricter subset used by the Virtual
+//     Observatory community: everything BP 1.1 requires, plus
+//     document-style-only bindings and mandatory service metadata
+//     (a wsdl:documentation element).
+//
+// Per-profile memo soundness: every profile classifies its assertions
+// as name-invariant or name-sensitive (Profile.NameInvariant). The
+// shape-level memoized WS-I path (DESIGN.md §10) is sound for a
+// profile exactly when its name-sensitive set is covered by the
+// SubstitutionSafe chunk predicates — true for both registered
+// profiles, whose name-sensitive sets coincide (the IVOA additions
+// inspect only structure and metadata presence, never names), and
+// proven per profile at full corpus scale by
+// TestWSIShapeEquivalenceFull.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wsinterop/internal/wsdl"
+)
+
+// check is one predicate over a description document, appending any
+// violations it finds to the report.
+type check func(d *wsdl.Definitions, r *Report)
+
+// Profile is one registered compliance profile: an identifier, the
+// assertion sets it advertises, and the checks that enforce them.
+type Profile struct {
+	// ID is the short registry key (e.g. "bp11"), used by CLI flags
+	// and report matrices.
+	ID string
+	// Name is the human-readable profile title.
+	Name string
+	// Description states the profile's provenance in one line.
+	Description string
+
+	// assertions is the advertised description-level assertion set, in
+	// check order, including extended assertions.
+	assertions []Assertion
+	// messageAssertions is the advertised message-level assertion set.
+	messageAssertions []Assertion
+	// checks are the core document checks; extended holds the checks
+	// gated by Checker's WithoutExtended option.
+	checks   []check
+	extended []check
+	// nameSensitive classifies the profile's assertions for the
+	// shape-level memoized path: an assertion listed here may change
+	// verdict under a name substitution, so memoized verdicts apply
+	// only when the SubstitutionSafe chunk predicates hold.
+	nameSensitive map[string]bool
+}
+
+// Assertions returns the profile's advertised description-level
+// assertion set in check order (a copy).
+func (p *Profile) Assertions() []Assertion {
+	out := make([]Assertion, len(p.assertions))
+	copy(out, p.assertions)
+	return out
+}
+
+// MessageAssertions returns the profile's message-level assertion set
+// (a copy).
+func (p *Profile) MessageAssertions() []Assertion {
+	out := make([]Assertion, len(p.messageAssertions))
+	copy(out, p.messageAssertions)
+	return out
+}
+
+// NameInvariant reports whether the assertion's verdict is invariant
+// under a consistent substitution of a document's name-derived
+// strings, per this profile's classification.
+func (p *Profile) NameInvariant(a Assertion) bool {
+	return !p.nameSensitive[a.ID]
+}
+
+// Evaluate runs the profile's core checks (no extended assertions)
+// against the document. A nil document yields a single R2101
+// violation, matching Checker.Check.
+func (p *Profile) Evaluate(d *wsdl.Definitions) *Report {
+	r := &Report{}
+	if d == nil {
+		r.add(AssertionBindingResolves, "no description document")
+		return r
+	}
+	for _, chk := range p.checks {
+		chk(d, r)
+	}
+	return r
+}
+
+// ---- registry ----
+
+var (
+	profileOrder []*Profile
+	profileByID  = make(map[string]*Profile)
+)
+
+// Register adds a profile to the registry. Profile IDs must be unique;
+// registration order is the roster order every consumer sees, so it
+// must be deterministic (package init only, for the built-in
+// profiles).
+func Register(p *Profile) {
+	if p == nil || p.ID == "" {
+		panic("wsi: Register needs a profile with a non-empty ID")
+	}
+	if _, dup := profileByID[p.ID]; dup {
+		panic(fmt.Sprintf("wsi: profile %q registered twice", p.ID))
+	}
+	profileByID[p.ID] = p
+	profileOrder = append(profileOrder, p)
+}
+
+// Profiles returns every registered profile in registration order (a
+// copy of the roster slice).
+func Profiles() []*Profile {
+	out := make([]*Profile, len(profileOrder))
+	copy(out, profileOrder)
+	return out
+}
+
+// Lookup returns the profile registered under id.
+func Lookup(id string) (*Profile, bool) {
+	p, ok := profileByID[id]
+	return p, ok
+}
+
+// ProfileIDs returns the sorted registry keys, for error messages and
+// configuration fingerprints.
+func ProfileIDs() []string {
+	ids := make([]string, 0, len(profileByID))
+	for id := range profileByID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// DefaultProfile returns the BP 1.1 profile — the profile a zero
+// Checker verifies against.
+func DefaultProfile() *Profile { return bp11Profile }
+
+// ---- built-in profiles ----
+
+// IVOA-specific assertions, IVB-prefixed to distinguish them from the
+// BP 1.1 R-assertions they extend.
+var (
+	AssertionIVOADocumentStyle = Assertion{
+		ID:          "IVB2201",
+		Description: "an IVOA basic-profile binding must use document-style operations exclusively",
+	}
+	AssertionIVOAMetadata = Assertion{
+		ID:          "IVB2402",
+		Description: "an IVOA basic-profile DESCRIPTION must carry a wsdl:documentation element describing the service",
+	}
+)
+
+// checkIVOAStyle enforces IVB2201: every binding operation's effective
+// style must be document.
+func checkIVOAStyle(d *wsdl.Definitions, r *Report) {
+	for bi := range d.Bindings {
+		b := &d.Bindings[bi]
+		if len(b.Operations) == 0 {
+			if b.EffectiveStyle(&wsdl.BindingOperation{}) != wsdl.StyleDocument {
+				r.add(AssertionIVOADocumentStyle,
+					"binding %q declares the rpc style", b.Name)
+			}
+			continue
+		}
+		for oi := range b.Operations {
+			bop := &b.Operations[oi]
+			if b.EffectiveStyle(bop) != wsdl.StyleDocument {
+				r.add(AssertionIVOADocumentStyle,
+					"binding %q operation %q uses the rpc style", b.Name, bop.Name)
+			}
+		}
+	}
+}
+
+// checkIVOAMetadata enforces IVB2402: the description must document
+// itself.
+func checkIVOAMetadata(d *wsdl.Definitions, r *Report) {
+	if strings.TrimSpace(d.Documentation) == "" {
+		r.add(AssertionIVOAMetadata, "description carries no wsdl:documentation")
+	}
+}
+
+// coreAssertions filters the extended assertions out of a listing.
+func coreAssertions(all []Assertion) []Assertion {
+	out := make([]Assertion, 0, len(all))
+	for _, a := range all {
+		if !a.Extended {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+var bp11Profile = &Profile{
+	ID:                "bp11",
+	Name:              "WS-I Basic Profile 1.1",
+	Description:       "the WS-I Basic Profile 1.1 assertion families the study's corpus exercises",
+	assertions:        AllAssertions(),
+	messageAssertions: MessageAssertions(),
+	checks:            []check{checkSchemas, checkStructure, checkBindings},
+	extended:          []check{checkExtendedOperations},
+	nameSensitive:     nameSensitive,
+}
+
+var ivoaProfile = &Profile{
+	ID:          "ivoa",
+	Name:        "IVOA Web Services Basic Profile",
+	Description: "the IVOA basic interoperability profile (arXiv:1110.0511): BP 1.1 plus document-only style and mandatory service metadata",
+	assertions: append(coreAssertions(AllAssertions()),
+		AssertionIVOADocumentStyle, AssertionIVOAMetadata, AssertionHasOperations),
+	messageAssertions: MessageAssertions(),
+	checks:            []check{checkSchemas, checkStructure, checkBindings, checkIVOAStyle, checkIVOAMetadata},
+	extended:          []check{checkExtendedOperations},
+	// The IVOA additions inspect binding styles and documentation
+	// presence — both invariant under name substitution — so the
+	// name-sensitive set is exactly BP 1.1's.
+	nameSensitive: nameSensitive,
+}
+
+func init() {
+	Register(bp11Profile)
+	Register(ivoaProfile)
+}

@@ -1,0 +1,326 @@
+package wsi
+
+import (
+	"sort"
+	"testing"
+
+	"wsinterop/internal/wsdl"
+	"wsinterop/internal/xsd"
+)
+
+func TestProfileRegistry(t *testing.T) {
+	profiles := Profiles()
+	if len(profiles) < 2 {
+		t.Fatalf("registry has %d profiles, want at least 2 (bp11 + ivoa)", len(profiles))
+	}
+	if profiles[0].ID != "bp11" {
+		t.Errorf("first registered profile = %q, want bp11 (roster order is verdict-mask order)", profiles[0].ID)
+	}
+	if DefaultProfile().ID != "bp11" {
+		t.Errorf("default profile = %q, want bp11", DefaultProfile().ID)
+	}
+	for _, id := range []string{"bp11", "ivoa"} {
+		p, ok := Lookup(id)
+		if !ok || p.ID != id {
+			t.Errorf("Lookup(%q) = %v, %v", id, p, ok)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of an unregistered ID must fail")
+	}
+	ids := ProfileIDs()
+	if !sort.StringsAreSorted(ids) {
+		t.Errorf("ProfileIDs not sorted: %v", ids)
+	}
+	if len(ids) != len(profiles) {
+		t.Errorf("ProfileIDs has %d entries, registry has %d", len(ids), len(profiles))
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering bp11 should panic")
+		}
+	}()
+	Register(&Profile{ID: "bp11"})
+}
+
+func TestCheckerProfileSelection(t *testing.T) {
+	if got := NewChecker().Profile(); got != DefaultProfile() {
+		t.Errorf("zero checker profile = %q, want the default", got.ID)
+	}
+	ivoa, _ := Lookup("ivoa")
+	if got := NewChecker(WithProfile(ivoa)).Profile(); got != ivoa {
+		t.Errorf("WithProfile checker profile = %q, want ivoa", got.ID)
+	}
+}
+
+// ivoaDoc is the clean document upgraded to IVOA compliance: document
+// style throughout (already true) plus service metadata.
+func ivoaDoc() *wsdl.Definitions {
+	d := cleanDoc()
+	d.Documentation = "Echoes a payload back to the caller."
+	return d
+}
+
+func TestIVOACleanDocumentPasses(t *testing.T) {
+	ivoa, _ := Lookup("ivoa")
+	r := NewChecker(WithProfile(ivoa)).Check(ivoaDoc())
+	if len(r.Violations) != 0 {
+		t.Errorf("IVOA-clean document has findings: %v", r.Violations)
+	}
+}
+
+func TestIVOARequiresDocumentation(t *testing.T) {
+	ivoa, _ := Lookup("ivoa")
+	d := ivoaDoc()
+	d.Documentation = "  \n "
+	r := NewChecker(WithProfile(ivoa)).Check(d)
+	if !violated(r, AssertionIVOAMetadata.ID) {
+		t.Errorf("expected IVB2402, got %v", r.Violations)
+	}
+	// BP 1.1 does not require documentation.
+	if bp := NewChecker().Check(d); !bp.Compliant() {
+		t.Errorf("bp11 must not require documentation: %v", bp.Violations)
+	}
+}
+
+func TestIVOARejectsRPCStyle(t *testing.T) {
+	ivoa, _ := Lookup("ivoa")
+	d := rpcDoc()
+	d.Documentation = "rpc service"
+	r := NewChecker(WithProfile(ivoa)).Check(d)
+	if !violated(r, AssertionIVOADocumentStyle.ID) {
+		t.Errorf("expected IVB2201, got %v", r.Violations)
+	}
+	// The same document is clean under BP 1.1 (rpc/literal is allowed).
+	if bp := NewChecker().Check(d); !bp.Compliant() {
+		t.Errorf("bp11 allows rpc/literal: %v", bp.Violations)
+	}
+}
+
+func TestIVOARejectsPerOperationRPCStyle(t *testing.T) {
+	ivoa, _ := Lookup("ivoa")
+	d := ivoaDoc()
+	d.Bindings[0].Operations[0].Style = wsdl.StyleRPC
+	r := NewChecker(WithProfile(ivoa)).Check(d)
+	if !violated(r, AssertionIVOADocumentStyle.ID) {
+		t.Errorf("expected IVB2201 for per-operation rpc override, got %v", r.Violations)
+	}
+}
+
+func TestProfileEvaluateMatchesChecker(t *testing.T) {
+	docs := map[string]*wsdl.Definitions{
+		"clean": cleanDoc(),
+		"rpc":   rpcDoc(),
+		"ivoa":  ivoaDoc(),
+		"nil":   nil,
+	}
+	for _, p := range Profiles() {
+		// Evaluate runs core checks only, so compare against the
+		// extended-free checker.
+		c := NewChecker(WithProfile(p), WithoutExtended())
+		for name, d := range docs {
+			want := c.Check(d)
+			got := p.Evaluate(d)
+			if len(got.Violations) != len(want.Violations) {
+				t.Errorf("%s/%s: Evaluate found %d violations, Check found %d",
+					p.ID, name, len(got.Violations), len(want.Violations))
+				continue
+			}
+			for i := range got.Violations {
+				if got.Violations[i].Assertion.ID != want.Violations[i].Assertion.ID {
+					t.Errorf("%s/%s: violation %d = %s, want %s", p.ID, name, i,
+						got.Violations[i].Assertion.ID, want.Violations[i].Assertion.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestProfileNameInvarianceClassification(t *testing.T) {
+	for _, p := range Profiles() {
+		for _, a := range p.Assertions() {
+			want := NameInvariant(a)
+			if p.ID == "bp11" && p.NameInvariant(a) != want {
+				t.Errorf("bp11 classification of %s diverges from the package-level NameInvariant", a.ID)
+			}
+		}
+	}
+	ivoa, _ := Lookup("ivoa")
+	for _, a := range []Assertion{AssertionIVOADocumentStyle, AssertionIVOAMetadata} {
+		if !ivoa.NameInvariant(a) {
+			t.Errorf("%s inspects structure/metadata only; must be name-invariant", a.ID)
+		}
+	}
+}
+
+// ---- fixture meta-test ----
+
+// docFixtures maps every description-level assertion ID to a document
+// that triggers it. The meta-test below requires an entry for each
+// assertion a profile advertises, so a "phantom" assertion — declared
+// in a roster but emitted by no check — cannot reappear.
+func docFixtures() map[string]*wsdl.Definitions {
+	f := make(map[string]*wsdl.Definitions)
+
+	d := cleanDoc()
+	sch := d.Types.Schemas[0]
+	sch.ComplexTypes[0].Sequence = append(sch.ComplexTypes[0].Sequence, xsd.Element{
+		Ref: xsd.QName{Space: "http://elsewhere.test/", Local: "Missing"},
+	})
+	f["R2001"] = d
+
+	d = cleanDoc()
+	d.Types.Schemas[0].Imports = []xsd.Import{{Namespace: "http://ext/"}}
+	f["R2007"] = d
+
+	d = cleanDoc()
+	d.Types.Schemas[0].TargetNamespace = ""
+	f["R2105"] = d
+
+	d = cleanDoc()
+	d.Types.Schemas[0].SimpleTypes = []xsd.SimpleType{{
+		Name: "Odd", Base: xsd.TypeString,
+		Facets: []xsd.Facet{{Name: "jaxb-format", Value: "x"}},
+	}}
+	f["R2112"] = d
+
+	d = cleanDoc()
+	d.Types.Schemas[0].ComplexTypes[0].Attributes = []xsd.Attribute{
+		{Ref: xsd.QName{Space: xsd.NamespaceXML, Local: "lang"}},
+	}
+	f["R2113"] = d
+
+	d = cleanDoc()
+	d.Bindings[0].Transport = "http://schemas.xmlsoap.org/soap/smtp"
+	f["R2702"] = d
+
+	d = cleanDoc()
+	d.Bindings[0].Operations[0].InputUse = wsdl.UseEncoded
+	f["R2706"] = d
+
+	d = cleanDoc()
+	pt := &d.PortTypes[0]
+	second := pt.Operations[0]
+	second.Name = "echoTwice"
+	pt.Operations = append(pt.Operations, second)
+	b := &d.Bindings[0]
+	bsecond := b.Operations[0]
+	bsecond.Name = "echoTwice"
+	bsecond.Style = wsdl.StyleRPC // overrides the binding's document style
+	b.Operations = append(b.Operations, bsecond)
+	f["R2705"] = d
+
+	d = cleanDoc()
+	d.Bindings[0].Operations[0].OmitSOAPAction = true
+	f["R2745"] = d
+
+	d = cleanDoc()
+	d.Services[0].Ports[0].Binding = "NoSuchBinding"
+	f["R2101"] = d
+
+	d = cleanDoc()
+	d.Messages[0].Parts[0] = wsdl.Part{Name: "arg", Type: xsd.TypeString}
+	f["R2204"] = d
+
+	d = rpcDoc()
+	d.Types.Schemas[0].Elements = []xsd.Element{{
+		Name: "echo", Type: xsd.QName{Space: d.TargetNamespace, Local: "Payload"},
+	}}
+	d.Messages[0].Parts[0] = wsdl.Part{
+		Name: "input", Element: xsd.QName{Space: d.TargetNamespace, Local: "echo"},
+	}
+	f["R2203"] = d
+
+	d = rpcDoc()
+	d.Bindings[0].Operations[0].BodyNamespace = ""
+	f["R2717"] = d
+
+	d = cleanDoc()
+	d.Bindings[0].Operations[0].BodyNamespace = d.TargetNamespace
+	f["R2716"] = d
+
+	d = cleanDoc()
+	d.PortTypes[0].Operations = append(d.PortTypes[0].Operations, d.PortTypes[0].Operations[0])
+	d.Bindings[0].Operations = append(d.Bindings[0].Operations, d.Bindings[0].Operations[0])
+	f["R2304"] = d
+
+	d = cleanDoc()
+	d.Services = nil
+	f["R2800"] = d
+
+	d = cleanDoc()
+	d.PortTypes[0].Operations = nil
+	d.Bindings[0].Operations = nil
+	d.Messages = nil
+	f["EXT4001"] = d
+
+	d = rpcDoc()
+	f["IVB2201"] = d
+
+	d = cleanDoc() // no Documentation set
+	f["IVB2402"] = d
+
+	return f
+}
+
+// msgFixture is one captured message that triggers a message-level
+// assertion.
+type msgFixture struct {
+	raw  string
+	meta MessageMeta
+}
+
+func msgFixtures() map[string]msgFixture {
+	return map[string]msgFixture{
+		"RM9980": {raw: "this is not xml <<<", meta: cleanMeta()},
+		"RM1011": {raw: `<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+			<soap:Body><a:x xmlns:a="urn:a"/><a:y xmlns:a="urn:a"/></soap:Body></soap:Envelope>`,
+			meta: cleanMeta()},
+		"RM1014": {raw: `<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+			<soap:Body><echo/></soap:Body></soap:Envelope>`, meta: cleanMeta()},
+		"RM1119": {raw: cleanEnvelope, meta: MessageMeta{ContentType: "application/json", SOAPAction: `""`}},
+		"RM1109": {raw: cleanEnvelope, meta: MessageMeta{ContentType: "text/xml", SOAPAction: "unquoted"}},
+		"RM1004": {raw: `<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+			<soap:Body><soap:Fault><faultstring>x</faultstring></soap:Fault></soap:Body></soap:Envelope>`,
+			meta: MessageMeta{ContentType: "text/xml", HTTPStatus: 500}},
+		"RM1126": {raw: cleanFault, meta: MessageMeta{ContentType: "text/xml", HTTPStatus: 200}},
+	}
+}
+
+// TestEveryAdvertisedAssertionTriggerable proves the advertised
+// assertion sets honest for every registered profile: each
+// description-level assertion must fire on its fixture document under
+// that profile's checker, and each message-level assertion on its
+// fixture message. This is the regression fence for the phantom
+// R2705/R2745 bug, where AllAssertions advertised IDs no check could
+// ever emit.
+func TestEveryAdvertisedAssertionTriggerable(t *testing.T) {
+	docs := docFixtures()
+	msgs := msgFixtures()
+	for _, p := range Profiles() {
+		c := NewChecker(WithProfile(p))
+		for _, a := range p.Assertions() {
+			fixture, ok := docs[a.ID]
+			if !ok {
+				t.Errorf("%s: assertion %s advertised but no fixture exists — phantom assertion?", p.ID, a.ID)
+				continue
+			}
+			if r := c.Check(fixture); !violated(r, a.ID) {
+				t.Errorf("%s: assertion %s did not fire on its fixture; got %v", p.ID, a.ID, r.Violations)
+			}
+		}
+		for _, a := range p.MessageAssertions() {
+			fixture, ok := msgs[a.ID]
+			if !ok {
+				t.Errorf("%s: message assertion %s advertised but no fixture exists", p.ID, a.ID)
+				continue
+			}
+			if r := c.CheckMessage([]byte(fixture.raw), fixture.meta); !violated(r, a.ID) {
+				t.Errorf("%s: message assertion %s did not fire on its fixture; got %v", p.ID, a.ID, r.Violations)
+			}
+		}
+	}
+}

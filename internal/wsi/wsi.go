@@ -151,8 +151,9 @@ var (
 	}
 )
 
-// AllAssertions lists every assertion the checker implements, in
-// check order.
+// AllAssertions lists every assertion of the default (BP 1.1)
+// profile, in check order. Other registered profiles advertise their
+// own sets through Profile.Assertions.
 func AllAssertions() []Assertion {
 	return []Assertion{
 		AssertionResolvableRefs, AssertionImportLocation,
@@ -167,9 +168,13 @@ func AllAssertions() []Assertion {
 	}
 }
 
-// Checker verifies WSDL documents against the assertion set. The zero
-// value runs every assertion; use NewChecker for option handling.
+// Checker verifies WSDL documents against one compliance profile. The
+// zero value runs every assertion of the default BP 1.1 profile; use
+// NewChecker for option handling.
 type Checker struct {
+	// profile is the compliance profile to check against; nil means
+	// the default BP 1.1 profile.
+	profile *Profile
 	// skipExtended disables the extended assertions, reproducing the
 	// official tool's behaviour.
 	skipExtended bool
@@ -185,6 +190,12 @@ func WithoutExtended() Option {
 	return func(c *Checker) { c.skipExtended = true }
 }
 
+// WithProfile selects the compliance profile the checker verifies
+// against. A nil profile keeps the default (BP 1.1).
+func WithProfile(p *Profile) Option {
+	return func(c *Checker) { c.profile = p }
+}
+
 // NewChecker creates a checker.
 func NewChecker(opts ...Option) *Checker {
 	c := &Checker{}
@@ -194,21 +205,31 @@ func NewChecker(opts ...Option) *Checker {
 	return c
 }
 
-// Check runs every assertion against the document and returns the
-// report. A nil document yields a single R2101 violation.
+// Profile returns the profile this checker verifies against.
+func (c *Checker) Profile() *Profile {
+	if c.profile != nil {
+		return c.profile
+	}
+	return DefaultProfile()
+}
+
+// Check runs every assertion of the checker's profile against the
+// document and returns the report. A nil document yields a single
+// R2101 violation.
 func (c *Checker) Check(d *wsdl.Definitions) *Report {
+	p := c.Profile()
 	r := &Report{}
 	if d == nil {
 		r.add(AssertionBindingResolves, "no description document")
 		return r
 	}
-
-	c.checkSchemas(d, r)
-	c.checkStructure(d, r)
-	c.checkBindings(d, r)
-
-	if !c.skipExtended && d.OperationCount() == 0 {
-		r.add(AssertionHasOperations, "description declares no operations")
+	for _, chk := range p.checks {
+		chk(d, r)
+	}
+	if !c.skipExtended {
+		for _, chk := range p.extended {
+			chk(d, r)
+		}
 	}
 	return r
 }
@@ -220,11 +241,15 @@ func (r *Report) add(a Assertion, format string, args ...any) {
 	})
 }
 
-func (c *Checker) checkSchemas(d *wsdl.Definitions, r *Report) {
+func checkSchemas(d *wsdl.Definitions, r *Report) {
 	if d.Types == nil || len(d.Types.Schemas) == 0 {
 		return
 	}
 	for _, sch := range d.Types.Schemas {
+		if sch == nil {
+			// A broken set; Resolve reports it below.
+			continue
+		}
 		if sch.TargetNamespace == "" {
 			r.add(AssertionTargetNamespace, "schema without targetNamespace")
 		}
@@ -241,10 +266,13 @@ func (c *Checker) checkSchemas(d *wsdl.Definitions, r *Report) {
 				}
 			}
 		}
-		c.checkForeignAttrs(sch, r)
+		checkForeignAttrs(sch, r)
 	}
 	unresolved, err := d.Types.Resolve()
 	if err != nil {
+		// A set too broken to resolve at all is the profile violation,
+		// not a free pass: every QName reference into it is unresolvable.
+		r.add(AssertionResolvableRefs, "schema resolution failed: %v", err)
 		return
 	}
 	for _, u := range unresolved {
@@ -252,7 +280,7 @@ func (c *Checker) checkSchemas(d *wsdl.Definitions, r *Report) {
 	}
 }
 
-func (c *Checker) checkForeignAttrs(sch *xsd.Schema, r *Report) {
+func checkForeignAttrs(sch *xsd.Schema, r *Report) {
 	// Most schemas carry no foreign attribute at all; probe with an
 	// allocation-free walk first and build the location strings only
 	// for the schemas that will actually report.
@@ -313,7 +341,7 @@ func ctHasForeignAttr(ct *xsd.ComplexType) bool {
 	return false
 }
 
-func (c *Checker) checkStructure(d *wsdl.Definitions, r *Report) {
+func checkStructure(d *wsdl.Definitions, r *Report) {
 	for _, se := range d.Validate() {
 		r.add(AssertionBindingResolves, "%s", se.Error())
 	}
@@ -327,10 +355,19 @@ func (c *Checker) checkStructure(d *wsdl.Definitions, r *Report) {
 			seen[op.Name] = true
 		}
 	}
+	// R2800 requires a SOAP port, not merely a port: each port's
+	// binding must resolve and use the SOAP/HTTP transport (an empty
+	// transport serializes as SOAP/HTTP, so it counts).
 	hasSOAPPort := false
 	for _, svc := range d.Services {
-		if len(svc.Ports) > 0 {
-			hasSOAPPort = true
+		for _, p := range svc.Ports {
+			b := d.Binding(p.Binding)
+			if b == nil {
+				continue
+			}
+			if b.Transport == "" || b.Transport == wsdl.NamespaceSOAPHTTP {
+				hasSOAPPort = true
+			}
 		}
 	}
 	if !hasSOAPPort {
@@ -369,14 +406,28 @@ func (c *Checker) checkStructure(d *wsdl.Definitions, r *Report) {
 	}
 }
 
-func (c *Checker) checkBindings(d *wsdl.Definitions, r *Report) {
-	for _, b := range d.Bindings {
+func checkBindings(d *wsdl.Definitions, r *Report) {
+	for bi := range d.Bindings {
+		b := &d.Bindings[bi]
 		if b.Transport != "" && b.Transport != wsdl.NamespaceSOAPHTTP {
 			r.add(AssertionSOAPTransport,
 				"binding %q uses transport %q", b.Name, b.Transport)
 		}
 		rpc := b.Style == wsdl.StyleRPC
-		for _, bop := range b.Operations {
+		var firstStyle wsdl.Style
+		mixed := false
+		for oi := range b.Operations {
+			bop := &b.Operations[oi]
+			if bop.OmitSOAPAction {
+				r.add(AssertionSOAPAction,
+					"binding %q operation %q does not declare a soapAction attribute", b.Name, bop.Name)
+			}
+			es := b.EffectiveStyle(bop)
+			if firstStyle == "" {
+				firstStyle = es
+			} else if es != firstStyle {
+				mixed = true
+			}
 			if bop.InputUse == wsdl.UseEncoded || bop.OutputUse == wsdl.UseEncoded {
 				r.add(AssertionLiteralUse,
 					"binding %q operation %q uses encoded bodies", b.Name, bop.Name)
@@ -390,5 +441,17 @@ func (c *Checker) checkBindings(d *wsdl.Definitions, r *Report) {
 					"binding %q operation %q declares a soapbind:body namespace", b.Name, bop.Name)
 			}
 		}
+		if mixed {
+			r.add(AssertionConsistentStyle,
+				"binding %q mixes document and rpc operation styles", b.Name)
+		}
+	}
+}
+
+// checkExtendedOperations is the extended EXT4001 check: a usable
+// description declares at least one operation (DSN'14 §IV.A).
+func checkExtendedOperations(d *wsdl.Definitions, r *Report) {
+	if d.OperationCount() == 0 {
+		r.add(AssertionHasOperations, "description declares no operations")
 	}
 }

@@ -302,6 +302,11 @@ func (s *SchemaSet) Resolve() ([]*UnresolvedError, error) {
 	if len(s.Schemas) == 0 {
 		return nil, ErrEmptySchemaSet
 	}
+	for i, sch := range s.Schemas {
+		if sch == nil {
+			return nil, fmt.Errorf("xsd: schema set entry %d is nil", i)
+		}
+	}
 	var unresolved []*UnresolvedError
 	for _, sch := range s.Schemas {
 		var located map[string]bool

@@ -461,11 +461,11 @@ func BenchmarkSOAPRoundTrip(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		raw, err := soap.Marshal(msg)
+		raw, err := soap.V11.Marshal(msg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := soap.Unmarshal(raw); err != nil {
+		if _, err := soap.V11.Unmarshal(raw); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	interop [-report fig4|chart|table3|findings|deploy|failures|dedup|profiles|maturity|compare|comm|robust|plan|metrics|json|markdown|all]
+//	interop [-report fig4|chart|table3|findings|deploy|failures|dedup|profiles|maturity|compare|comm|robust|versions|plan|metrics|json|markdown|all]
 //	        [-limit N] [-workers N] [-server NAME] [-client NAME] [-wsi-profile NAME]
-//	        [-faults] [-reparse] [-dedup=false] [-plan=false] [-plan-cache DIR]
+//	        [-faults] [-versions] [-reparse] [-dedup=false] [-plan=false] [-plan-cache DIR]
 //	        [-cpuprofile FILE] [-metrics-json FILE] [-debug ADDR]
 //	        [-checkpoint DIR] [-resume]
 //	        [-shard I/N] [-merge DIR,DIR,...] [-serve ADDR]
@@ -14,7 +14,9 @@
 // tests) and prints every textual report. -report comm additionally
 // runs the communication/execution extension; -faults (or -report
 // robust) runs the fault-injection robustness matrix on top of it;
-// -report json emits a machine-readable dump of everything.
+// -versions (or -report versions) runs the SOAP 1.1/1.2/hybrid
+// version interop matrix (DESIGN.md §14); -report json emits a
+// machine-readable dump of everything.
 //
 // Durability: -checkpoint DIR journals every completed cell to DIR as
 // the campaign runs; SIGINT/SIGTERM then drain in-flight work, flush
@@ -80,7 +82,7 @@ import (
 var validReports = []string{
 	"all", "chart", "comm", "compare", "dedup", "deploy", "failures",
 	"fig4", "findings", "json", "markdown", "maturity", "metrics",
-	"plan", "profiles", "robust", "table3",
+	"plan", "profiles", "robust", "table3", "versions",
 }
 
 // Test hooks for -serve: serveListening (when set) receives the bound
@@ -104,6 +106,8 @@ func run(args []string, out io.Writer) error {
 		"report to print: "+strings.Join(validReports, ", "))
 	faults := fs.Bool("faults", false,
 		"run the fault-injection robustness matrix (server × client × fault) and print its report")
+	versionMatrix := fs.Bool("versions", false,
+		"run the SOAP version interop matrix (server × client × version scenario) and print its report")
 	explainClass := fs.String("explain", "",
 		"print the drill-down narrative for one class (combine with -server to restrict)")
 	extended := fs.Bool("extended", false,
@@ -386,11 +390,26 @@ func run(args []string, out io.Writer) error {
 			return finish(err)
 		}
 	}
+	var versions *campaign.VersionResult
+	if *versionMatrix || *reportKind == "versions" {
+		// Under -merge the version matrix is folded from the shards'
+		// versions journals instead of re-executed, mirroring the static
+		// campaign merge above.
+		runVersions := runner.RunVersions
+		if len(mergeDirs) > 0 {
+			runVersions = func(ctx context.Context) (*campaign.VersionResult, error) {
+				return runner.MergeVersions(ctx, mergeDirs)
+			}
+		}
+		if versions, err = runVersions(ctx); err != nil {
+			return finish(err)
+		}
+	}
 	switch *reportKind {
 	case "json":
-		return finish(report.JSON(out, res, comm, robust))
+		return finish(report.JSON(out, res, comm, robust, versions))
 	case "markdown":
-		return finish(report.Markdown(out, res, comm, robust))
+		return finish(report.Markdown(out, res, comm, robust, versions))
 	}
 
 	sections := []struct {
@@ -416,6 +435,9 @@ func run(args []string, out io.Writer) error {
 		{"robust", "Robustness extension (fault injection, steps 4–5)", func() error {
 			return report.Robustness(out, robust)
 		}},
+		{"versions", "Version matrix extension (SOAP 1.1 / 1.2 / hybrid)", func() error {
+			return report.Versions(out, versions)
+		}},
 		{"metrics", "Observability metrics (stage counters & latency histograms)", func() error {
 			// The runner's cumulative registry, so extension stages that
 			// ran above (comm, robust) are included.
@@ -432,6 +454,9 @@ func run(args []string, out io.Writer) error {
 		}
 		if s.name == "robust" && robust == nil {
 			continue // runs only with -faults or -report robust
+		}
+		if s.name == "versions" && versions == nil {
+			continue // runs only with -versions or -report versions
 		}
 		printed = true
 		fmt.Fprintf(out, "== %s ==\n", s.title)

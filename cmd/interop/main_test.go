@@ -101,6 +101,52 @@ func TestRunFaultsDeterministicOutput(t *testing.T) {
 	}
 }
 
+func TestRunVersionsReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-limit", "40", "-report", "versions"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Version matrix extension", "hybrid-fault", "typed-reject",
+		"hybrid-fault cells accepted: 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("versions report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunVersionsMergeCLI: shard workers journal the version matrix
+// alongside the static campaign, and -merge -report versions folds
+// them into the same report a single process prints (modulo the
+// deploy-set-dependent path-collision line, absent at this scale).
+func TestRunVersionsMergeCLI(t *testing.T) {
+	var single bytes.Buffer
+	if err := run([]string{"-limit", "20", "-report", "versions"}, &single); err != nil {
+		t.Fatalf("single run: %v", err)
+	}
+	dirs := []string{t.TempDir(), t.TempDir()}
+	for i, dir := range dirs {
+		var buf bytes.Buffer
+		args := []string{
+			"-limit", "20", "-report", "versions",
+			"-shard", fmt.Sprintf("%d/%d", i, len(dirs)), "-checkpoint", dir,
+		}
+		if err := run(args, &buf); err != nil {
+			t.Fatalf("shard %d run: %v", i, err)
+		}
+	}
+	var merged bytes.Buffer
+	if err := run([]string{"-limit", "20", "-report", "versions", "-merge", strings.Join(dirs, ",")}, &merged); err != nil {
+		t.Fatalf("merge run: %v", err)
+	}
+	if merged.String() != single.String() {
+		t.Errorf("merged versions report differs from single-process run:\n--- single ---\n%s--- merged ---\n%s",
+			single.String(), merged.String())
+	}
+}
+
 func TestRunServerClientFilters(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-limit", "60", "-server", "metro", "-client", "axis1", "-report", "table3"}, &buf); err != nil {

@@ -124,11 +124,20 @@ func (r *Runner) checkpointFingerprint() string {
 	for _, p := range r.profiles {
 		parts = append(parts, "wsi-profile="+p.ID)
 	}
+	// The version-scenario catalog and the per-framework strictness
+	// table shape every -versions verdict, so journaled version matrices
+	// are refused across builds that changed either (the same guard the
+	// profile roster gets above).
+	for _, sc := range VersionScenarios() {
+		parts = append(parts, "version-scenario="+sc.Name)
+	}
 	for _, s := range r.servers {
-		parts = append(parts, "server="+s.Name())
+		parts = append(parts, "server="+s.Name(),
+			"strictness="+framework.VersionStrictness(s.Name()).String())
 	}
 	for _, c := range r.clients {
-		parts = append(parts, "client="+c.Name())
+		parts = append(parts, "client="+c.Name(),
+			"strictness="+framework.VersionStrictness(c.Name()).String())
 	}
 	return obs.TraceID(parts...)
 }

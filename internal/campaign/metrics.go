@@ -40,13 +40,13 @@ type runnerMetrics struct {
 	// classification fold (foldCodes), so the values obey the obs
 	// determinism contract like every other fold counter.
 	profileCompliant []*obs.Counter
-	genRuns         *obs.Counter // artifact generations executed
-	genErrors       *obs.Counter // generations classified as errors
-	compileRuns     *obs.Counter // compilations executed
-	compileErrors   *obs.Counter // compilations classified as errors
-	testTotal       *obs.Counter // client tests routed (memoized or not)
-	testMemoized    *obs.Counter // tests served by cloning a memoized outcome
-	commCells       *obs.Counter // communication cells exchanged
+	genRuns          *obs.Counter // artifact generations executed
+	genErrors        *obs.Counter // generations classified as errors
+	compileRuns      *obs.Counter // compilations executed
+	compileErrors    *obs.Counter // compilations classified as errors
+	testTotal        *obs.Counter // client tests routed (memoized or not)
+	testMemoized     *obs.Counter // tests served by cloning a memoized outcome
+	commCells        *obs.Counter // communication cells exchanged
 
 	// Plan bookkeeping (plan.go) — deliberately namespaced under
 	// campaign.plan. so the planned-vs-lazy equivalence tests can strip
@@ -63,6 +63,12 @@ type runnerMetrics struct {
 	robustMasked       *obs.Counter
 	robustWrongSuccess *obs.Counter
 	robustRecovered    *obs.Counter
+
+	// Version-matrix outcome counters (folded deterministically).
+	versionSkipped    *obs.Counter
+	versionAccepted   *obs.Counter
+	versionRejected   *obs.Counter
+	versionMishandled *obs.Counter
 
 	// Live gauges — outside the determinism contract.
 	queueDepth *obs.Gauge // outstanding jobs in the streaming test pool
@@ -111,6 +117,10 @@ func newRunnerMetrics(reg *obs.Registry) *runnerMetrics {
 		robustMasked:       reg.Counter("campaign.robust.masked"),
 		robustWrongSuccess: reg.Counter("campaign.robust.wrong_success"),
 		robustRecovered:    reg.Counter("campaign.robust.recovered"),
+		versionSkipped:     reg.Counter("campaign.versions.skipped"),
+		versionAccepted:    reg.Counter("campaign.versions.accepted"),
+		versionRejected:    reg.Counter("campaign.versions.typed_reject"),
+		versionMishandled:  reg.Counter("campaign.versions.silent_mishandle"),
 		queueDepth:         reg.Gauge("campaign.queue.depth"),
 		workers:            reg.Gauge("campaign.workers"),
 	}
@@ -165,6 +175,26 @@ func (m *runnerMetrics) recordCompile(start time.Time, errored bool) {
 	m.compileRuns.Inc()
 	if errored {
 		m.compileErrors.Inc()
+	}
+}
+
+// recordVersion folds one version-matrix cell outcome. Like
+// recordRobust it is called only from the deterministic per-server
+// fold (and resume replay), keeping the counters inside the
+// determinism contract.
+func (m *runnerMetrics) recordVersion(o VersionOutcome) {
+	if m == nil {
+		return
+	}
+	switch o {
+	case VersionSkipped:
+		m.versionSkipped.Inc()
+	case VersionAccepted:
+		m.versionAccepted.Inc()
+	case VersionTypedReject:
+		m.versionRejected.Inc()
+	case VersionMishandled:
+		m.versionMishandled.Inc()
 	}
 }
 

@@ -33,6 +33,9 @@ func metricsSnapshot(t *testing.T, workers int) *obs.Snapshot {
 	if _, err := r.RunRobustness(ctx); err != nil {
 		t.Fatalf("robustness (workers=%d): %v", workers, err)
 	}
+	if _, err := r.RunVersions(ctx); err != nil {
+		t.Fatalf("versions (workers=%d): %v", workers, err)
+	}
 	return reg.Snapshot()
 }
 

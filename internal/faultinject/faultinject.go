@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"wsinterop/internal/obs"
+	"wsinterop/internal/soap"
 )
 
 // Request headers steering the injector.
@@ -134,6 +135,10 @@ type Injector struct {
 	// Obs, when non-nil, counts fired faults (faultinject.injected and
 	// one faultinject.injected.<kind> counter per kind).
 	Obs *obs.Registry
+	// codec identifies the envelope version of the wrapped handler's
+	// responses; KindOversize pads inside its closing Envelope tag. Nil
+	// means SOAP 1.1, the historical wire format.
+	codec soap.Codec
 
 	mu  sync.Mutex
 	log []Injection
@@ -141,6 +146,14 @@ type Injector struct {
 
 // New wraps a handler with an injector.
 func New(next http.Handler) *Injector { return &Injector{next: next} }
+
+// WithCodec declares the envelope version the wrapped handler speaks
+// and returns the injector for chaining. Injector holds a mutex, so
+// this mutates in place rather than copying; call it before serving.
+func (i *Injector) WithCodec(c soap.Codec) *Injector {
+	i.codec = c
+	return i
+}
 
 // record logs one fired fault and bumps its counters.
 func (i *Injector) record(kind Kind, trace string, attempt int) {
@@ -218,7 +231,7 @@ func (i *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		KindEmptyBody, KindOversize, KindDuplicateChild, KindRenameChild:
 		rec := httptest.NewRecorder()
 		i.next.ServeHTTP(rec, r)
-		status, ctype, body := mutate(kind, rec.Code, rec.Header().Get("Content-Type"), rec.Body.Bytes())
+		status, ctype, body := i.mutate(kind, rec.Code, rec.Header().Get("Content-Type"), rec.Body.Bytes())
 		for k, v := range rec.Header() {
 			w.Header()[k] = v
 		}
@@ -232,7 +245,7 @@ func (i *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // mutate applies one body-level fault to a recorded response.
-func mutate(kind Kind, status int, ctype string, body []byte) (int, string, []byte) {
+func (i *Injector) mutate(kind Kind, status int, ctype string, body []byte) (int, string, []byte) {
 	switch kind {
 	case KindTruncate:
 		return status, ctype, body[:len(body)/2]
@@ -247,7 +260,7 @@ func mutate(kind Kind, status int, ctype string, body []byte) (int, string, []by
 	case KindEmptyBody:
 		return status, ctype, nil
 	case KindOversize:
-		return status, ctype, pad(body)
+		return status, ctype, i.pad(body)
 	case KindDuplicateChild:
 		return status, ctype, mutateChild(body, true)
 	case KindRenameChild:
@@ -258,10 +271,16 @@ func mutate(kind Kind, status int, ctype string, body []byte) (int, string, []by
 
 // pad inserts whitespace inside the envelope (before the closing
 // Envelope tag) so a budget-bounded reader truncates the document
-// itself, not ignorable trailing bytes.
-func pad(body []byte) []byte {
+// itself, not ignorable trailing bytes. The closing tag comes from the
+// injector's codec, so a 1.2 handler's envelopes are padded inside the
+// document too.
+func (i *Injector) pad(body []byte) []byte {
 	filler := bytes.Repeat([]byte(" "), oversizePad)
-	closing := []byte("</soap:Envelope>")
+	codec := i.codec
+	if codec == nil {
+		codec = soap.V11
+	}
+	closing := []byte(codec.EnvelopeClose())
 	if i := bytes.LastIndex(body, closing); i >= 0 {
 		out := make([]byte, 0, len(body)+len(filler))
 		out = append(out, body[:i]...)

@@ -23,12 +23,12 @@ func echoHandler(t *testing.T) http.Handler {
 		if _, err := r.Body.Read(body); err != nil && err.Error() != "EOF" {
 			t.Errorf("read request: %v", err)
 		}
-		msg, err := soap.Unmarshal(body)
+		msg, err := soap.V11.Unmarshal(body)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		resp, err := soap.Marshal(&soap.Message{
+		resp, err := soap.V11.Marshal(&soap.Message{
 			Namespace: msg.Namespace, Local: msg.Local + "Response", Fields: msg.Fields,
 		})
 		if err != nil {
@@ -236,7 +236,7 @@ func TestOversizeExceedsReadBudget(t *testing.T) {
 
 func mustMarshal(t *testing.T) string {
 	t.Helper()
-	b, err := soap.Marshal(echoRequest())
+	b, err := soap.V11.Marshal(echoRequest())
 	if err != nil {
 		t.Fatal(err)
 	}

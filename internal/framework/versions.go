@@ -1,0 +1,49 @@
+package framework
+
+import "wsinterop/internal/soap"
+
+// versionStrictness declares, per framework model, how the real stack
+// treats SOAP traffic whose envelope version disagrees with the one
+// it is bound to. The levels are sourced from the stacks' documented
+// behavior (DESIGN.md §14 carries the full rationale):
+//
+//   - strict-reject: JAX-WS/Metro, CXF (plain and JBossWS-packaged)
+//     and WCF validate the envelope namespace against the binding and
+//     answer a VersionMismatch fault (it took a patched CXF to carry
+//     Digikoppeling's hybrid WUS traffic); gSOAP's generated
+//     deserializers hard-code the namespace check.
+//   - lenient-accept: Axis 1.x predates 1.2 enforcement and matches
+//     permissively; Axis2 is dual-stack and auto-detects the version
+//     per message; PHP's ext/soap (Zend) consumes either.
+//   - silent-coerce: the ASMX-era .NET clients (wsdl.exe C#/VB/
+//     JScript) and suds resolve elements by local name, so foreign
+//     version machinery parses as data instead of failing.
+var versionStrictness = map[string]soap.Strictness{
+	// Server models.
+	"Metro":                 soap.StrictReject,
+	"JBossWS CXF":           soap.StrictReject,
+	"WCF .NET":              soap.StrictReject,
+	"Apache Axis2 (server)": soap.LenientAccept,
+
+	// Client models (Metro and JBossWS CXF share the entries above).
+	"Apache Axis1":      soap.LenientAccept,
+	"Apache Axis2":      soap.LenientAccept,
+	"Apache CXF":        soap.StrictReject,
+	".NET C#":           soap.SilentCoerce,
+	".NET Visual Basic": soap.SilentCoerce,
+	".NET JScript":      soap.SilentCoerce,
+	"gSOAP":             soap.StrictReject,
+	"Zend Framework":    soap.LenientAccept,
+	"suds":              soap.SilentCoerce,
+}
+
+// VersionStrictness returns the declared version-coherence posture of
+// one framework model by display name. Unknown names default to
+// strict-reject: a stack we have not characterized is assumed to
+// refuse what it does not understand rather than mishandle it.
+func VersionStrictness(name string) soap.Strictness {
+	if s, ok := versionStrictness[name]; ok {
+		return s
+	}
+	return soap.StrictReject
+}

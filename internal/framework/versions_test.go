@@ -1,0 +1,19 @@
+package framework
+
+import "testing"
+
+// TestVersionStrictnessCoversRoster: every framework model in the
+// campaign roster has an explicitly declared strictness — the default
+// is a safety net for unknown names, not for the roster.
+func TestVersionStrictnessCoversRoster(t *testing.T) {
+	for _, s := range Servers() {
+		if _, ok := versionStrictness[s.Name()]; !ok {
+			t.Errorf("server %q has no declared version strictness", s.Name())
+		}
+	}
+	for _, c := range Clients() {
+		if _, ok := versionStrictness[c.Name()]; !ok {
+			t.Errorf("client %q has no declared version strictness", c.Name())
+		}
+	}
+}

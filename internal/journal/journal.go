@@ -126,6 +126,14 @@ type TestRecord struct {
 	CompileError   bool   `json:"compileE,omitempty"`
 }
 
+// VersionRecord is one client framework's classified outcomes across
+// the version-scenario catalog within a version-matrix cell, in the
+// fixed scenario order the campaign fingerprint pins.
+type VersionRecord struct {
+	Client   string   `json:"client"`
+	Outcomes []string `json:"outcomes"`
+}
+
 // Record is one completed campaign cell: a (server, class) service
 // that finished the description step — published or rejected — and,
 // when published, every client test against it. Trace is the cell's
@@ -135,22 +143,28 @@ type TestRecord struct {
 // the shape table; Doc carries the serialized WSDL only for Mode
 // "built" records, where it seeds the shape template on resume.
 type Record struct {
-	Trace     string       `json:"trace"`
-	Server    string       `json:"server"`
-	Class     string       `json:"class"`
-	Mode      string       `json:"mode"`
-	Published bool         `json:"published,omitempty"`
-	Verified  bool         `json:"verified,omitempty"`
-	Flagged   bool         `json:"flagged,omitempty"`
-	Compliant bool         `json:"compliant,omitempty"`
+	Trace     string `json:"trace"`
+	Server    string `json:"server"`
+	Class     string `json:"class"`
+	Mode      string `json:"mode"`
+	Published bool   `json:"published,omitempty"`
+	Verified  bool   `json:"verified,omitempty"`
+	Flagged   bool   `json:"flagged,omitempty"`
+	Compliant bool   `json:"compliant,omitempty"`
 	// Profiles lists the IDs of the compliance profiles the published
 	// description satisfied (the per-profile verdict row of the
 	// campaign's compliance matrix). The campaign fingerprint covers
 	// the profile roster, so a nil list on a published record always
 	// means "checked, compliant with none", never "not checked".
-	Profiles  []string     `json:"profiles,omitempty"`
-	Doc       []byte       `json:"doc,omitempty"`
-	Tests     []TestRecord `json:"tests,omitempty"`
+	Profiles []string     `json:"profiles,omitempty"`
+	Doc      []byte       `json:"doc,omitempty"`
+	Tests    []TestRecord `json:"tests,omitempty"`
+	// Versions holds the version-matrix outcomes of the cell's clients
+	// (`interop -versions`); nil for static-campaign records.
+	Versions []VersionRecord `json:"versions,omitempty"`
+	// Collisions preserves a server stage's deploy path-collision count
+	// on a versions-mode completion sentinel; zero everywhere else.
+	Collisions int `json:"collisions,omitempty"`
 }
 
 // Journal is an open checkpoint store. Append must be serialized by

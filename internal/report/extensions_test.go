@@ -108,14 +108,18 @@ func TestJSONExport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("robustness: %v", err)
 	}
-	if err := JSON(&buf, res, comm, robust); err != nil {
+	versions, err := campaign.NewRunner(campaign.Config{Limit: 60}).RunVersions(context.Background())
+	if err != nil {
+		t.Fatalf("versions: %v", err)
+	}
+	if err := JSON(&buf, res, comm, robust, versions); err != nil {
 		t.Fatalf("JSON: %v", err)
 	}
 	var decoded map[string]any
 	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
 		t.Fatalf("output is not valid JSON: %v", err)
 	}
-	for _, key := range []string{"totalTests", "servers", "matrix", "failures", "paperComparison", "communication", "robustness"} {
+	for _, key := range []string{"totalTests", "servers", "matrix", "failures", "paperComparison", "communication", "robustness", "versions"} {
 		if _, ok := decoded[key]; !ok {
 			t.Errorf("JSON missing key %q", key)
 		}
@@ -127,7 +131,7 @@ func TestJSONExport(t *testing.T) {
 
 func TestJSONWithoutCommunication(t *testing.T) {
 	var buf bytes.Buffer
-	if err := JSON(&buf, sharedResult(t), nil, nil); err != nil {
+	if err := JSON(&buf, sharedResult(t), nil, nil, nil); err != nil {
 		t.Fatalf("JSON: %v", err)
 	}
 	if strings.Contains(buf.String(), `"communication"`) {
@@ -135,6 +139,9 @@ func TestJSONWithoutCommunication(t *testing.T) {
 	}
 	if strings.Contains(buf.String(), `"robustness"`) {
 		t.Error("robustness section should be omitted when absent")
+	}
+	if strings.Contains(buf.String(), `"versions"`) {
+		t.Error("versions section should be omitted when absent")
 	}
 }
 
@@ -161,7 +168,7 @@ func TestMarkdownRendering(t *testing.T) {
 		t.Fatalf("communication: %v", err)
 	}
 	var buf bytes.Buffer
-	if err := Markdown(&buf, sharedResult(t), comm, nil); err != nil {
+	if err := Markdown(&buf, sharedResult(t), comm, nil, nil); err != nil {
 		t.Fatalf("Markdown: %v", err)
 	}
 	out := buf.String()
@@ -184,7 +191,7 @@ func TestMarkdownRendering(t *testing.T) {
 
 func TestMarkdownWithoutCommunication(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Markdown(&buf, sharedResult(t), nil, nil); err != nil {
+	if err := Markdown(&buf, sharedResult(t), nil, nil, nil); err != nil {
 		t.Fatalf("Markdown: %v", err)
 	}
 	if strings.Contains(buf.String(), "Communication & Execution") {
@@ -192,6 +199,9 @@ func TestMarkdownWithoutCommunication(t *testing.T) {
 	}
 	if strings.Contains(buf.String(), "Robustness extension") {
 		t.Error("robustness section should be omitted when absent")
+	}
+	if strings.Contains(buf.String(), "Version matrix extension") {
+		t.Error("versions section should be omitted when absent")
 	}
 }
 
@@ -216,6 +226,50 @@ func TestRobustnessRendering(t *testing.T) {
 	for _, fault := range robust.Faults {
 		if !strings.Contains(out, fault) {
 			t.Errorf("robustness report missing fault row %q", fault)
+		}
+	}
+}
+
+func TestVersionsRendering(t *testing.T) {
+	versions, err := campaign.NewRunner(campaign.Config{Limit: 60}).RunVersions(context.Background())
+	if err != nil {
+		t.Fatalf("versions: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Versions(&buf, versions); err != nil {
+		t.Fatalf("Versions: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"scenario", "typed-reject", "silent-mishandle", "total",
+		"hybrid-fault cells accepted: 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("versions report missing %q:\n%s", want, out)
+		}
+	}
+	for _, sc := range versions.Scenarios {
+		if !strings.Contains(out, sc) {
+			t.Errorf("versions report missing scenario row %q", sc)
+		}
+	}
+	for _, client := range versions.ClientOrder {
+		if !strings.Contains(out, client) {
+			t.Errorf("versions report missing client row %q", client)
+		}
+	}
+
+	// The markdown renderer carries the same matrix.
+	var md bytes.Buffer
+	if err := Markdown(&md, sharedResult(t), nil, nil, versions); err != nil {
+		t.Fatalf("Markdown: %v", err)
+	}
+	for _, want := range []string{
+		"### Version matrix extension (SOAP 1.1 / 1.2 / hybrid)",
+		"| total | hybrid-fault |", "typed rejects:",
+	} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown versions section missing %q", want)
 		}
 	}
 }

@@ -25,6 +25,7 @@ type jsonResult struct {
 	PaperComparisonRows []jsonComparison       `json:"paperComparison"`
 	Communication       []campaign.CommSummary `json:"communication,omitempty"`
 	Robustness          []jsonRobust           `json:"robustness,omitempty"`
+	Versions            []jsonVersion          `json:"versions,omitempty"`
 	Dedup               *jsonDedup             `json:"dedup,omitempty"`
 	// Profiles is the per-profile compliance matrix: one row per
 	// registered compliance profile, keyed per server.
@@ -55,6 +56,18 @@ type jsonProfile struct {
 	Compliant      map[string]int `json:"compliantByServer"`
 	TotalCompliant int            `json:"totalCompliant"`
 	Checked        int            `json:"checked"`
+}
+
+// jsonVersion is one (server × scenario) row of the hybrid-version
+// interop matrix.
+type jsonVersion struct {
+	Server     string `json:"server"`
+	Scenario   string `json:"scenario"`
+	Cells      int    `json:"cells"`
+	Skipped    int    `json:"skipped"`
+	Accepted   int    `json:"accepted"`
+	Rejected   int    `json:"typedReject"`
+	Mishandled int    `json:"silentMishandle"`
 }
 
 // jsonRobust is one (server × fault) row of the robustness matrix.
@@ -105,8 +118,9 @@ type jsonComparison struct {
 }
 
 // JSON writes the complete campaign result (and optional
-// communication and robustness summaries) as indented JSON.
-func JSON(w io.Writer, res *campaign.Result, comm *campaign.CommResult, robust *campaign.RobustResult) error {
+// communication, robustness and version-matrix summaries) as indented
+// JSON.
+func JSON(w io.Writer, res *campaign.Result, comm *campaign.CommResult, robust *campaign.RobustResult, versions *campaign.VersionResult) error {
 	out := jsonResult{
 		TotalServices:   res.TotalServices,
 		TotalPublished:  res.TotalPublished,
@@ -176,6 +190,18 @@ func JSON(w io.Writer, res *campaign.Result, comm *campaign.CommResult, robust *
 					Server: server, Fault: fault, Cells: c.Cells,
 					Skipped: c.Skipped, Detected: c.Detected, Masked: c.Masked,
 					WrongSuccess: c.WrongSuccess, Recovered: c.Recovered,
+				})
+			}
+		}
+	}
+	if versions != nil {
+		for _, server := range versions.ServerOrder {
+			for _, sc := range versions.Scenarios {
+				c := versions.Servers[server][sc]
+				out.Versions = append(out.Versions, jsonVersion{
+					Server: server, Scenario: sc, Cells: c.Cells,
+					Skipped: c.Skipped, Accepted: c.Accepted,
+					Rejected: c.Rejected, Mishandled: c.Mishandled,
 				})
 			}
 		}

@@ -11,7 +11,7 @@ import (
 // Markdown renders the complete campaign result as GitHub-flavoured
 // markdown — the format used by EXPERIMENTS.md, so CI runs can
 // regenerate the record verbatim (`cmd/interop -report markdown`).
-func Markdown(w io.Writer, res *campaign.Result, comm *campaign.CommResult, robust *campaign.RobustResult) error {
+func Markdown(w io.Writer, res *campaign.Result, comm *campaign.CommResult, robust *campaign.RobustResult, versions *campaign.VersionResult) error {
 	mw := &markdownWriter{w: w}
 
 	mw.heading(2, "Campaign result")
@@ -138,6 +138,30 @@ func Markdown(w io.Writer, res *campaign.Result, comm *campaign.CommResult, robu
 		totals := robust.Totals()
 		mw.printf("\nwrong-success cells: %d · retry-recovered: %d\n",
 			totals.WrongSuccess, totals.Recovered)
+	}
+
+	if versions != nil {
+		mw.heading(3, "Version matrix extension (SOAP 1.1 / 1.2 / hybrid)")
+		mw.tableHeader([]string{"server", "scenario", "cells", "skipped", "accept",
+			"typed-reject", "silent-mishandle"})
+		writeVersion := func(server, scenario string, c *campaign.VersionCounts) {
+			mw.tableRow([]string{server, scenario,
+				fmt.Sprintf("%d", c.Cells), fmt.Sprintf("%d", c.Skipped),
+				fmt.Sprintf("%d", c.Accepted), fmt.Sprintf("%d", c.Rejected),
+				fmt.Sprintf("%d", c.Mishandled)})
+		}
+		for _, server := range versions.ServerOrder {
+			for _, sc := range versions.Scenarios {
+				writeVersion(server, sc, versions.Servers[server][sc])
+			}
+		}
+		scenarioTotals := versions.ScenarioTotals()
+		for _, sc := range versions.Scenarios {
+			writeVersion("total", sc, scenarioTotals[sc])
+		}
+		totals := versions.Totals()
+		mw.printf("\ntyped rejects: %d · silent mishandles: %d\n",
+			totals.Rejected, totals.Mishandled)
 	}
 	return mw.err
 }

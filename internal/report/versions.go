@@ -1,0 +1,61 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"wsinterop/internal/campaign"
+)
+
+// Versions writes the hybrid-version interop matrix summary: the
+// (server × scenario) matrix of version outcomes, the per-client
+// attribution, and the swallowed-fault verdict line.
+func Versions(w io.Writer, res *campaign.VersionResult) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "server\tscenario\tcells\tskipped\taccept\ttyped-reject\tsilent-mishandle")
+	write := func(server, scenario string, c *campaign.VersionCounts) {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
+			server, scenario, c.Cells, c.Skipped, c.Accepted, c.Rejected, c.Mishandled)
+	}
+	for _, server := range res.ServerOrder {
+		for _, sc := range res.Scenarios {
+			write(server, sc, res.Servers[server][sc])
+		}
+	}
+	scenarioTotals := res.ScenarioTotals()
+	for _, sc := range res.Scenarios {
+		write("total", sc, scenarioTotals[sc])
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if len(res.ClientOrder) > 0 {
+		fmt.Fprintln(w)
+		ct := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(ct, "client\tcells\tskipped\taccept\ttyped-reject\tsilent-mishandle")
+		for _, name := range res.ClientOrder {
+			c := res.Clients[name]
+			fmt.Fprintf(ct, "%s\t%d\t%d\t%d\t%d\t%d\n",
+				name, c.Cells, c.Skipped, c.Accepted, c.Rejected, c.Mishandled)
+		}
+		if err := ct.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if res.PathCollisions > 0 {
+		fmt.Fprintf(w, "%d endpoint path collisions resolved with deterministic suffixes\n", res.PathCollisions)
+	}
+	hf := scenarioTotals["hybrid-fault"]
+	accepted := 0
+	if hf != nil {
+		accepted = hf.Accepted
+	}
+	totals := res.Totals()
+	_, err := fmt.Fprintf(w,
+		"hybrid-fault cells accepted: %d (0 means no swallowed fault is reported as success); %d silent-mishandles overall\n",
+		accepted, totals.Mishandled)
+	return err
+}

@@ -1,0 +1,710 @@
+// Codec API: the version-parameterized envelope layer.
+//
+// The paper's campaign only ever exercised SOAP 1.1, but the dominant
+// real-world interoperability failure today is *version-hybrid*
+// traffic — 1.1 envelopes carrying 1.2-era framing or fault shapes
+// (the Digikoppeling WUS incident that forced a patched CXF). This
+// file makes the envelope version a first-class parameter: a Codec
+// interface with V11 and V12 implementations, a Detect classifier
+// that labels raw bytes v11/v12/hybrid/unknown, and two deliberately
+// less-strict parsers (UnmarshalFlexible, UnmarshalCoerce) that model
+// how lenient and namespace-blind frameworks consume such traffic.
+package soap
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"sort"
+)
+
+// NamespaceEnvelope12 is the SOAP 1.2 envelope namespace.
+const NamespaceEnvelope12 = "http://www.w3.org/2003/05/soap-envelope"
+
+// ContentType12 is the SOAP 1.2 HTTP media type (without the action
+// parameter; Codec.ContentType renders the full header value).
+const ContentType12 = "application/soap+xml; charset=utf-8"
+
+// Fault codes beyond the basic client/server pair.
+const (
+	// FaultVersionMismatch is the SOAP 1.1 VersionMismatch fault code,
+	// raised when a node receives an envelope in a namespace it does
+	// not speak.
+	FaultVersionMismatch = "soap:VersionMismatch"
+	// Fault12Sender, Fault12Receiver and Fault12VersionMismatch are the
+	// SOAP 1.2 equivalents of the 1.1 Client/Server/VersionMismatch
+	// codes (env:Code/env:Value values).
+	Fault12Sender          = "env:Sender"
+	Fault12Receiver        = "env:Receiver"
+	Fault12VersionMismatch = "env:VersionMismatch"
+)
+
+// Version identifies the SOAP envelope version of a message, as
+// labeled by Detect or required by a Codec.
+type Version int
+
+const (
+	// VersionUnknown: not recognizably a SOAP envelope.
+	VersionUnknown Version = iota
+	// Version11: coherent SOAP 1.1 signals only.
+	Version11
+	// Version12: coherent SOAP 1.2 signals only.
+	Version12
+	// VersionHybrid: signals from both versions in one message — the
+	// traffic class mainstream frameworks disagree on the hardest.
+	VersionHybrid
+)
+
+// String renders the version label used in reports and fingerprints.
+func (v Version) String() string {
+	switch v {
+	case Version11:
+		return "v11"
+	case Version12:
+		return "v12"
+	case VersionHybrid:
+		return "hybrid"
+	default:
+		return "unknown"
+	}
+}
+
+// Strictness models how a framework treats traffic whose envelope
+// version disagrees with the version it was configured to speak. The
+// three levels are sourced from the real stacks' documented behavior;
+// internal/framework declares one per model.
+type Strictness int
+
+const (
+	// StrictReject refuses mismatched traffic with a typed error or a
+	// VersionMismatch fault (JAX-WS/Metro, CXF, WCF, gSOAP).
+	StrictReject Strictness = iota
+	// LenientAccept auto-detects the version per message and processes
+	// either, answering in its own configured version (Axis 1.x/2,
+	// PHP ext/soap).
+	LenientAccept
+	// SilentCoerce parses namespace-blind and presses on regardless
+	// (ASMX-era .NET clients, suds) — the behavior class that turns
+	// hybrid traffic into silent mishandling.
+	SilentCoerce
+)
+
+// String renders the strictness label used in reports and
+// fingerprints.
+func (s Strictness) String() string {
+	switch s {
+	case LenientAccept:
+		return "lenient-accept"
+	case SilentCoerce:
+		return "silent-coerce"
+	default:
+		return "strict-reject"
+	}
+}
+
+// Codec serializes and parses one SOAP envelope version. The two
+// implementations, V11 and V12, are stateless and safe for concurrent
+// use.
+type Codec interface {
+	// Version labels the codec.
+	Version() Version
+	// Namespace is the envelope namespace the codec emits and requires.
+	Namespace() string
+	// ContentType renders the HTTP Content-Type header value for a
+	// message carrying the given action. SOAP 1.1 ignores the action
+	// (it rides in the SOAPAction header); SOAP 1.2 embeds it as the
+	// media-type action parameter.
+	ContentType(action string) string
+	// UsesActionHeader reports whether the binding carries the action
+	// in a SOAPAction HTTP header (1.1) or inside Content-Type (1.2).
+	UsesActionHeader() bool
+	// FaultCode maps the canonical 1.1 fault vocabulary (soap:Client,
+	// soap:Server, soap:VersionMismatch) onto this version's codes.
+	// Unrecognized values pass through unchanged.
+	FaultCode(code string) string
+	// EnvelopeClose is the serialized envelope closing tag, for wire
+	// middleware that splices content ahead of it.
+	EnvelopeClose() string
+	// Marshal serializes a message into an envelope of this version.
+	Marshal(m *Message) ([]byte, error)
+	// MarshalFault serializes a fault envelope of this version.
+	MarshalFault(f *Fault) ([]byte, error)
+	// Unmarshal strictly parses an envelope of this version. Content in
+	// the other version's namespace — or hybrid content mixing the two
+	// — is rejected with a version-labeled *DecodeError. A well-formed
+	// fault is returned as a *Fault error.
+	Unmarshal(data []byte) (*Message, error)
+}
+
+// V11 and V12 are the two codec implementations.
+var (
+	V11 Codec = v11Codec{}
+	V12 Codec = v12Codec{}
+)
+
+// CodecFor maps a pure version label to its codec. Hybrid and unknown
+// have no codec: nothing can faithfully emit them.
+func CodecFor(v Version) (Codec, bool) {
+	switch v {
+	case Version11:
+		return V11, true
+	case Version12:
+		return V12, true
+	default:
+		return nil, false
+	}
+}
+
+// marshalMessage is the shared envelope writer; prefix/ns select the
+// version. The 1.1 output is byte-identical to the historical
+// package-level Marshal. Children are written in sorted field order
+// so output is deterministic, and every name must be a valid NCName:
+// values are escaped, but names are structural markup and cannot be.
+func marshalMessage(prefix, ns string, m *Message) ([]byte, error) {
+	if m.Local == "" {
+		return nil, errors.New("soap: message has no wrapper element name")
+	}
+	if !ValidNCName(m.Local) {
+		return nil, fmt.Errorf("soap: wrapper name %q is not a valid XML NCName", m.Local)
+	}
+	for name := range m.Fields {
+		if !ValidNCName(name) {
+			return nil, fmt.Errorf("soap: field name %q is not a valid XML NCName", name)
+		}
+	}
+	buf := envelopeBufs.Get().(*bytes.Buffer)
+	defer envelopeBufs.Put(buf)
+	buf.Reset()
+	buf.WriteString(xml.Header)
+	buf.WriteString(`<` + prefix + `:Envelope xmlns:` + prefix + `="` + ns + `">` + "\n")
+	buf.WriteString("  <" + prefix + ":Body>\n")
+	fmt.Fprintf(buf, "    <m:%s xmlns:m=%q>\n", m.Local, m.Namespace)
+
+	names := make([]string, 0, len(m.Fields))
+	for k := range m.Fields {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(buf, "      <m:%s>%s</m:%s>\n", name, escape(m.Fields[name]), name)
+	}
+
+	fmt.Fprintf(buf, "    </m:%s>\n", m.Local)
+	buf.WriteString("  </" + prefix + ":Body>\n")
+	buf.WriteString("</" + prefix + ":Envelope>\n")
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// v11Codec implements the SOAP 1.1 binding: schemas.xmlsoap.org
+// envelope, text/xml + SOAPAction framing, faultcode/faultstring
+// faults.
+type v11Codec struct{}
+
+func (v11Codec) Version() Version          { return Version11 }
+func (v11Codec) Namespace() string         { return NamespaceEnvelope }
+func (v11Codec) ContentType(string) string { return ContentType }
+func (v11Codec) UsesActionHeader() bool    { return true }
+func (v11Codec) FaultCode(code string) string {
+	return code
+}
+func (v11Codec) EnvelopeClose() string { return "</soap:Envelope>" }
+
+func (v11Codec) Marshal(m *Message) ([]byte, error) {
+	return marshalMessage("soap", NamespaceEnvelope, m)
+}
+
+func (v11Codec) MarshalFault(f *Fault) ([]byte, error) {
+	buf := envelopeBufs.Get().(*bytes.Buffer)
+	defer envelopeBufs.Put(buf)
+	buf.Reset()
+	buf.WriteString(xml.Header)
+	buf.WriteString(`<soap:Envelope xmlns:soap="` + NamespaceEnvelope + `">` + "\n")
+	buf.WriteString("  <soap:Body>\n")
+	buf.WriteString("    <soap:Fault>\n")
+	fmt.Fprintf(buf, "      <faultcode>%s</faultcode>\n", escape(f.Code))
+	fmt.Fprintf(buf, "      <faultstring>%s</faultstring>\n", escape(f.String))
+	if f.Actor != "" {
+		fmt.Fprintf(buf, "      <faultactor>%s</faultactor>\n", escape(f.Actor))
+	}
+	if f.Detail != "" {
+		fmt.Fprintf(buf, "      <detail>%s</detail>\n", escape(f.Detail))
+	}
+	buf.WriteString("    </soap:Fault>\n")
+	buf.WriteString("  </soap:Body>\n")
+	buf.WriteString("</soap:Envelope>\n")
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// envelope is the 1.1 parse-side wire structure.
+type envelope struct {
+	XMLName xml.Name `xml:"http://schemas.xmlsoap.org/soap/envelope/ Envelope"`
+	Body    struct {
+		Fault   *Fault  `xml:"http://schemas.xmlsoap.org/soap/envelope/ Fault"`
+		Payload payload `xml:",any"`
+	} `xml:"http://schemas.xmlsoap.org/soap/envelope/ Body"`
+}
+
+type payload struct {
+	XMLName  xml.Name
+	Children []child `xml:",any"`
+}
+
+type child struct {
+	XMLName xml.Name
+	Value   string `xml:",chardata"`
+}
+
+func (v11Codec) Unmarshal(data []byte) (*Message, error) {
+	// Version gate first. encoding/xml enforces the root namespace but
+	// is silently lenient about nested machinery: a 1.2-namespace Fault
+	// inside a 1.1 envelope lands in the ",any" payload field and used
+	// to parse as a *successful* message with Local="Fault" — exactly
+	// the silent-mishandle class the version matrix measures.
+	switch dv := Detect(data, ""); dv {
+	case Version12, VersionHybrid:
+		return nil, &DecodeError{
+			Reason:  "envelope is not pure SOAP 1.1 (detected " + dv.String() + ")",
+			Version: dv,
+		}
+	}
+	var env envelope
+	if err := xml.Unmarshal(data, &env); err != nil {
+		return nil, &DecodeError{Reason: "malformed envelope", Err: err}
+	}
+	if env.Body.Fault != nil {
+		return nil, env.Body.Fault
+	}
+	return messageFromPayload(env.Body.Payload)
+}
+
+// messageFromPayload converts a parsed wrapper into a Message,
+// rejecting duplicate children with a DecodeError: Message carries
+// one value per field name, and silently keeping the last occurrence
+// would let a corrupted (or attacker-duplicated) envelope masquerade
+// as a clean one. Payload elements living in either SOAP envelope
+// namespace are envelope machinery, never application data.
+func messageFromPayload(p payload) (*Message, error) {
+	if p.XMLName.Local == "" {
+		return nil, &DecodeError{Reason: "no payload", Err: ErrNoBody}
+	}
+	if p.XMLName.Space == NamespaceEnvelope || p.XMLName.Space == NamespaceEnvelope12 {
+		return nil, &DecodeError{
+			Reason:  fmt.Sprintf("payload element %q lives in a SOAP envelope namespace", p.XMLName.Local),
+			Version: VersionHybrid,
+		}
+	}
+	m := &Message{
+		Namespace: p.XMLName.Space,
+		Local:     p.XMLName.Local,
+		Fields:    make(map[string]string, len(p.Children)),
+	}
+	for _, c := range p.Children {
+		if _, dup := m.Fields[c.XMLName.Local]; dup {
+			return nil, &DecodeError{Reason: fmt.Sprintf("duplicate payload element %q", c.XMLName.Local)}
+		}
+		m.Fields[c.XMLName.Local] = c.Value
+	}
+	return m, nil
+}
+
+// v12Codec implements the SOAP 1.2 binding: the 2003/05 envelope,
+// application/soap+xml with an action media-type parameter, and
+// env:Code/env:Reason faults.
+type v12Codec struct{}
+
+func (v12Codec) Version() Version  { return Version12 }
+func (v12Codec) Namespace() string { return NamespaceEnvelope12 }
+func (v12Codec) ContentType(action string) string {
+	if action == "" {
+		return ContentType12
+	}
+	return ContentType12 + fmt.Sprintf("; action=%q", action)
+}
+func (v12Codec) UsesActionHeader() bool { return false }
+func (v12Codec) FaultCode(code string) string {
+	switch code {
+	case FaultClient:
+		return Fault12Sender
+	case FaultServer:
+		return Fault12Receiver
+	case FaultVersionMismatch:
+		return Fault12VersionMismatch
+	}
+	return code
+}
+func (v12Codec) EnvelopeClose() string { return "</env:Envelope>" }
+
+func (v12Codec) Marshal(m *Message) ([]byte, error) {
+	return marshalMessage("env", NamespaceEnvelope12, m)
+}
+
+func (v12Codec) MarshalFault(f *Fault) ([]byte, error) {
+	buf := envelopeBufs.Get().(*bytes.Buffer)
+	defer envelopeBufs.Put(buf)
+	buf.Reset()
+	buf.WriteString(xml.Header)
+	buf.WriteString(`<env:Envelope xmlns:env="` + NamespaceEnvelope12 + `">` + "\n")
+	buf.WriteString("  <env:Body>\n")
+	buf.WriteString("    <env:Fault>\n")
+	buf.WriteString("      <env:Code>\n")
+	fmt.Fprintf(buf, "        <env:Value>%s</env:Value>\n", escape(f.Code))
+	buf.WriteString("      </env:Code>\n")
+	buf.WriteString("      <env:Reason>\n")
+	fmt.Fprintf(buf, "        <env:Text xml:lang=\"en\">%s</env:Text>\n", escape(f.String))
+	buf.WriteString("      </env:Reason>\n")
+	if f.Actor != "" {
+		fmt.Fprintf(buf, "      <env:Node>%s</env:Node>\n", escape(f.Actor))
+	}
+	if f.Detail != "" {
+		fmt.Fprintf(buf, "      <env:Detail>%s</env:Detail>\n", escape(f.Detail))
+	}
+	buf.WriteString("    </env:Fault>\n")
+	buf.WriteString("  </env:Body>\n")
+	buf.WriteString("</env:Envelope>\n")
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// envelope12 is the 1.2 parse-side wire structure.
+type envelope12 struct {
+	XMLName xml.Name `xml:"http://www.w3.org/2003/05/soap-envelope Envelope"`
+	Body    struct {
+		Fault   *fault12 `xml:"http://www.w3.org/2003/05/soap-envelope Fault"`
+		Payload payload  `xml:",any"`
+	} `xml:"http://www.w3.org/2003/05/soap-envelope Body"`
+}
+
+type fault12 struct {
+	Code struct {
+		Value string `xml:"http://www.w3.org/2003/05/soap-envelope Value"`
+	} `xml:"http://www.w3.org/2003/05/soap-envelope Code"`
+	Reason struct {
+		Text string `xml:"http://www.w3.org/2003/05/soap-envelope Text"`
+	} `xml:"http://www.w3.org/2003/05/soap-envelope Reason"`
+	Node   string `xml:"http://www.w3.org/2003/05/soap-envelope Node"`
+	Detail string `xml:"http://www.w3.org/2003/05/soap-envelope Detail"`
+}
+
+func (f *fault12) fault() *Fault {
+	return &Fault{
+		Code:   f.Code.Value,
+		String: f.Reason.Text,
+		Actor:  f.Node,
+		Detail: f.Detail,
+	}
+}
+
+func (v12Codec) Unmarshal(data []byte) (*Message, error) {
+	switch dv := Detect(data, ""); dv {
+	case Version11, VersionHybrid:
+		return nil, &DecodeError{
+			Reason:  "envelope is not pure SOAP 1.2 (detected " + dv.String() + ")",
+			Version: dv,
+		}
+	}
+	var env envelope12
+	if err := xml.Unmarshal(data, &env); err != nil {
+		return nil, &DecodeError{Reason: "malformed envelope", Err: err}
+	}
+	if env.Body.Fault != nil {
+		return nil, env.Body.Fault.fault()
+	}
+	return messageFromPayload(env.Body.Payload)
+}
+
+// versionSignals is the evidence Detect collects from one message.
+type versionSignals struct {
+	envelope bool   // root element is an Envelope
+	rootNS   string // root element namespace
+	fault11  bool   // fault markup in 1.1 shape (faultcode/faultstring)
+	fault12  bool   // fault markup in 1.2 shape or namespace (Code/Reason)
+}
+
+// scanSignals token-walks a message collecting version evidence. The
+// walk is independent of the strict parsers on purpose: it must keep
+// working on exactly the hybrid messages they reject.
+func scanSignals(data []byte) versionSignals {
+	var sig versionSignals
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	depth := 0
+	inBody := false
+	faultDepth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return sig
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			depth++
+			switch {
+			case depth == 1:
+				if t.Name.Local != "Envelope" {
+					return sig
+				}
+				sig.envelope = true
+				sig.rootNS = t.Name.Space
+			case depth == 2:
+				inBody = t.Name.Local == "Body"
+			case depth == 3 && inBody && t.Name.Local == "Fault":
+				switch t.Name.Space {
+				case NamespaceEnvelope:
+					faultDepth = depth
+				case NamespaceEnvelope12:
+					faultDepth = depth
+					sig.fault12 = true
+				}
+			case faultDepth != 0 && depth == faultDepth+1:
+				switch t.Name.Local {
+				case "faultcode", "faultstring":
+					if t.Name.Space == "" || t.Name.Space == NamespaceEnvelope {
+						sig.fault11 = true
+					}
+				case "Code", "Reason":
+					if t.Name.Space == NamespaceEnvelope || t.Name.Space == NamespaceEnvelope12 {
+						sig.fault12 = true
+					}
+				}
+			}
+		case xml.EndElement:
+			if faultDepth != 0 && depth == faultDepth {
+				faultDepth = 0
+			}
+			if depth == 2 {
+				inBody = false
+			}
+			depth--
+		}
+	}
+}
+
+// Detect classifies raw bytes (and, when available, the HTTP
+// Content-Type they arrived under) as SOAP 1.1, SOAP 1.2, a hybrid of
+// both, or not recognizably SOAP. The signals, each independently
+// version-marking:
+//
+//   - envelope namespace (schemas.xmlsoap.org vs 2003/05)
+//   - media type (text/xml vs application/soap+xml; others neutral)
+//   - fault shape (faultcode/faultstring vs env:Code/env:Reason, and
+//     the Fault element's own namespace)
+//
+// A message whose signals agree is labeled with that version; mixed
+// signals are VersionHybrid; a root that is not an Envelope in either
+// namespace is VersionUnknown. Pass contentType "" to classify bytes
+// alone.
+func Detect(data []byte, contentType string) Version {
+	sig := scanSignals(data)
+	if !sig.envelope {
+		return VersionUnknown
+	}
+	var sees11, sees12 bool
+	switch sig.rootNS {
+	case NamespaceEnvelope:
+		sees11 = true
+	case NamespaceEnvelope12:
+		sees12 = true
+	default:
+		return VersionUnknown
+	}
+	if contentType != "" {
+		if mediaType, _, err := mime.ParseMediaType(contentType); err == nil {
+			switch mediaType {
+			case "text/xml":
+				sees11 = true
+			case "application/soap+xml":
+				sees12 = true
+			}
+		}
+	}
+	if sig.fault11 {
+		sees11 = true
+	}
+	if sig.fault12 {
+		sees12 = true
+	}
+	switch {
+	case sees11 && sees12:
+		return VersionHybrid
+	case sees12:
+		return Version12
+	default:
+		return Version11
+	}
+}
+
+// envNode is one element in the minimal tree the lenient parsers walk.
+type envNode struct {
+	name xml.Name
+	text string
+	kids []*envNode
+}
+
+func (n *envNode) kid(local string) *envNode {
+	for _, k := range n.kids {
+		if k.name.Local == local {
+			return k
+		}
+	}
+	return nil
+}
+
+// parseTree builds an element tree from one XML document. Depth is
+// bounded: the echo wire format is four levels deep, so anything
+// approaching the cap is hostile input, not SOAP.
+func parseTree(data []byte) (*envNode, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	var root *envNode
+	var stack []*envNode
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if len(stack) >= 32 {
+				return nil, errors.New("document nested too deeply")
+			}
+			n := &envNode{name: t.Name}
+			if len(stack) == 0 {
+				root = n
+			} else {
+				parent := stack[len(stack)-1]
+				parent.kids = append(parent.kids, n)
+			}
+			stack = append(stack, n)
+		case xml.EndElement:
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) > 0 {
+				stack[len(stack)-1].text += string(t)
+			}
+		}
+	}
+	if root == nil {
+		return nil, errors.New("no document element")
+	}
+	return root, nil
+}
+
+// envelopeBody locates the Body child of a parsed envelope tree and
+// returns its first element child (the payload or fault), enforcing
+// only local-name structure so it works on any namespace mix.
+func envelopeBody(data []byte) (*envNode, error) {
+	root, err := parseTree(data)
+	if err != nil {
+		return nil, &DecodeError{Reason: "malformed envelope", Err: err}
+	}
+	if root.name.Local != "Envelope" {
+		return nil, &DecodeError{Reason: fmt.Sprintf("document element %q is not an Envelope", root.name.Local)}
+	}
+	body := root.kid("Body")
+	if body == nil || len(body.kids) == 0 {
+		return nil, &DecodeError{Reason: "no payload", Err: ErrNoBody}
+	}
+	return body.kids[0], nil
+}
+
+// messageFromNode converts a payload subtree into a Message, keeping
+// the duplicate-child rejection rule of the strict parsers.
+func messageFromNode(n *envNode) (*Message, error) {
+	m := &Message{
+		Namespace: n.name.Space,
+		Local:     n.name.Local,
+		Fields:    make(map[string]string, len(n.kids)),
+	}
+	for _, k := range n.kids {
+		if _, dup := m.Fields[k.name.Local]; dup {
+			return nil, &DecodeError{Reason: fmt.Sprintf("duplicate payload element %q", k.name.Local)}
+		}
+		m.Fields[k.name.Local] = k.text
+	}
+	return m, nil
+}
+
+// UnmarshalFlexible parses an envelope in either version, including
+// hybrids, recognizing fault markup in both shapes. This models the
+// lenient-accept frameworks (Axis, PHP): they never mistake a fault
+// for data, but they also never refuse a version mix.
+func UnmarshalFlexible(data []byte) (*Message, error) {
+	switch Detect(data, "") {
+	case Version11:
+		return V11.Unmarshal(data)
+	case Version12:
+		return V12.Unmarshal(data)
+	case VersionUnknown:
+		// Not an envelope in either namespace; reuse the 1.1 parser for
+		// its diagnostics.
+		return V11.Unmarshal(data)
+	}
+	// Hybrid: neither strict parser will touch it, so walk the tree by
+	// hand, honoring envelope machinery from both versions.
+	first, err := envelopeBody(data)
+	if err != nil {
+		return nil, err
+	}
+	if first.name.Local == "Fault" &&
+		(first.name.Space == NamespaceEnvelope || first.name.Space == NamespaceEnvelope12) {
+		f := &Fault{}
+		for _, k := range first.kids {
+			switch k.name.Local {
+			case "faultcode":
+				f.Code = k.text
+			case "faultstring":
+				f.String = k.text
+			case "faultactor", "Node":
+				f.Actor = k.text
+			case "detail", "Detail":
+				f.Detail = k.text
+			case "Code":
+				if v := k.kid("Value"); v != nil {
+					f.Code = v.text
+				}
+			case "Reason":
+				if v := k.kid("Text"); v != nil {
+					f.String = v.text
+				}
+			}
+		}
+		return nil, f
+	}
+	return messageFromNode(first)
+}
+
+// UnmarshalCoerce parses namespace-blind: any root named Envelope is
+// accepted and only the native 1.1 faultcode shape is recognized as a
+// fault. This models the silent-coerce frameworks (ASMX-era .NET,
+// suds): a 1.2-shaped fault parses as a *successful* message with
+// Local="Fault" — the silent mishandling the version matrix exists to
+// expose.
+func UnmarshalCoerce(data []byte) (*Message, error) {
+	first, err := envelopeBody(data)
+	if err != nil {
+		return nil, err
+	}
+	if first.name.Local == "Fault" && first.kid("faultcode") != nil {
+		f := &Fault{Code: first.kid("faultcode").text}
+		if s := first.kid("faultstring"); s != nil {
+			f.String = s.text
+		}
+		if a := first.kid("faultactor"); a != nil {
+			f.Actor = a.text
+		}
+		if d := first.kid("detail"); d != nil {
+			f.Detail = d.text
+		}
+		return nil, f
+	}
+	return messageFromNode(first)
+}

@@ -1,12 +1,14 @@
-// Package soap implements a SOAP 1.1 envelope codec: building,
-// serializing and parsing the request/response messages that client
-// and server framework subsystems exchange during the Communication
-// and Execution steps of the inter-operation lifecycle.
+// Package soap implements SOAP envelope codecs: building, serializing
+// and parsing the request/response messages that client and server
+// framework subsystems exchange during the Communication and
+// Execution steps of the inter-operation lifecycle.
 //
 // The paper scopes those two steps out and announces them as future
 // work; this package, together with internal/transport, implements
 // that extension so clean (error-free) framework combinations can be
-// driven end to end.
+// driven end to end. The version-parameterized Codec API (codec.go)
+// extends it further into the hybrid-version error class the paper
+// never reached.
 package soap
 
 import (
@@ -14,7 +16,6 @@ import (
 	"encoding/xml"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"unicode"
 )
@@ -53,7 +54,9 @@ func (m *Message) Field(name string) (string, bool) {
 	return v, ok
 }
 
-// Fault is a SOAP 1.1 fault.
+// Fault is a SOAP fault in version-neutral form: the 1.1 field names,
+// onto which the 1.2 Code/Value, Reason/Text, Node and Detail
+// structure is mapped by the V12 codec.
 type Fault struct {
 	Code   string `xml:"faultcode"`
 	String string `xml:"faultstring"`
@@ -80,7 +83,12 @@ var ErrNoBody = errors.New("envelope body is empty")
 // DecodeError reports a malformed SOAP message.
 type DecodeError struct {
 	Reason string
-	Err    error
+	// Version carries the detected envelope version when the message
+	// was rejected for version reasons (a 1.2 envelope handed to the
+	// 1.1 codec, hybrid machinery inside a payload); VersionUnknown
+	// otherwise.
+	Version Version
+	Err     error
 }
 
 // Error implements the error interface.
@@ -114,71 +122,24 @@ func ValidNCName(s string) bool {
 	return true
 }
 
-// Marshal serializes a message into a SOAP 1.1 envelope. Children are
-// written in sorted field order so output is deterministic. The
-// wrapper and every field name must be valid XML NCNames: values are
-// escaped, but names are structural markup and cannot be.
-func Marshal(m *Message) ([]byte, error) {
-	if m.Local == "" {
-		return nil, errors.New("soap: message has no wrapper element name")
-	}
-	if !ValidNCName(m.Local) {
-		return nil, fmt.Errorf("soap: wrapper name %q is not a valid XML NCName", m.Local)
-	}
-	for name := range m.Fields {
-		if !ValidNCName(name) {
-			return nil, fmt.Errorf("soap: field name %q is not a valid XML NCName", name)
-		}
-	}
-	buf := envelopeBufs.Get().(*bytes.Buffer)
-	defer envelopeBufs.Put(buf)
-	buf.Reset()
-	buf.WriteString(xml.Header)
-	buf.WriteString(`<soap:Envelope xmlns:soap="` + NamespaceEnvelope + `">` + "\n")
-	buf.WriteString("  <soap:Body>\n")
-	fmt.Fprintf(buf, "    <m:%s xmlns:m=%q>\n", m.Local, m.Namespace)
+// Marshal serializes a message into a SOAP 1.1 envelope.
+//
+// Deprecated: use V11.Marshal, or the Codec of the version in play.
+func Marshal(m *Message) ([]byte, error) { return V11.Marshal(m) }
 
-	names := make([]string, 0, len(m.Fields))
-	for k := range m.Fields {
-		names = append(names, k)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Fprintf(buf, "      <m:%s>%s</m:%s>\n", name, escape(m.Fields[name]), name)
-	}
+// MarshalFault serializes a SOAP 1.1 fault envelope.
+//
+// Deprecated: use V11.MarshalFault, or the Codec of the version in
+// play.
+func MarshalFault(f *Fault) ([]byte, error) { return V11.MarshalFault(f) }
 
-	fmt.Fprintf(buf, "    </m:%s>\n", m.Local)
-	buf.WriteString("  </soap:Body>\n")
-	buf.WriteString("</soap:Envelope>\n")
-	out := make([]byte, buf.Len())
-	copy(out, buf.Bytes())
-	return out, nil
-}
-
-// MarshalFault serializes a fault envelope.
-func MarshalFault(f *Fault) ([]byte, error) {
-	buf := envelopeBufs.Get().(*bytes.Buffer)
-	defer envelopeBufs.Put(buf)
-	buf.Reset()
-	buf.WriteString(xml.Header)
-	buf.WriteString(`<soap:Envelope xmlns:soap="` + NamespaceEnvelope + `">` + "\n")
-	buf.WriteString("  <soap:Body>\n")
-	buf.WriteString("    <soap:Fault>\n")
-	fmt.Fprintf(buf, "      <faultcode>%s</faultcode>\n", escape(f.Code))
-	fmt.Fprintf(buf, "      <faultstring>%s</faultstring>\n", escape(f.String))
-	if f.Actor != "" {
-		fmt.Fprintf(buf, "      <faultactor>%s</faultactor>\n", escape(f.Actor))
-	}
-	if f.Detail != "" {
-		fmt.Fprintf(buf, "      <detail>%s</detail>\n", escape(f.Detail))
-	}
-	buf.WriteString("    </soap:Fault>\n")
-	buf.WriteString("  </soap:Body>\n")
-	buf.WriteString("</soap:Envelope>\n")
-	out := make([]byte, buf.Len())
-	copy(out, buf.Bytes())
-	return out, nil
-}
+// Unmarshal parses a SOAP 1.1 envelope. It returns the message, or a
+// *Fault as the error when the body carries a fault.
+//
+// Deprecated: use V11.Unmarshal, or the Codec of the version in play;
+// UnmarshalFlexible and UnmarshalCoerce model the lenient framework
+// behaviors.
+func Unmarshal(data []byte) (*Message, error) { return V11.Unmarshal(data) }
 
 func escape(s string) string {
 	var b bytes.Buffer
@@ -186,55 +147,4 @@ func escape(s string) string {
 		return s
 	}
 	return b.String()
-}
-
-// envelope is the parse-side wire structure.
-type envelope struct {
-	XMLName xml.Name `xml:"http://schemas.xmlsoap.org/soap/envelope/ Envelope"`
-	Body    struct {
-		Fault   *Fault  `xml:"http://schemas.xmlsoap.org/soap/envelope/ Fault"`
-		Payload payload `xml:",any"`
-	} `xml:"http://schemas.xmlsoap.org/soap/envelope/ Body"`
-}
-
-type payload struct {
-	XMLName  xml.Name
-	Children []child `xml:",any"`
-}
-
-type child struct {
-	XMLName xml.Name
-	Value   string `xml:",chardata"`
-}
-
-// Unmarshal parses a SOAP 1.1 envelope. It returns the message, or a
-// *Fault as the error when the body carries a fault.
-//
-// Duplicate payload children are rejected with a DecodeError: Message
-// carries one value per field name, and silently keeping the last
-// occurrence would let a corrupted (or attacker-duplicated) envelope
-// masquerade as a clean one.
-func Unmarshal(data []byte) (*Message, error) {
-	var env envelope
-	if err := xml.Unmarshal(data, &env); err != nil {
-		return nil, &DecodeError{Reason: "malformed envelope", Err: err}
-	}
-	if env.Body.Fault != nil {
-		return nil, env.Body.Fault
-	}
-	if env.Body.Payload.XMLName.Local == "" {
-		return nil, &DecodeError{Reason: "no payload", Err: ErrNoBody}
-	}
-	m := &Message{
-		Namespace: env.Body.Payload.XMLName.Space,
-		Local:     env.Body.Payload.XMLName.Local,
-		Fields:    make(map[string]string, len(env.Body.Payload.Children)),
-	}
-	for _, c := range env.Body.Payload.Children {
-		if _, dup := m.Fields[c.XMLName.Local]; dup {
-			return nil, &DecodeError{Reason: fmt.Sprintf("duplicate payload element %q", c.XMLName.Local)}
-		}
-		m.Fields[c.XMLName.Local] = c.Value
-	}
-	return m, nil
 }

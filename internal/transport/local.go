@@ -22,6 +22,8 @@ type LocalBridge struct {
 	handler http.Handler
 	retry   *RetryPolicy
 	meters  *invokeMeters
+	codec   soap.Codec      // nil means soap.V11
+	strict  soap.Strictness // zero value is StrictReject
 }
 
 // Local returns an in-process bridge to the host. The host does not
@@ -48,18 +50,42 @@ func (b *LocalBridge) WithObs(reg *obs.Registry) *LocalBridge {
 	return &cp
 }
 
+// WithCodec returns a copy of the bridge pinned to an envelope
+// version. The default is soap.V11, which keeps the historical wire
+// format byte for byte.
+func (b *LocalBridge) WithCodec(c soap.Codec) *LocalBridge {
+	cp := *b
+	cp.codec = c
+	return &cp
+}
+
+// WithStrictness returns a copy of the bridge that treats
+// version-mismatched responses per the given framework model; the
+// default is soap.StrictReject, mirroring Client.WithStrictness.
+func (b *LocalBridge) WithStrictness(s soap.Strictness) *LocalBridge {
+	cp := *b
+	cp.strict = s
+	return &cp
+}
+
 // Invoke sends a request message to the endpoint path and returns the
 // response message. SOAP faults are returned as *soap.Fault errors and
 // non-2xx responses as *HTTPError, mirroring Client.Invoke.
 func (b *LocalBridge) Invoke(ctx context.Context, path string, req *soap.Message) (*soap.Message, error) {
-	body, err := soap.Marshal(req)
+	codec := b.codec
+	if codec == nil {
+		codec = soap.V11
+	}
+	body, err := codec.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("encode request: %w", err)
 	}
 	return invokeWithRetry(ctx, b.meters, b.retry, func(ctx context.Context, n int) (*soap.Message, error) {
 		httpReq := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
-		httpReq.Header.Set("Content-Type", soap.ContentType)
-		httpReq.Header.Set("SOAPAction", `""`)
+		httpReq.Header.Set("Content-Type", codec.ContentType(""))
+		if codec.UsesActionHeader() {
+			httpReq.Header.Set("SOAPAction", `""`)
+		}
 		stampTrace(ctx, httpReq.Header)
 		b.retry.annotate(n, httpReq.Header)
 		httpReq = httpReq.WithContext(ctx)
@@ -68,7 +94,7 @@ func (b *LocalBridge) Invoke(ctx context.Context, path string, req *soap.Message
 		if err := b.serve(rec, httpReq); err != nil {
 			return nil, err
 		}
-		return decodeResponse(rec.Code, rec.Header().Get("Content-Type"), rec.Body.Bytes())
+		return decodeResponse(codec, b.strict, rec.Code, rec.Header().Get("Content-Type"), rec.Body.Bytes())
 	})
 }
 

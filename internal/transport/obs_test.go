@@ -186,7 +186,7 @@ func TestTraceStampedThroughClient(t *testing.T) {
 	var captured string
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		captured = r.Header.Get(obs.TraceHeader)
-		resp, err := soap.Marshal(&soap.Message{
+		resp, err := soap.V11.Marshal(&soap.Message{
 			Namespace: "urn:x", Local: "echoResponse", Fields: map[string]string{"input": "x"}})
 		if err != nil {
 			t.Errorf("marshal: %v", err)

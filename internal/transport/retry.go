@@ -48,6 +48,27 @@ func (e *HTTPError) Error() string {
 	return fmt.Sprintf("transport: HTTP %d (%s): %s", e.Status, e.ContentType, e.Snippet)
 }
 
+// VersionMismatchError is the typed transport error for a response
+// whose detected SOAP version contradicts the version the caller is
+// pinned to: the other pure version, or a hybrid mixing both. It is
+// the client-side face of strict-reject framework behavior, and is
+// definitive (never retryable) — the peer will keep speaking the same
+// version on every attempt.
+type VersionMismatchError struct {
+	// Want is the version the caller's codec speaks.
+	Want soap.Version
+	// Got is the version Detect assigned to the response.
+	Got soap.Version
+	// ContentType is the response's declared media type.
+	ContentType string
+}
+
+// Error implements the error interface.
+func (e *VersionMismatchError) Error() string {
+	return fmt.Sprintf("transport: version mismatch: want %s, got %s (%s)",
+		e.Want, e.Got, e.ContentType)
+}
+
 // snippet bounds a body prefix for HTTPError diagnostics. The cut
 // backs up to a rune boundary so a multi-byte UTF-8 sequence spanning
 // the limit is dropped whole rather than split — a byte-offset
@@ -65,15 +86,23 @@ func snippet(body []byte) string {
 	return s
 }
 
-// decodeResponse is the status-aware decode shared by Client and
-// LocalBridge:
+// decodeResponse is the status-, version- and strictness-aware decode
+// shared by Client and LocalBridge:
 //
+//   - a response whose detected version contradicts the pinned codec
+//     is a *VersionMismatchError under StrictReject — the typed
+//     refusal strict frameworks produce;
 //   - a fault envelope is returned as *soap.Fault whatever the status
 //     (the SOAP 1.1 binding sends faults with HTTP 500);
 //   - a non-2xx status is an *HTTPError — even when the body parses as
 //     a message, success is not success if the wire said otherwise;
-//   - a 2xx body that fails to parse stays a decode error.
-func decodeResponse(status int, contentType string, body []byte) (*soap.Message, error) {
+//   - a 2xx body that fails to parse stays a decode error, stamped
+//     with the detected version for diagnostics.
+//
+// Under LenientAccept the body is parsed flexibly (either version,
+// hybrids included); under SilentCoerce it is parsed namespace-blind,
+// reproducing the frameworks that turn hybrid faults into data.
+func decodeResponse(codec soap.Codec, strict soap.Strictness, status int, contentType string, body []byte) (*soap.Message, error) {
 	ok := status >= 200 && status <= 299
 	if len(body) > maxResponseBytes {
 		// The reader fetched one byte past the budget: the response is
@@ -82,7 +111,20 @@ func decodeResponse(status int, contentType string, body []byte) (*soap.Message,
 		return nil, &soap.DecodeError{
 			Reason: fmt.Sprintf("response exceeds the %d-byte read budget", maxResponseBytes)}
 	}
-	msg, err := soap.Unmarshal(body)
+	detected := soap.Detect(body, contentType)
+	if strict == soap.StrictReject && detected != soap.VersionUnknown && detected != codec.Version() {
+		return nil, &VersionMismatchError{Want: codec.Version(), Got: detected, ContentType: contentType}
+	}
+	var msg *soap.Message
+	var err error
+	switch strict {
+	case soap.LenientAccept:
+		msg, err = soap.UnmarshalFlexible(body)
+	case soap.SilentCoerce:
+		msg, err = soap.UnmarshalCoerce(body)
+	default:
+		msg, err = codec.Unmarshal(body)
+	}
 	if err != nil {
 		var fault *soap.Fault
 		if errors.As(err, &fault) {
@@ -90,6 +132,10 @@ func decodeResponse(status int, contentType string, body []byte) (*soap.Message,
 		}
 		if !ok {
 			return nil, &HTTPError{Status: status, ContentType: contentType, Snippet: snippet(body)}
+		}
+		var de *soap.DecodeError
+		if errors.As(err, &de) && de.Version == soap.VersionUnknown {
+			de.Version = detected
 		}
 		return nil, fmt.Errorf("decode response (HTTP %d): %w", status, err)
 	}
@@ -187,6 +233,10 @@ func Retryable(err error) bool {
 	if errors.As(err, &fault) {
 		return false
 	}
+	var vm *VersionMismatchError
+	if errors.As(err, &vm) {
+		return false
+	}
 	var he *HTTPError
 	if errors.As(err, &he) {
 		return he.Status >= 500
@@ -217,6 +267,7 @@ type invokeMeters struct {
 	faults   *obs.Counter   // transport.errors.fault (definitive SOAP faults)
 	httpErrs *obs.Counter   // transport.errors.http (*HTTPError)
 	decode   *obs.Counter   // transport.errors.decode (malformed bodies)
+	version  *obs.Counter   // transport.errors.version (*VersionMismatchError)
 	aborted  *obs.Counter   // transport.errors.aborted (dropped connections)
 	other    *obs.Counter   // transport.errors.other (network and the rest)
 }
@@ -234,6 +285,7 @@ func newInvokeMeters(reg *obs.Registry) *invokeMeters {
 		faults:   reg.Counter("transport.errors.fault"),
 		httpErrs: reg.Counter("transport.errors.http"),
 		decode:   reg.Counter("transport.errors.decode"),
+		version:  reg.Counter("transport.errors.version"),
 		aborted:  reg.Counter("transport.errors.aborted"),
 		other:    reg.Counter("transport.errors.other"),
 	}
@@ -257,11 +309,14 @@ func (m *invokeMeters) record(start time.Time, n int, err error) {
 	var fault *soap.Fault
 	var he *HTTPError
 	var de *soap.DecodeError
+	var vm *VersionMismatchError
 	switch {
 	case errors.As(err, &fault):
 		m.faults.Inc()
 	case errors.As(err, &he):
 		m.httpErrs.Inc()
+	case errors.As(err, &vm):
+		m.version.Inc()
 	case errors.As(err, &de):
 		m.decode.Inc()
 	case errors.Is(err, ErrAborted):

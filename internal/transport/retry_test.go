@@ -23,7 +23,7 @@ func cannedHandler(status int, contentType string, body []byte) http.Handler {
 
 func echoEnvelope(t *testing.T) []byte {
 	t.Helper()
-	body, err := soap.Marshal(&soap.Message{
+	body, err := soap.V11.Marshal(&soap.Message{
 		Namespace: "urn:test", Local: "echoResponse",
 		Fields: map[string]string{"input": "ping"},
 	})
@@ -35,7 +35,7 @@ func echoEnvelope(t *testing.T) []byte {
 
 func faultEnvelope(t *testing.T) []byte {
 	t.Helper()
-	body, err := soap.MarshalFault(&soap.Fault{Code: soap.FaultServer, String: "boom"})
+	body, err := soap.V11.MarshalFault(&soap.Fault{Code: soap.FaultServer, String: "boom"})
 	if err != nil {
 		t.Fatal(err)
 	}

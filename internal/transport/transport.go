@@ -192,6 +192,7 @@ func validatePayload(specs []FieldSpec, fields map[string]string) error {
 type Host struct {
 	mu        sync.RWMutex
 	endpoints map[string]*Endpoint
+	version   *VersionPolicy
 
 	srv      *http.Server
 	listener net.Listener
@@ -203,6 +204,24 @@ type Host struct {
 func NewHost() *Host {
 	return &Host{endpoints: make(map[string]*Endpoint, 8)}
 }
+
+// VersionPolicy pins the envelope version a host speaks and declares
+// how it treats a request whose detected version disagrees.
+type VersionPolicy struct {
+	// Codec is the version the host answers in.
+	Codec soap.Codec
+	// Strictness selects the mismatch behavior: StrictReject answers a
+	// VersionMismatch fault, LenientAccept parses either version (and
+	// hybrids) but answers natively, SilentCoerce parses namespace-
+	// blind and mirrors the request's framing back — producing the
+	// observably hybrid responses the version matrix measures.
+	Strictness soap.Strictness
+}
+
+// SetVersionPolicy configures version handling; nil (the default)
+// keeps the historical strict SOAP 1.1 behavior. Not safe to call
+// concurrently with serving.
+func (h *Host) SetVersionPolicy(p *VersionPolicy) { h.version = p }
 
 // ErrPathCollision is wrapped by Deploy when two endpoints derive the
 // same HTTP path (FromWSDL strips spaces from service names, so "My
@@ -311,27 +330,60 @@ func (h *Host) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	codec := soap.Codec(soap.V11)
+	if h.version != nil && h.version.Codec != nil {
+		codec = h.version.Codec
+	}
+	// respCT is the response framing; SilentCoerce mirrors mismatched
+	// request framing back, making the hybrid observable on the wire.
+	respCT := codec.ContentType("")
+
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
-		writeFault(w, &soap.Fault{Code: soap.FaultClient, String: "unreadable request body"})
+		writeFault(w, codec, respCT, &soap.Fault{Code: soap.FaultClient, String: "unreadable request body"})
 		return
 	}
-	msg, err := soap.Unmarshal(body)
+
+	var msg *soap.Message
+	if h.version == nil {
+		msg, err = soap.V11.Unmarshal(body)
+	} else {
+		reqCT := r.Header.Get("Content-Type")
+		detected := soap.Detect(body, reqCT)
+		mismatch := detected != soap.VersionUnknown && detected != codec.Version()
+		switch {
+		case mismatch && h.version.Strictness == soap.StrictReject:
+			writeFault(w, codec, respCT, &soap.Fault{
+				Code:   codec.FaultCode(soap.FaultVersionMismatch),
+				String: fmt.Sprintf("endpoint speaks %s, request detected as %s", codec.Version(), detected),
+			})
+			return
+		case mismatch && h.version.Strictness == soap.SilentCoerce:
+			msg, err = soap.UnmarshalCoerce(body)
+			if reqCT != "" {
+				respCT = reqCT
+			}
+		case mismatch: // LenientAccept
+			msg, err = soap.UnmarshalFlexible(body)
+		default:
+			msg, err = codec.Unmarshal(body)
+		}
+	}
 	if err != nil {
-		writeFault(w, &soap.Fault{Code: soap.FaultClient, String: err.Error()})
+		writeFault(w, codec, respCT, &soap.Fault{Code: codec.FaultCode(soap.FaultClient), String: err.Error()})
 		return
 	}
 
 	respLocal, ok := ep.Operations[msg.Local]
 	if !ok {
-		writeFault(w, &soap.Fault{
-			Code:   soap.FaultClient,
+		writeFault(w, codec, respCT, &soap.Fault{
+			Code:   codec.FaultCode(soap.FaultClient),
 			String: fmt.Sprintf("unknown operation %q", msg.Local),
 		})
 		return
 	}
 	if err := validatePayload(ep.Inputs[msg.Local], msg.Fields); err != nil {
-		writeFault(w, &soap.Fault{Code: soap.FaultClient, String: err.Error()})
+		writeFault(w, codec, respCT, &soap.Fault{Code: codec.FaultCode(soap.FaultClient), String: err.Error()})
 		return
 	}
 
@@ -341,25 +393,32 @@ func (h *Host) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		Local:     respLocal,
 		Fields:    msg.Fields,
 	}
-	out, err := soap.Marshal(resp)
+	out, err := codec.Marshal(resp)
 	if err != nil {
-		writeFault(w, &soap.Fault{Code: soap.FaultServer, String: err.Error()})
+		writeFault(w, codec, respCT, &soap.Fault{Code: codec.FaultCode(soap.FaultServer), String: err.Error()})
 		return
 	}
-	w.Header().Set("Content-Type", soap.ContentType)
+	w.Header().Set("Content-Type", respCT)
 	if _, err := w.Write(out); err != nil {
 		return // client went away; nothing to do
 	}
 }
 
-func writeFault(w http.ResponseWriter, f *soap.Fault) {
-	out, err := soap.MarshalFault(f)
+// writeFault serializes a fault in the host's envelope version. SOAP
+// 1.1 always uses HTTP 500; the 1.2 HTTP binding distinguishes Sender
+// faults (400) from the rest (500).
+func writeFault(w http.ResponseWriter, codec soap.Codec, contentType string, f *soap.Fault) {
+	out, err := codec.MarshalFault(f)
 	if err != nil {
 		http.Error(w, f.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", soap.ContentType)
-	w.WriteHeader(http.StatusInternalServerError)
+	status := http.StatusInternalServerError
+	if codec.Version() == soap.Version12 && f.Code == soap.Fault12Sender {
+		status = http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(status)
 	_, _ = w.Write(out)
 }
 
@@ -368,6 +427,8 @@ type Client struct {
 	httpClient *http.Client
 	retry      *RetryPolicy
 	meters     *invokeMeters
+	codec      soap.Codec      // nil means soap.V11
+	strict     soap.Strictness // zero value is StrictReject
 }
 
 // NewClient creates a SOAP client. Pass nil to use a default HTTP
@@ -395,6 +456,29 @@ func (c *Client) WithObs(reg *obs.Registry) *Client {
 	return &cp
 }
 
+// WithCodec returns a copy of the client pinned to an envelope
+// version: requests are framed per the codec's binding (Content-Type,
+// SOAPAction vs action parameter) and responses are required to match
+// it under the configured strictness. The default is soap.V11, which
+// keeps the historical wire format byte for byte.
+func (c *Client) WithCodec(codec soap.Codec) *Client {
+	cp := *c
+	cp.codec = codec
+	return &cp
+}
+
+// WithStrictness returns a copy of the client that treats
+// version-mismatched responses per the given framework model:
+// StrictReject (default) surfaces a *VersionMismatchError,
+// LenientAccept parses either version, SilentCoerce parses
+// namespace-blind — reproducing the framework behaviors the version
+// matrix measures.
+func (c *Client) WithStrictness(s soap.Strictness) *Client {
+	cp := *c
+	cp.strict = s
+	return &cp
+}
+
 // stampTrace copies the invocation context's campaign trace ID onto
 // the request, making the exchange joinable to its (server, client,
 // class) cell in sniffer captures and fault-injection logs.
@@ -409,7 +493,11 @@ func stampTrace(ctx context.Context, h http.Header) {
 // response without a fault envelope as an *HTTPError. A configured
 // RetryPolicy re-attempts transient failures (see Retryable).
 func (c *Client) Invoke(ctx context.Context, url, soapAction string, req *soap.Message) (*soap.Message, error) {
-	body, err := soap.Marshal(req)
+	codec := c.codec
+	if codec == nil {
+		codec = soap.V11
+	}
+	body, err := codec.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("encode request: %w", err)
 	}
@@ -418,8 +506,10 @@ func (c *Client) Invoke(ctx context.Context, url, soapAction string, req *soap.M
 		if err != nil {
 			return nil, fmt.Errorf("build request: %w", err)
 		}
-		httpReq.Header.Set("Content-Type", soap.ContentType)
-		httpReq.Header.Set("SOAPAction", fmt.Sprintf("%q", soapAction))
+		httpReq.Header.Set("Content-Type", codec.ContentType(soapAction))
+		if codec.UsesActionHeader() {
+			httpReq.Header.Set("SOAPAction", fmt.Sprintf("%q", soapAction))
+		}
 		stampTrace(ctx, httpReq.Header)
 		c.retry.annotate(n, httpReq.Header)
 
@@ -435,6 +525,6 @@ func (c *Client) Invoke(ctx context.Context, url, soapAction string, req *soap.M
 		if err != nil {
 			return nil, fmt.Errorf("read response: %w", err)
 		}
-		return decodeResponse(httpResp.StatusCode, httpResp.Header.Get("Content-Type"), respBody)
+		return decodeResponse(codec, c.strict, httpResp.StatusCode, httpResp.Header.Get("Content-Type"), respBody)
 	})
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"mime"
 	"strings"
+
+	"wsinterop/internal/soap"
 )
 
 // This file implements message-level conformance checking: validating
@@ -20,6 +22,8 @@ import (
 // The checker deliberately re-parses raw bytes with its own XML walk
 // rather than reusing internal/soap: a conformance checker that
 // shares the implementation under test would inherit its blind spots.
+// The soap import supplies only version identity (namespace and media
+// type constants via the Codec), never a parser.
 
 // Message-level assertions (BP 1.1 messaging requirements, RM-prefixed
 // to distinguish them from the description-level R-assertions).
@@ -54,12 +58,48 @@ var (
 	}
 )
 
-// MessageAssertions lists the message-level assertion set.
+// Message-level assertions for the SOAP 1.2 binding and the hybrid
+// guard (the bp20 profile's messaging rules).
+var (
+	AssertionMsgEnvelope12 = Assertion{
+		ID:          "RM9981",
+		Description: "a MESSAGE must be serialized as an env:Envelope in the SOAP 1.2 namespace",
+	}
+	AssertionMsgContentType12 = Assertion{
+		ID:          "RM1130",
+		Description: "a MESSAGE must be sent with an application/soap+xml content type",
+	}
+	AssertionMsgFaultShape12 = Assertion{
+		ID:          "RM1005",
+		Description: "an env:Fault must carry env:Code and env:Reason children",
+	}
+	AssertionMsgFaultStatus12 = Assertion{
+		ID:          "RM1127",
+		Description: "an HTTP response carrying an env:Fault must use status 400 or 500",
+	}
+	AssertionMsgVersionCoherent = Assertion{
+		ID:          "RMH001",
+		Description: "a MESSAGE must not mix SOAP 1.1 and SOAP 1.2 version signals (envelope namespace, media type, fault shape)",
+	}
+)
+
+// MessageAssertions lists the SOAP 1.1 message-level assertion set.
 func MessageAssertions() []Assertion {
 	return []Assertion{
 		AssertionMsgEnvelope, AssertionMsgBodyChild, AssertionMsgQualified,
 		AssertionMsgContentType, AssertionMsgSOAPAction,
 		AssertionMsgFaultShape, AssertionMsgFaultStatus,
+	}
+}
+
+// MessageAssertions12 lists the SOAP 1.2 / hybrid-guard message-level
+// assertion set.
+func MessageAssertions12() []Assertion {
+	return []Assertion{
+		AssertionMsgEnvelope12, AssertionMsgBodyChild, AssertionMsgQualified,
+		AssertionMsgContentType12,
+		AssertionMsgFaultShape12, AssertionMsgFaultStatus12,
+		AssertionMsgVersionCoherent,
 	}
 }
 
@@ -74,23 +114,82 @@ type MessageMeta struct {
 	HTTPStatus int
 }
 
-const soapEnvelopeNS = "http://schemas.xmlsoap.org/soap/envelope/"
+const (
+	soapEnvelopeNS   = "http://schemas.xmlsoap.org/soap/envelope/"
+	soapEnvelopeNS12 = "http://www.w3.org/2003/05/soap-envelope"
+)
+
+// msgRules parameterizes the message walk by envelope version: which
+// namespace and media type the envelope must use, which fault shape
+// is canonical, and whether to flag mixed version signals (the bp20
+// hybrid guard).
+type msgRules struct {
+	envNS        string
+	envAssert    Assertion // envelope-namespace assertion for this version
+	mediaType    string
+	ctAssert     Assertion // content-type assertion for this version
+	fault12      bool      // expect env:Code/env:Reason instead of faultcode/faultstring
+	versionGuard bool      // flag mixed 1.1/1.2 signals (RMH001)
+}
+
+var v11MsgRules = msgRules{
+	envNS:     soapEnvelopeNS,
+	envAssert: AssertionMsgEnvelope,
+	mediaType: "text/xml",
+	ctAssert:  AssertionMsgContentType,
+}
+
+var v12MsgRules = msgRules{
+	envNS:     soapEnvelopeNS12,
+	envAssert: AssertionMsgEnvelope12,
+	mediaType: "application/soap+xml",
+	ctAssert:  AssertionMsgContentType12,
+	fault12:   true,
+}
 
 // CheckMessage validates one captured SOAP message against the
-// message-level assertion set.
+// checker's profile: its message-version rules (SOAP 1.1 unless the
+// profile binds messaging to 1.2, as bp20 does) and, when the profile
+// requests it, the RMH001 hybrid guard.
 func (c *Checker) CheckMessage(raw []byte, meta MessageMeta) *Report {
+	rules := v11MsgRules
+	if c.profile != nil {
+		if c.profile.messageVersion == soap.Version12 {
+			rules = v12MsgRules
+		}
+		rules.versionGuard = c.profile.versionGuard
+	}
+	return c.checkMessageRules(raw, meta, rules)
+}
+
+// CheckMessageCodec validates one captured message against the
+// messaging rules of the given envelope version regardless of the
+// checker's profile, always including the hybrid version-coherence
+// guard: a message mixing 1.1 and 1.2 signals is flagged under RMH001
+// even when each signal would be valid alone.
+func (c *Checker) CheckMessageCodec(raw []byte, meta MessageMeta, codec soap.Codec) *Report {
+	rules := v11MsgRules
+	if codec.Version() == soap.Version12 {
+		rules = v12MsgRules
+	}
+	rules.versionGuard = true
+	return c.checkMessageRules(raw, meta, rules)
+}
+
+func (c *Checker) checkMessageRules(raw []byte, meta MessageMeta, rules msgRules) *Report {
 	r := &Report{}
-	c.checkTransportMeta(meta, r)
+	ctVersion := c.checkTransportMeta(meta, rules, r)
 
 	dec := xml.NewDecoder(bytes.NewReader(raw))
 	depth := 0
 	sawRoot := false
+	var rootName xml.Name
 	inBody := false
 	bodyDepth := 0
 	bodyChildren := 0
 	isFault := false
+	faultNS := ""
 	var faultFields map[string]bool
-	var pathStack []xml.Name
 	var tokenErr error
 
 	for {
@@ -104,15 +203,16 @@ func (c *Checker) CheckMessage(raw []byte, meta MessageMeta) *Report {
 		switch t := tok.(type) {
 		case xml.StartElement:
 			depth++
-			pathStack = append(pathStack, t.Name)
 			switch {
 			case depth == 1:
 				sawRoot = true
-				if t.Name.Local != "Envelope" || t.Name.Space != soapEnvelopeNS {
-					r.add(AssertionMsgEnvelope,
+				rootName = t.Name
+				if t.Name.Local != "Envelope" || t.Name.Space != rules.envNS {
+					r.add(rules.envAssert,
 						"root element is {%s}%s", t.Name.Space, t.Name.Local)
 				}
-			case depth == 2 && t.Name.Local == "Body" && t.Name.Space == soapEnvelopeNS:
+			case depth == 2 && t.Name.Local == "Body" &&
+				(t.Name.Space == rules.envNS || (rules.versionGuard && isEnvelopeNS(t.Name.Space))):
 				inBody = true
 				bodyDepth = depth
 			case inBody && depth == bodyDepth+1:
@@ -121,8 +221,10 @@ func (c *Checker) CheckMessage(raw []byte, meta MessageMeta) *Report {
 					r.add(AssertionMsgQualified,
 						"body child %q is unqualified", t.Name.Local)
 				}
-				if t.Name.Local == "Fault" && t.Name.Space == soapEnvelopeNS {
+				if t.Name.Local == "Fault" &&
+					(t.Name.Space == rules.envNS || (rules.versionGuard && isEnvelopeNS(t.Name.Space))) {
 					isFault = true
+					faultNS = t.Name.Space
 					faultFields = make(map[string]bool, 2)
 				}
 			case isFault && depth == bodyDepth+2:
@@ -133,9 +235,6 @@ func (c *Checker) CheckMessage(raw []byte, meta MessageMeta) *Report {
 				inBody = false
 			}
 			depth--
-			if len(pathStack) > 0 {
-				pathStack = pathStack[:len(pathStack)-1]
-			}
 		}
 	}
 
@@ -146,34 +245,100 @@ func (c *Checker) CheckMessage(raw []byte, meta MessageMeta) *Report {
 	// is counted as truncated.
 	switch {
 	case !sawRoot && len(raw) == 0:
-		r.add(AssertionMsgEnvelope, "message payload is empty")
+		r.add(rules.envAssert, "message payload is empty")
 	case !sawRoot && tokenErr != nil:
-		r.add(AssertionMsgEnvelope, "no root element parses in %d bytes: %v", len(raw), tokenErr)
+		r.add(rules.envAssert, "no root element parses in %d bytes: %v", len(raw), tokenErr)
 	case !sawRoot:
-		r.add(AssertionMsgEnvelope, "no root element in %d bytes of payload", len(raw))
+		r.add(rules.envAssert, "no root element in %d bytes of payload", len(raw))
 	case tokenErr != nil:
-		r.add(AssertionMsgEnvelope, "message truncated after %d bytes: %v", len(raw), tokenErr)
+		r.add(rules.envAssert, "message truncated after %d bytes: %v", len(raw), tokenErr)
 	}
 
 	if bodyChildren > 1 {
 		r.add(AssertionMsgBodyChild, "body has %d children", bodyChildren)
 	}
 	if isFault {
-		if !faultFields["faultcode"] || !faultFields["faultstring"] {
-			r.add(AssertionMsgFaultShape, "fault lacks faultcode and/or faultstring")
+		if rules.fault12 {
+			if !faultFields["Code"] || !faultFields["Reason"] {
+				r.add(AssertionMsgFaultShape12, "fault lacks env:Code and/or env:Reason")
+			}
+			if meta.HTTPStatus != 0 && meta.HTTPStatus != 400 && meta.HTTPStatus != 500 {
+				r.add(AssertionMsgFaultStatus12, "fault returned with HTTP %d", meta.HTTPStatus)
+			}
+		} else {
+			if !faultFields["faultcode"] || !faultFields["faultstring"] {
+				r.add(AssertionMsgFaultShape, "fault lacks faultcode and/or faultstring")
+			}
+			if meta.HTTPStatus != 0 && meta.HTTPStatus != 500 {
+				r.add(AssertionMsgFaultStatus, "fault returned with HTTP %d", meta.HTTPStatus)
+			}
 		}
-		if meta.HTTPStatus != 0 && meta.HTTPStatus != 500 {
-			r.add(AssertionMsgFaultStatus, "fault returned with HTTP %d", meta.HTTPStatus)
-		}
+	}
+
+	if rules.versionGuard {
+		c.checkVersionCoherence(rootName, ctVersion, faultNS, faultFields, r)
 	}
 	return r
 }
 
-func (c *Checker) checkTransportMeta(meta MessageMeta, r *Report) {
+// isEnvelopeNS reports whether ns is either SOAP envelope namespace.
+func isEnvelopeNS(ns string) bool {
+	return ns == soapEnvelopeNS || ns == soapEnvelopeNS12
+}
+
+// checkVersionCoherence applies the hybrid guard: each version signal
+// (envelope namespace, media type, fault element namespace, fault
+// child shape) votes 1.1 or 1.2; ballots for both raise RMH001. The
+// signal collection deliberately mirrors soap.Detect without calling
+// it — see the package comment on checker independence.
+func (c *Checker) checkVersionCoherence(root xml.Name, ctVersion int, faultNS string, faultFields map[string]bool, r *Report) {
+	var sees11, sees12 bool
+	vote := func(ns string) {
+		switch ns {
+		case soapEnvelopeNS:
+			sees11 = true
+		case soapEnvelopeNS12:
+			sees12 = true
+		}
+	}
+	if root.Local == "Envelope" {
+		vote(root.Space)
+	}
+	vote(faultNS)
+	switch ctVersion {
+	case 1:
+		sees11 = true
+	case 2:
+		sees12 = true
+	}
+	if faultFields["faultcode"] || faultFields["faultstring"] {
+		sees11 = true
+	}
+	if faultFields["Code"] || faultFields["Reason"] {
+		sees12 = true
+	}
+	if sees11 && sees12 {
+		r.add(AssertionMsgVersionCoherent, "message mixes SOAP 1.1 and SOAP 1.2 version signals")
+	}
+}
+
+// checkTransportMeta validates the HTTP framing and returns the media
+// type's version vote (0 neutral, 1 for text/xml, 2 for
+// application/soap+xml) for the hybrid guard.
+func (c *Checker) checkTransportMeta(meta MessageMeta, rules msgRules, r *Report) int {
+	ctVersion := 0
 	if meta.ContentType != "" {
 		mediaType, _, err := mime.ParseMediaType(meta.ContentType)
-		if err != nil || mediaType != "text/xml" {
-			r.add(AssertionMsgContentType, "content type %q", meta.ContentType)
+		if err != nil || mediaType != rules.mediaType {
+			r.add(rules.ctAssert, "content type %q", meta.ContentType)
+		}
+		if err == nil {
+			switch mediaType {
+			case "text/xml":
+				ctVersion = 1
+			case "application/soap+xml":
+				ctVersion = 2
+			}
 		}
 	}
 	if meta.SOAPAction != "" {
@@ -182,4 +347,5 @@ func (c *Checker) checkTransportMeta(meta MessageMeta, r *Report) {
 			r.add(AssertionMsgSOAPAction, "SOAPAction %s is not quoted", fmt.Sprintf("%q", v))
 		}
 	}
+	return ctVersion
 }

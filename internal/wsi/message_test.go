@@ -2,6 +2,8 @@ package wsi
 
 import (
 	"testing"
+
+	"wsinterop/internal/soap"
 )
 
 const cleanEnvelope = `<?xml version="1.0"?>
@@ -23,8 +25,31 @@ const cleanFault = `<?xml version="1.0"?>
   </soap:Body>
 </soap:Envelope>`
 
+const cleanEnvelope12 = `<?xml version="1.0"?>
+<env:Envelope xmlns:env="http://www.w3.org/2003/05/soap-envelope">
+  <env:Body>
+    <m:echo xmlns:m="http://svc.test/">
+      <m:input>hello</m:input>
+    </m:echo>
+  </env:Body>
+</env:Envelope>`
+
+const cleanFault12 = `<?xml version="1.0"?>
+<env:Envelope xmlns:env="http://www.w3.org/2003/05/soap-envelope">
+  <env:Body>
+    <env:Fault>
+      <env:Code><env:Value>env:Sender</env:Value></env:Code>
+      <env:Reason><env:Text xml:lang="en">bad</env:Text></env:Reason>
+    </env:Fault>
+  </env:Body>
+</env:Envelope>`
+
 func cleanMeta() MessageMeta {
 	return MessageMeta{ContentType: "text/xml; charset=utf-8", SOAPAction: `""`}
+}
+
+func cleanMeta12() MessageMeta {
+	return MessageMeta{ContentType: "application/soap+xml; charset=utf-8"}
 }
 
 func TestCheckMessageClean(t *testing.T) {
@@ -117,5 +142,51 @@ func TestMessageAssertionIDsUnique(t *testing.T) {
 			t.Errorf("duplicate assertion ID %s", a.ID)
 		}
 		seen[a.ID] = true
+	}
+}
+
+// TestCheckMessageCodecClean12: a clean 1.2 exchange passes the 1.2
+// rules, and a clean 1.2 fault may ride HTTP 400 (the 1.2 binding's
+// Sender status).
+func TestCheckMessageCodecClean12(t *testing.T) {
+	c := NewChecker()
+	if r := c.CheckMessageCodec([]byte(cleanEnvelope12), cleanMeta12(), soap.V12); len(r.Violations) != 0 {
+		t.Errorf("clean 1.2 message has findings: %v", r.Violations)
+	}
+	meta := cleanMeta12()
+	meta.HTTPStatus = 400
+	if r := c.CheckMessageCodec([]byte(cleanFault12), meta, soap.V12); len(r.Violations) != 0 {
+		t.Errorf("clean 1.2 fault at 400 has findings: %v", r.Violations)
+	}
+}
+
+// TestCheckMessageCodecHybrid: the guard flags a version mix that is
+// invisible to each single-version rule set — a 1.1 envelope under
+// 1.2 framing, and a 1.2-shaped fault inside a 1.1 envelope.
+func TestCheckMessageCodecHybrid(t *testing.T) {
+	c := NewChecker()
+	r := c.CheckMessageCodec([]byte(cleanEnvelope), cleanMeta12(), soap.V11)
+	found := false
+	for _, v := range r.Violations {
+		if v.Assertion.ID == AssertionMsgVersionCoherent.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hybrid framing not flagged under RMH001: %v", r.Violations)
+	}
+	hybrid := `<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">
+	<soap:Body><env:Fault xmlns:env="http://www.w3.org/2003/05/soap-envelope">
+	<env:Code><env:Value>env:Sender</env:Value></env:Code>
+	<env:Reason><env:Text>x</env:Text></env:Reason></env:Fault></soap:Body></soap:Envelope>`
+	r = c.CheckMessageCodec([]byte(hybrid), MessageMeta{ContentType: "text/xml", HTTPStatus: 500}, soap.V11)
+	found = false
+	for _, v := range r.Violations {
+		if v.Assertion.ID == AssertionMsgVersionCoherent.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hybrid fault not flagged under RMH001: %v", r.Violations)
 	}
 }

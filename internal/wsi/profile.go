@@ -8,12 +8,17 @@ package wsi
 // same roster; adding a profile (a SOAP 1.2 / BP 2.0-style set, say)
 // is one Register call, with no checker surgery.
 //
-// Two real profiles are registered:
+// Three real profiles are registered:
 //
 //   - bp11 — WS-I Basic Profile 1.1, the paper's profile. This is the
 //     default profile and the one AllAssertions describes; NewChecker
 //     without options checks against it, so the historical checker
 //     behaviour is exactly the bp11 profile.
+//
+//   - bp20 — a BP 2.0-style hybrid guard: BP 1.1's structural
+//     description rules plus SOAP 1.2 message rules and the RMH001
+//     version-coherence assertion rejecting mixed 1.1/1.2 signals
+//     (the error class the version matrix measures).
 //
 //   - ivoa — the IVOA Web Services Basic Profile (PAPERS.md,
 //     arXiv:1110.0511), a stricter subset used by the Virtual
@@ -36,6 +41,7 @@ import (
 	"sort"
 	"strings"
 
+	"wsinterop/internal/soap"
 	"wsinterop/internal/wsdl"
 )
 
@@ -68,6 +74,11 @@ type Profile struct {
 	// verdict under a name substitution, so memoized verdicts apply
 	// only when the SubstitutionSafe chunk predicates hold.
 	nameSensitive map[string]bool
+	// messageVersion selects the envelope version the profile's
+	// message-level rules bind to; the zero value means SOAP 1.1.
+	messageVersion soap.Version
+	// versionGuard enables the RMH001 hybrid check on messages.
+	versionGuard bool
 }
 
 // Assertions returns the profile's advertised description-level
@@ -226,6 +237,25 @@ var bp11Profile = &Profile{
 	nameSensitive:     nameSensitive,
 }
 
+var bp20Profile = &Profile{
+	ID:          "bp20",
+	Name:        "WS-I Basic Profile 2.0 (hybrid guard)",
+	Description: "a BP 2.0-style profile for SOAP 1.2-era messaging: the structural BP 1.1 description rules plus version-coherent (non-hybrid) message rules",
+	// BP 2.0 inherits the description-level structure rules wholesale —
+	// the profiles differ at the messaging layer, where 2.0 binds to
+	// SOAP 1.2 and (here) refuses mixed version signals.
+	assertions:        coreAssertions(AllAssertions()),
+	messageAssertions: MessageAssertions12(),
+	checks:            []check{checkSchemas, checkStructure, checkBindings},
+	extended:          []check{checkExtendedOperations},
+	// The messaging additions never inspect description names, so the
+	// name-sensitive set is exactly BP 1.1's — the shape-level memo
+	// stays sound (DESIGN.md §10).
+	nameSensitive:  nameSensitive,
+	messageVersion: soap.Version12,
+	versionGuard:   true,
+}
+
 var ivoaProfile = &Profile{
 	ID:          "ivoa",
 	Name:        "IVOA Web Services Basic Profile",
@@ -243,5 +273,6 @@ var ivoaProfile = &Profile{
 
 func init() {
 	Register(bp11Profile)
+	Register(bp20Profile)
 	Register(ivoaProfile)
 }

@@ -287,6 +287,16 @@ func msgFixtures() map[string]msgFixture {
 			<soap:Body><soap:Fault><faultstring>x</faultstring></soap:Fault></soap:Body></soap:Envelope>`,
 			meta: MessageMeta{ContentType: "text/xml", HTTPStatus: 500}},
 		"RM1126": {raw: cleanFault, meta: MessageMeta{ContentType: "text/xml", HTTPStatus: 200}},
+		// bp20 (SOAP 1.2 / hybrid guard) fixtures.
+		"RM9981": {raw: "this is not xml <<<",
+			meta: MessageMeta{ContentType: "application/soap+xml"}},
+		"RM1130": {raw: cleanEnvelope12, meta: MessageMeta{ContentType: "application/json"}},
+		"RM1005": {raw: `<env:Envelope xmlns:env="http://www.w3.org/2003/05/soap-envelope">
+			<env:Body><env:Fault><env:Reason><env:Text>x</env:Text></env:Reason></env:Fault></env:Body></env:Envelope>`,
+			meta: MessageMeta{ContentType: "application/soap+xml", HTTPStatus: 500}},
+		"RM1127": {raw: cleanFault12,
+			meta: MessageMeta{ContentType: "application/soap+xml", HTTPStatus: 200}},
+		"RMH001": {raw: cleanEnvelope, meta: MessageMeta{ContentType: "application/soap+xml"}},
 	}
 }
 
